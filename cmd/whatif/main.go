@@ -1,0 +1,115 @@
+// Command whatif runs the §5 policy simulation: suppress an app's
+// background traffic after N consecutive days without foreground use, and
+// report the recovered energy — Table 2 plus a threshold sweep.
+//
+// Usage:
+//
+//	whatif -data data/                 # Table 2 with the default 3-day kill
+//	whatif -data data/ -kill 5         # a different threshold
+//	whatif -data data/ -sweep 7        # fleet savings for thresholds 1..7
+//	whatif -data data/ -doze           # Android-M-style Doze simulation
+//	whatif -gen -users 10 -days 28     # generate in memory first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netenergy/internal/core"
+	"netenergy/internal/radio"
+	"netenergy/internal/report"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/whatif"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "", "directory of .metr trace files")
+		gen   = flag.Bool("gen", false, "generate the dataset in memory instead of reading -data")
+		users = flag.Int("users", 20, "users for -gen")
+		days  = flag.Int("days", 126, "days for -gen")
+		seed  = flag.Uint64("seed", 20151028, "seed for -gen")
+		kill  = flag.Int("kill", 3, "suppress background traffic after this many idle days")
+		sweep = flag.Int("sweep", 0, "also sweep thresholds 1..N and print fleet savings")
+		doze  = flag.Bool("doze", false, "also simulate an Android-M-style Doze policy")
+		cands = flag.Int("candidates", 0, "also list the top N isolation candidates")
+	)
+	flag.Parse()
+
+	var (
+		study *core.Study
+		err   error
+	)
+	if *gen || *data == "" {
+		cfg := synthgen.Default()
+		cfg.Users = *users
+		cfg.Days = *days
+		cfg.Seed = *seed
+		fmt.Fprintf(os.Stderr, "whatif: generating %d users x %d days in memory\n", *users, *days)
+		study, err = core.Run(cfg)
+	} else {
+		study, err = core.Open(*data)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+
+	if err := report.WhatIf(os.Stdout, study.Table2(*kill), *kill); err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+	if *sweep > 0 {
+		fmt.Println()
+		fmt.Println("Threshold sweep (all apps, fleet-wide):")
+		rows := [][]string{}
+		for _, p := range study.Sweep(*sweep) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d days", p.KillAfterDays),
+				fmt.Sprintf("%.0f J", p.FleetSavedJ),
+				fmt.Sprintf("%.2f%%", p.FleetSavedPct),
+			})
+		}
+		if err := report.Table(os.Stdout, []string{"kill after", "saved", "of fleet"}, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			os.Exit(1)
+		}
+	}
+	// Per-user savings distribution (the paper: benefits "depend greatly
+	// ... on user behavior").
+	savings := whatif.PerUserSavings(study.Devices, *kill)
+	if len(savings) > 0 {
+		var min, max, sum float64
+		min = savings[0]
+		for _, v := range savings {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		fmt.Printf("\nper-user total-energy savings at %d days: min %.1f%%, mean %.1f%%, max %.1f%%\n",
+			*kill, 100*min, 100*sum/float64(len(savings)), 100*max)
+	}
+
+	if *cands > 0 {
+		fmt.Println()
+		list := whatif.IsolationCandidates(study.Devices, 3, 100)
+		if err := report.Candidates(os.Stdout, list, *cands); err != nil {
+			fmt.Fprintln(os.Stderr, "whatif:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *doze {
+		fmt.Println()
+		res := whatif.SimulateDozeFleet(study.Devices, radio.LTE(), whatif.DefaultDoze())
+		fmt.Println("Doze simulation (idle 1 h, 10-min maintenance every 6 h):")
+		fmt.Printf("  suppressed %d of %d packets\n", res.Suppressed, res.TotalPackets)
+		fmt.Printf("  fleet energy %.0f J -> %.0f J (saved %.1f%%)\n",
+			res.BaselineJ, res.DozedJ, res.SavedPct)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: run a small end-to-end study (5 users, 14 days), print the
+// headline statistics and the two tables — the 60-second tour of the
+// library.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"netenergy"
+
+	"netenergy/internal/report"
+)
+
+func main() {
+	fmt.Println("Generating a 5-user, 14-day synthetic study...")
+	study, err := netenergy.Run(netenergy.SmallConfig(5, 14))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	h := study.Headline()
+	fmt.Printf("\nFleet network energy: %.0f kJ\n", h.TotalEnergyJ/1000)
+	fmt.Printf("Consumed in background states: %.0f%%  (paper: 84%%)\n", 100*h.BackgroundFraction)
+	fmt.Printf("Apps sending >=80%% of bg bytes within 60 s: %.0f%%  (paper: 84%%)\n",
+		100*h.FirstMinute.Fraction)
+	fmt.Printf("Chrome background energy share: %.0f%%  (paper: ~30%%)\n\n",
+		100*h.BrowserBgShares["com.android.chrome"])
+
+	if err := report.CaseStudies(os.Stdout, study.Table1()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := report.WhatIf(os.Stdout, study.Table2(3), 3); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

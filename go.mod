@@ -1,0 +1,3 @@
+module netenergy
+
+go 1.22

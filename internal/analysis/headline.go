@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"netenergy/internal/appmodel"
+	"netenergy/internal/trace"
+)
+
+// Headline bundles the statistics the paper quotes in prose: the §4 state
+// shares, the §4.1 first-minute criterion, and the browser background
+// shares.
+type Headline struct {
+	// BackgroundFraction is the share of all cellular network energy
+	// consumed in background states (paper: 84%).
+	BackgroundFraction float64
+	// PerceptibleFraction and ServiceFraction break that down (paper: 8%
+	// perceptible, 32% service).
+	PerceptibleFraction float64
+	ServiceFraction     float64
+	// FirstMinute is the §4.1 criterion: fraction of apps sending >=80% of
+	// their background bytes within 60 s of backgrounding (paper: 84%).
+	FirstMinute FirstMinuteResult
+	// BrowserBgShares maps browser package -> background energy fraction
+	// (paper: Chrome ~30%, Firefox and stock near zero).
+	BrowserBgShares map[string]float64
+	// TotalEnergyJ is the fleet-wide attributed network energy.
+	TotalEnergyJ float64
+}
+
+// ComputeHeadline evaluates all headline statistics over the fleet.
+func ComputeHeadline(devs []*DeviceData) Headline {
+	merged := MergedLedger(devs)
+	return Headline{
+		BackgroundFraction:  merged.BackgroundFraction(),
+		PerceptibleFraction: merged.StateFraction(trace.StatePerceptible),
+		ServiceFraction:     merged.StateFraction(trace.StateService),
+		FirstMinute:         FirstMinute(devs, 60, 0.8),
+		BrowserBgShares: BrowserShares(devs, []string{
+			appmodel.PkgChrome, appmodel.PkgFirefox, appmodel.PkgStockBrowser,
+		}),
+		TotalEnergyJ: merged.Total,
+	}
+}

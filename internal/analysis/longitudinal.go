@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"netenergy/internal/energy"
+	"netenergy/internal/radio"
+	"netenergy/internal/trace"
+)
+
+// WeeklyTrend is the §3.1 longitudinal view: per-week background energy
+// across the fleet. The paper reports that "background energy fluctuated by
+// up to 60% from week to week throughout the study", obscuring clean
+// longitudinal conclusions.
+type WeeklyTrend struct {
+	// Weeks holds total fleet background energy per week index (week 0 is
+	// the first week with traffic).
+	Weeks []float64
+	// MaxWeekOverWeekChange is the largest relative change between
+	// consecutive weeks (0.6 = 60%).
+	MaxWeekOverWeekChange float64
+}
+
+// Weekly computes the fleet's per-week background energy trend.
+func Weekly(devs []*DeviceData) WeeklyTrend {
+	perWeek := map[int]float64{}
+	minWeek := int(^uint(0) >> 1)
+	maxWeek := 0
+	for _, d := range devs {
+		for _, days := range d.Energy.Ledger.ByAppDay {
+			for day, ds := range days {
+				w := day / 7
+				perWeek[w] += ds.BgEnergy
+				if w < minWeek {
+					minWeek = w
+				}
+				if w > maxWeek {
+					maxWeek = w
+				}
+			}
+		}
+	}
+	var res WeeklyTrend
+	if len(perWeek) == 0 {
+		return res
+	}
+	for w := minWeek; w <= maxWeek; w++ {
+		res.Weeks = append(res.Weeks, perWeek[w])
+	}
+	// Ignore the (possibly partial) first and last weeks when measuring
+	// fluctuation.
+	for i := 2; i < len(res.Weeks)-1; i++ {
+		prev := res.Weeks[i-1]
+		if prev <= 0 {
+			continue
+		}
+		change := res.Weeks[i]/prev - 1
+		if change < 0 {
+			change = -change
+		}
+		if change > res.MaxWeekOverWeekChange {
+			res.MaxWeekOverWeekChange = change
+		}
+	}
+	return res
+}
+
+// NetworkComparison quantifies §3's premise — "we focus primarily on
+// cellular traffic as it consumes far more energy than WiFi" — by
+// accounting each interface's traffic against its own radio model.
+type NetworkComparison struct {
+	CellularJ     float64
+	WiFiJ         float64
+	CellularBytes int64
+	WiFiBytes     int64
+}
+
+// Ratio returns cellular energy over WiFi energy (0 if no WiFi energy).
+func (n NetworkComparison) Ratio() float64 {
+	if n.WiFiJ == 0 {
+		return 0
+	}
+	return n.CellularJ / n.WiFiJ
+}
+
+// CompareNetworks re-processes the given raw device traces under both
+// interface filters. It needs the original traces (not DeviceData) because
+// the standard pipeline only accounts cellular packets.
+func CompareNetworks(dts []*trace.DeviceTrace) (NetworkComparison, error) {
+	var out NetworkComparison
+	for _, dt := range dts {
+		cell := energy.DefaultOptions()
+		cell.KeepPackets = false
+		resC, err := energy.Process(dt, cell)
+		if err != nil {
+			return out, err
+		}
+		wifi := energy.DefaultOptions()
+		wifi.KeepPackets = false
+		wifi.Network = trace.NetWiFi
+		wifi.Radio = radio.WiFi()
+		resW, err := energy.Process(dt, wifi)
+		if err != nil {
+			return out, err
+		}
+		out.CellularJ += resC.Ledger.Total
+		out.WiFiJ += resW.Ledger.Total
+		for _, b := range resC.Ledger.BytesByApp {
+			out.CellularBytes += b
+		}
+		for _, b := range resW.Ledger.BytesByApp {
+			out.WiFiBytes += b
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"netenergy/internal/stats"
+	"netenergy/internal/tcpstream"
+	"netenergy/internal/trace"
+)
+
+// RetransResult characterises TCP retransmission overhead: wire bytes (and
+// therefore radio energy) that delivered no new application data. Cellular
+// links lose packets; the overhead compounds the background-traffic energy
+// problem the paper studies.
+type RetransResult struct {
+	Total tcpstream.Stats
+	// PerApp ranks apps by retransmitted bytes, descending.
+	PerApp []AppRetrans
+	// WastedEnergyJ estimates the energy of retransmitted bytes, scaling
+	// each packet's energy by its retransmitted fraction.
+	WastedEnergyJ float64
+}
+
+// AppRetrans is one app's retransmission accounting.
+type AppRetrans struct {
+	App          string
+	Bytes        int64
+	RetransBytes int64
+}
+
+// Fraction returns the app's retransmitted share.
+func (a AppRetrans) Fraction() float64 {
+	if a.Bytes == 0 {
+		return 0
+	}
+	return float64(a.RetransBytes) / float64(a.Bytes)
+}
+
+// Retransmissions replays every device's TCP segments through per-stream
+// reassembly and aggregates the overhead. Streams are keyed by the
+// canonical five-tuple hash plus direction.
+func Retransmissions(devs []*DeviceData, topK int) RetransResult {
+	var res RetransResult
+	perAppBytes := map[string]int64{}
+	perAppRetrans := map[string]int64{}
+	for _, d := range devs {
+		tr := tcpstream.NewTracker()
+		for i := range d.Energy.Packets {
+			p := &d.Energy.Packets[i]
+			// Payload length: wire bytes minus the fixed 40-byte header
+			// stack the generator emits.
+			plen := p.Bytes - 40
+			if plen < 0 {
+				plen = 0
+			}
+			key := p.Tuple.FastHash()
+			if p.Dir == trace.DirUp {
+				key ^= 0x9e3779b97f4a7c15
+			}
+			kind := tr.Segment(key, p.Seq, plen)
+			name := d.Apps.Name(p.App)
+			perAppBytes[name] += int64(plen)
+			switch kind {
+			case tcpstream.KindRetrans:
+				perAppRetrans[name] += int64(plen)
+				res.WastedEnergyJ += p.Energy
+			case tcpstream.KindPartial:
+				// Apportion energy by the retransmitted share.
+				// (Stats track exact bytes; energy is approximated.)
+				res.WastedEnergyJ += p.Energy / 2
+			}
+		}
+		t := tr.Total()
+		res.Total.Segments += t.Segments
+		res.Total.Bytes += t.Bytes
+		res.Total.Goodput += t.Goodput
+		res.Total.Retrans += t.Retrans
+		res.Total.OutOfOrder += t.OutOfOrder
+	}
+	rank := map[string]float64{}
+	for name, b := range perAppRetrans {
+		rank[name] = float64(b)
+	}
+	for _, kv := range stats.TopK(rank, topK) {
+		res.PerApp = append(res.PerApp, AppRetrans{
+			App:          kv.Key,
+			Bytes:        perAppBytes[kv.Key],
+			RetransBytes: perAppRetrans[kv.Key],
+		})
+	}
+	return res
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"io"
+	"os"
+
+	"netenergy/internal/energy"
+	"netenergy/internal/netparse"
+	"netenergy/internal/periodic"
+	"netenergy/internal/radio"
+	"netenergy/internal/stats"
+	"netenergy/internal/trace"
+)
+
+// StreamResult is the bounded-memory subset of the study computed in one
+// sequential pass over a trace stream: the energy ledgers, the Figure 6
+// series, the first-minute byte counters and the screen-off split. Memory
+// is O(apps + bins), independent of trace length — the mode that handles
+// the paper's 125 GB dataset.
+type StreamResult struct {
+	Device       string
+	Ledger       *energy.Ledger
+	DecodeErrors int
+
+	// Fig6 accumulators (10 s bins over 2 h).
+	SinceFg *stats.TimeBins
+
+	// First-minute criterion accumulators, keyed by app ID.
+	BgBytesByApp    map[uint32]int64
+	EarlyBytesByApp map[uint32]int64
+	EverForeground  map[uint32]bool
+
+	// Screen split.
+	OffBytes, OnBytes   int64
+	OffEnergy, OnEnergy float64
+
+	Span [2]trace.Timestamp
+}
+
+// FirstMinuteFraction evaluates the §4.1 criterion over the streamed
+// accumulators.
+func (r *StreamResult) FirstMinuteFraction(threshold float64) float64 {
+	total, meeting := 0, 0
+	for app, b := range r.BgBytesByApp {
+		if b <= 0 {
+			continue
+		}
+		total++
+		share := float64(r.EarlyBytesByApp[app]) / float64(b)
+		if !r.EverForeground[app] {
+			share = 0
+		}
+		if share >= threshold {
+			meeting++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(meeting) / float64(total)
+}
+
+// SinceForeground converts the streamed bins into the Figure 6 result.
+func (r *StreamResult) SinceForeground() SinceForegroundResult {
+	offs, vals := r.SinceFg.Series()
+	res := SinceForegroundResult{BinWidth: r.SinceFg.Width, Offsets: offs, Bytes: vals}
+	res.TotalBgBytes = stats.Sum(vals)
+	if res.TotalBgBytes > 0 {
+		var first float64
+		for i := range offs {
+			if offs[i] < 60 {
+				first += vals[i]
+			}
+		}
+		res.FirstMinute = first / res.TotalBgBytes
+	}
+	res.Spike5m = periodic.SpikeScore(vals, int(300/r.SinceFg.Width), 6)
+	res.Spike10m = periodic.SpikeScore(vals, int(600/r.SinceFg.Width), 6)
+	return res
+}
+
+// StreamDevice processes one METR stream record by record. Nothing is
+// retained per packet: the radio accountant, the process-state snapshot,
+// the screen flag and the aggregate bins advance in lockstep with the
+// stream. Records must be in timestamp order (generated traces are).
+func StreamDevice(r *trace.Reader, opts energy.Options) (*StreamResult, error) {
+	if opts.Radio.Name == "" {
+		opts.Radio = radio.LTE()
+	}
+	res := &StreamResult{
+		Device:          r.Device(),
+		Ledger:          energy.NewLedger(),
+		SinceFg:         stats.NewTimeBins(10, 720),
+		BgBytesByApp:    map[uint32]int64{},
+		EarlyBytesByApp: map[uint32]int64{},
+		EverForeground:  map[uint32]bool{},
+	}
+	parser := netparse.NewParser()
+	parser.VerifyChecksums = opts.VerifyChecksums
+	parser.Snap = opts.Snap
+	acct := radio.NewAccountant(opts.Radio)
+
+	// Incremental per-app state: whether the app is foreground now and the
+	// end of its latest foreground interval.
+	lastFgEnd := map[uint32]trace.Timestamp{}
+	inFg := map[uint32]bool{}
+	screenOn := false
+
+	var prevApp uint32
+	var prevState trace.ProcState
+	var prevDay int
+	havePrev := false
+
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Type {
+		case trace.RecProcState:
+			if inFg[rec.App] && !rec.State.IsForeground() {
+				lastFgEnd[rec.App] = rec.TS
+			}
+			inFg[rec.App] = rec.State.IsForeground()
+			if rec.State.IsForeground() {
+				res.EverForeground[rec.App] = true
+			}
+		case trace.RecScreen:
+			screenOn = rec.ScreenOn
+		case trace.RecPacket:
+			if rec.Net != opts.Network {
+				continue
+			}
+			d, err := parser.DecodePacket(rec.Payload)
+			if err != nil {
+				res.DecodeErrors++
+				continue
+			}
+			if !havePrev {
+				res.Span[0] = rec.TS
+			}
+			res.Span[1] = rec.TS
+			dir := radio.Down
+			if rec.Dir == trace.DirUp {
+				dir = radio.Up
+			}
+			c := acct.OnPacket(rec.TS.Seconds(), d.WireLen, dir)
+			day := rec.TS.Day()
+			if c.GapTail > 0 && havePrev {
+				res.Ledger.Charge(prevApp, prevState, prevDay, c.GapTail)
+			} else if c.GapTail > 0 {
+				res.Ledger.Charge(rec.App, rec.State, day, c.GapTail)
+			}
+			own := c.Promotion + c.Transfer
+			res.Ledger.Charge(rec.App, rec.State, day, own)
+			res.Ledger.AddPacket(rec.App, day, rec.State, int64(d.WireLen))
+
+			if rec.State.IsBackground() {
+				res.BgBytesByApp[rec.App] += int64(d.WireLen)
+				fgEnd, wasFg := lastFgEnd[rec.App]
+				if inFg[rec.App] {
+					fgEnd, wasFg = rec.TS, true
+				}
+				if wasFg {
+					since := rec.TS.Sub(fgEnd)
+					res.SinceFg.Add(since, float64(d.WireLen))
+					if since <= 60 {
+						res.EarlyBytesByApp[rec.App] += int64(d.WireLen)
+					}
+				}
+			}
+			if screenOn {
+				res.OnBytes += int64(d.WireLen)
+				res.OnEnergy += own + c.GapTail
+			} else {
+				res.OffBytes += int64(d.WireLen)
+				res.OffEnergy += own + c.GapTail
+			}
+			prevApp, prevState, prevDay = rec.App, rec.State, day
+			havePrev = true
+		}
+	}
+	if fin := acct.Finish(); fin > 0 && havePrev {
+		res.Ledger.Charge(prevApp, prevState, prevDay, fin)
+	}
+	res.Ledger.IdleEnergy = opts.Radio.IdlePower * res.Span[1].Sub(res.Span[0])
+	return res, nil
+}
+
+// StreamFleet runs StreamDevice over every file of a fleet, merging the
+// aggregate accumulators. Peak memory is one device's O(apps) state.
+func StreamFleet(fleet *trace.Fleet, opts energy.Options) (*StreamResult, error) {
+	agg := &StreamResult{
+		Device:          "fleet",
+		Ledger:          energy.NewLedger(),
+		SinceFg:         stats.NewTimeBins(10, 720),
+		BgBytesByApp:    map[uint32]int64{},
+		EarlyBytesByApp: map[uint32]int64{},
+		EverForeground:  map[uint32]bool{},
+	}
+	for _, path := range fleet.Paths {
+		res, err := streamFile(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		agg.DecodeErrors += res.DecodeErrors
+		agg.OffBytes += res.OffBytes
+		agg.OnBytes += res.OnBytes
+		agg.OffEnergy += res.OffEnergy
+		agg.OnEnergy += res.OnEnergy
+		merged := energy.MergeLedgers([]*energy.Ledger{agg.Ledger, res.Ledger})
+		agg.Ledger = merged
+		for i, v := range res.SinceFg.Vals {
+			agg.SinceFg.Vals[i] += v
+		}
+		for app, b := range res.BgBytesByApp {
+			agg.BgBytesByApp[app] += b
+		}
+		for app, b := range res.EarlyBytesByApp {
+			agg.EarlyBytesByApp[app] += b
+		}
+		for app, v := range res.EverForeground {
+			if v {
+				agg.EverForeground[app] = true
+			}
+		}
+		if agg.Span[0] == 0 || (res.Span[0] != 0 && res.Span[0] < agg.Span[0]) {
+			agg.Span[0] = res.Span[0]
+		}
+		if res.Span[1] > agg.Span[1] {
+			agg.Span[1] = res.Span[1]
+		}
+	}
+	return agg, nil
+}
+
+func streamFile(path string, opts energy.Options) (*StreamResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return StreamDevice(r, opts)
+}

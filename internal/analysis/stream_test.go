@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"netenergy/internal/energy"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+)
+
+// TestStreamMatchesInMemory is the equivalence check: the bounded-memory
+// streaming pass must produce the same ledgers and aggregates as the
+// in-memory pipeline on the same trace.
+func TestStreamMatchesInMemory(t *testing.T) {
+	dt := synthgen.GenerateDevice(synthgen.Small(1, 5), 0)
+
+	mem, err := Load(dt, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := dt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := StreamDevice(r, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if str.DecodeErrors != mem.Energy.DecodeErrors {
+		t.Errorf("decode errors: %d vs %d", str.DecodeErrors, mem.Energy.DecodeErrors)
+	}
+	if math.Abs(str.Ledger.Total-mem.Energy.Ledger.Total) > 1e-6*(1+mem.Energy.Ledger.Total) {
+		t.Errorf("total energy: stream %v vs memory %v", str.Ledger.Total, mem.Energy.Ledger.Total)
+	}
+	for app, e := range mem.Energy.Ledger.ByApp {
+		if got := str.Ledger.ByApp[app]; math.Abs(got-e) > 1e-6*(1+e) {
+			t.Errorf("app %d energy: stream %v vs memory %v", app, got, e)
+		}
+	}
+	for st, e := range mem.Energy.Ledger.ByState {
+		if got := str.Ledger.ByState[st]; math.Abs(got-e) > 1e-6*(1+e) {
+			t.Errorf("state %v energy: stream %v vs memory %v", st, got, e)
+		}
+	}
+	// Fig6 bins must match the in-memory analysis.
+	memFig6 := SinceForeground([]*DeviceData{mem}, 10, 7200)
+	strFig6 := str.SinceForeground()
+	if math.Abs(memFig6.TotalBgBytes-strFig6.TotalBgBytes) > 1 {
+		t.Errorf("fig6 bytes: stream %v vs memory %v", strFig6.TotalBgBytes, memFig6.TotalBgBytes)
+	}
+	for i := range memFig6.Bytes {
+		if math.Abs(memFig6.Bytes[i]-strFig6.Bytes[i]) > 1 {
+			t.Fatalf("fig6 bin %d: stream %v vs memory %v", i, strFig6.Bytes[i], memFig6.Bytes[i])
+		}
+	}
+	// First-minute criterion agrees.
+	memFM := FirstMinute([]*DeviceData{mem}, 60, 0.8)
+	if got := str.FirstMinuteFraction(0.8); math.Abs(got-memFM.Fraction) > 1e-9 {
+		t.Errorf("first minute: stream %v vs memory %v", got, memFM.Fraction)
+	}
+	// Screen split sums to the same totals.
+	memSO := ScreenOff([]*DeviceData{mem}, 0)
+	if str.OffBytes+str.OnBytes != memSO.OffBytes+memSO.OnBytes {
+		t.Errorf("screen byte totals: stream %d vs memory %d",
+			str.OffBytes+str.OnBytes, memSO.OffBytes+memSO.OnBytes)
+	}
+	if str.OffBytes != memSO.OffBytes {
+		t.Errorf("screen-off bytes: stream %d vs memory %d", str.OffBytes, memSO.OffBytes)
+	}
+}
+
+func TestStreamFleet(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synthgen.Small(2, 3)
+	fleet, err := synthgen.GenerateFleet(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := StreamFleet(fleet, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Ledger.Total <= 0 {
+		t.Error("no energy streamed")
+	}
+	if agg.Ledger.BackgroundFraction() < 0.4 {
+		t.Errorf("bg fraction = %v", agg.Ledger.BackgroundFraction())
+	}
+	if agg.Span[1] <= agg.Span[0] {
+		t.Errorf("span = %v", agg.Span)
+	}
+}

@@ -1,0 +1,595 @@
+package appmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netenergy/internal/appproto"
+	"netenergy/internal/trace"
+)
+
+// Behavior generates one app's records over [start, end) given the user's
+// foreground sessions for that app (sorted, non-overlapping; may be empty
+// for pure background services and widgets).
+type Behavior interface {
+	Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp)
+}
+
+// hostFor derives a stable synthetic hostname for a service from its
+// server seed, so the analyzer can attribute traffic to hosts.
+func hostFor(kind string, seed uint32) string {
+	return fmt.Sprintf("%s-%06x.content.example", kind, seed&0xffffff)
+}
+
+// stateAt returns Foreground if ts falls inside any session, else bg.
+func stateAt(sessions []Session, ts trace.Timestamp, bg trace.ProcState) trace.ProcState {
+	i := sort.Search(len(sessions), func(i int) bool { return sessions[i].End > ts })
+	if i < len(sessions) && sessions[i].Start <= ts {
+		return trace.StateForeground
+	}
+	return bg
+}
+
+// nextSessionAfter returns the first session starting at or after ts, or ok=false.
+func nextSessionAfter(sessions []Session, ts trace.Timestamp) (Session, bool) {
+	i := sort.Search(len(sessions), func(i int) bool { return sessions[i].Start >= ts })
+	if i < len(sessions) {
+		return sessions[i], true
+	}
+	return Session{}, false
+}
+
+// ResidualCfg describes the traffic an app emits right after it is sent to
+// the background: in-flight responses completing, final syncs, analytics
+// beacons. This is the ubiquitous §4.1 pattern — "over 80% of apps transmit
+// more than 80% of their background data in the first minute after the app
+// is sent to a background state".
+type ResidualCfg struct {
+	Bursts   int     // mean number of residual bursts per transition
+	Window   float64 // seconds over which they arrive (exp-distributed)
+	Up, Down int64   // bytes per residual burst
+}
+
+// SessionCfg describes generic foreground behaviour plus the post-session
+// residual.
+type SessionCfg struct {
+	BurstPeriod float64 // mean seconds between foreground bursts
+	BurstUp     int64
+	BurstDown   int64
+	BgState     trace.ProcState // state after the session ends
+	Residual    ResidualCfg
+	// Host labels the app's interactive traffic (defaults to a host
+	// derived from the server address).
+	Host string
+}
+
+// emitSessions produces UI events, process-state transitions, foreground
+// traffic and post-background residual traffic for every session.
+func emitSessions(g *Gen, app uint32, sessions []Session, cfg SessionCfg, server [4]byte) {
+	host := cfg.Host
+	if host == "" {
+		host = hostFor("app", uint32(server[1])<<16|uint32(server[2])<<8|uint32(server[3]))
+	}
+	req := appproto.Request("GET", host, "/view")
+	for _, s := range sessions {
+		g.UIEvent(app, s.Start, trace.UILaunch)
+		g.SetState(app, s.Start, trace.StateForeground)
+		if cfg.BurstPeriod > 0 && cfg.BurstDown+cfg.BurstUp > 0 {
+			conn := g.NewConn(server, 443)
+			t := s.Start.AddSeconds(g.Rng.Exp(2))
+			for t < s.End {
+				up := int64(g.Rng.Jitter(float64(cfg.BurstUp), 0.5))
+				down := int64(g.Rng.Jitter(float64(cfg.BurstDown), 0.5))
+				g.EmitHTTPBurst(app, t, trace.StateForeground, conn, req, up, down)
+				t = t.AddSeconds(g.Rng.Exp(cfg.BurstPeriod))
+			}
+		}
+		g.SetState(app, s.End, cfg.BgState)
+		emitResidual(g, app, s.End, cfg.Residual, cfg.BgState, server, host)
+	}
+}
+
+// emitResidual emits the first-minute post-background traffic.
+func emitResidual(g *Gen, app uint32, after trace.Timestamp, r ResidualCfg, bg trace.ProcState, server [4]byte, host string) {
+	if r.Bursts <= 0 || r.Up+r.Down == 0 {
+		return
+	}
+	req := appproto.Request("POST", host, "/sync")
+	n := g.Rng.Poisson(float64(r.Bursts))
+	if n == 0 {
+		n = 1
+	}
+	conn := g.NewConn(server, 443)
+	for i := 0; i < n; i++ {
+		dt := g.Rng.Exp(r.Window / 3)
+		if dt > r.Window*2 {
+			dt = r.Window * 2
+		}
+		t := after.AddSeconds(0.5 + dt)
+		g.EmitHTTPBurst(app, t, bg, conn, req,
+			int64(g.Rng.Jitter(float64(r.Up), 0.4)),
+			int64(g.Rng.Jitter(float64(r.Down), 0.4)))
+	}
+}
+
+// PeriodicPoller models the dominant background pattern of §4.2: an app (or
+// a push library it embeds) that wakes the radio on a timer. Social apps,
+// push notification services, widgets, mail checkers and location services
+// are all instances with different periods and payloads.
+type PeriodicPoller struct {
+	Period  float64 // mean seconds between updates
+	Jitter  float64 // relative jitter on the period (0..1)
+	Period2 float64 // if > 0, period after SwitchFrac of the span
+	// SwitchFrac is the fraction of [start,end) at which the app's update
+	// period changes — modelling the longitudinal behaviour changes the
+	// paper observed (Facebook 5 min -> 1 h, Pandora 1 min -> 2 h).
+	SwitchFrac float64
+
+	UpBytes   int64
+	DownBytes int64
+
+	// NotifyProb adds an occasional larger payload (a real push
+	// notification landing) of NotifyBytes on top of the near-empty poll.
+	NotifyProb  float64
+	NotifyBytes int64
+
+	// UpdatesPerConn controls connection reuse: how many consecutive
+	// updates share a five-tuple (and therefore a flow).
+	UpdatesPerConn int
+
+	// BgState is the process state background polls are labelled with.
+	BgState trace.ProcState
+
+	// DailyKillProb is the chance, each midnight, that the OS or user
+	// kills the background process; polling then stops until the next
+	// foreground session.
+	DailyKillProb float64
+
+	// ActiveOnly restricts updates to times the user is interacting with
+	// the device (within a few minutes of any app's session). Home-screen
+	// widgets behave this way: they refresh a visible surface, so their
+	// frequent updates ride on radio tails that foreground traffic already
+	// paid for — which is how a 5-minute widget can cost a tenth of a
+	// 5-minute social poller (Table 1: Go Weather widget vs Weibo).
+	ActiveOnly bool
+
+	// AlignToBackground restarts the update timer at each foreground
+	// session end, so updates land at exact multiples of Period after the
+	// app is backgrounded — producing Figure 6's spikes at the 5- and
+	// 10-minute marks.
+	AlignToBackground bool
+
+	// Sessions describes foreground usage traffic (zero value: none).
+	Sessions SessionCfg
+
+	// Host labels the poll traffic's destination (defaults to a derived
+	// content host; push services should use a *.push.example host).
+	Host string
+
+	// Server differentiates the app's backend; 0 derives one from the app ID.
+	Server uint32
+}
+
+// Generate implements Behavior.
+func (p *PeriodicPoller) Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp) {
+	server := ServerIP(p.Server + app*2654435761)
+	cfg := p.Sessions
+	if cfg.BgState == trace.StateUnknown {
+		cfg.BgState = p.BgState
+	}
+	emitSessions(g, app, sessions, cfg, server)
+
+	if p.Period <= 0 {
+		return
+	}
+	bg := p.BgState
+	if bg == trace.StateUnknown {
+		bg = trace.StateService
+	}
+	// Pure background apps (no sessions) still need an initial state.
+	if len(sessions) == 0 {
+		g.SetState(app, start, bg)
+	}
+	switchTS := end
+	if p.Period2 > 0 && p.SwitchFrac > 0 && p.SwitchFrac < 1 {
+		switchTS = start.AddSeconds(p.SwitchFrac * end.Sub(start))
+	}
+	pollHost := p.Host
+	if pollHost == "" {
+		pollHost = hostFor("api", p.Server+app)
+	}
+	pollReq := appproto.Request("GET", pollHost, "/poll")
+	conn := g.NewConn(server, 443)
+	onConn := 0
+	perConn := p.UpdatesPerConn
+	if perConn <= 0 {
+		perConn = 1
+	}
+	t := start.AddSeconds(g.Rng.Float64() * p.Period)
+	nextMidnight := midnightAfter(t)
+	// Alignment bookkeeping: index of the next session end to anchor on.
+	nextAnchor := 0
+	for t < end {
+		if p.AlignToBackground && nextAnchor < len(sessions) && t >= sessions[nextAnchor].End {
+			// Restart the phase at the session end we just passed.
+			anchor := sessions[nextAnchor].End
+			for nextAnchor < len(sessions) && t >= sessions[nextAnchor].End {
+				anchor = sessions[nextAnchor].End
+				nextAnchor++
+			}
+			t = anchor.AddSeconds(g.Rng.Jitter(p.Period, 0.02))
+			if t >= end {
+				break
+			}
+		}
+		if p.DailyKillProb > 0 && t >= nextMidnight {
+			nextMidnight = midnightAfter(t)
+			if g.Rng.Bool(p.DailyKillProb) {
+				// Killed: silent until the next foreground session revives
+				// the background service.
+				s, ok := nextSessionAfter(sessions, t)
+				if !ok {
+					return
+				}
+				t = s.End
+				conn = g.NewConn(server, 443)
+				onConn = 0
+				nextMidnight = midnightAfter(t)
+				continue
+			}
+		}
+		if p.ActiveOnly && !g.DeviceActive(t, 120) {
+			// The device is idle; the widget waits for the next use.
+			t = t.AddSeconds(g.Rng.Jitter(p.Period, p.Jitter))
+			continue
+		}
+		up := int64(g.Rng.Jitter(float64(p.UpBytes), 0.3))
+		down := int64(g.Rng.Jitter(float64(p.DownBytes), 0.3))
+		if p.NotifyProb > 0 && g.Rng.Bool(p.NotifyProb) {
+			down += p.NotifyBytes
+		}
+		st := stateAt(sessions, t, bg)
+		g.EmitHTTPBurst(app, t, st, conn, pollReq, up, down)
+		onConn++
+		if onConn >= perConn {
+			conn = g.NewConn(server, 443)
+			onConn = 0
+		}
+		period := p.Period
+		if t >= switchTS {
+			period = p.Period2
+		}
+		jit := p.Jitter
+		if p.AlignToBackground {
+			jit = 0.02 // stay phase-locked to the backgrounding instant
+		}
+		t = t.AddSeconds(g.Rng.Jitter(period, jit))
+	}
+}
+
+// midnightAfter returns the first UTC midnight strictly after ts.
+func midnightAfter(ts trace.Timestamp) trace.Timestamp {
+	const day = int64(86400 * 1e6)
+	return trace.Timestamp((int64(ts)/day + 1) * day)
+}
+
+// Streamer models music/media streaming (§4.2 "Streaming"): listening
+// sessions during which the app is perceptible (audio with the screen off)
+// and downloads content in chunks. The 2012->2014 shift from continuous
+// small chunks to larger batched downloads is expressed with Period2.
+type Streamer struct {
+	ChunkPeriod  float64 // seconds between chunk downloads while listening
+	ChunkPeriod2 float64 // period after SwitchFrac (batching era)
+	SwitchFrac   float64
+	ChunkBytes   int64
+	InitialBytes int64 // buffer filled at session start
+
+	// ServiceOnly models delegated system services (the built-in media
+	// server): playback happens on the app's schedule but the process
+	// never owns a foreground UI — the paper notes such traffic is
+	// labelled by the service it came from, not the requesting app.
+	ServiceOnly bool
+
+	Server uint32
+}
+
+// Generate implements Behavior. Sessions are interpreted as listening
+// sessions.
+func (m *Streamer) Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp) {
+	server := ServerIP(m.Server + app*2654435761)
+	switchTS := end
+	if m.ChunkPeriod2 > 0 && m.SwitchFrac > 0 && m.SwitchFrac < 1 {
+		switchTS = start.AddSeconds(m.SwitchFrac * end.Sub(start))
+	}
+	cdnHost := "media-" + fmt.Sprintf("%04x", m.Server&0xffff) + ".cdn.example"
+	chunkReq := appproto.Request("GET", cdnHost, "/seg")
+	for _, s := range sessions {
+		startState := trace.StateForeground
+		if m.ServiceOnly {
+			startState = trace.StatePerceptible
+			g.SetState(app, s.Start, trace.StatePerceptible)
+		} else {
+			g.UIEvent(app, s.Start, trace.UILaunch)
+			g.SetState(app, s.Start, trace.StateForeground)
+		}
+		conn := g.NewConn(server, 443)
+		// Initial buffering happens while the user still faces the app.
+		t := g.EmitHTTPBurst(app, s.Start.AddSeconds(1), startState, conn, chunkReq, 2000, m.InitialBytes)
+		// Playback continues perceptibly (screen off, audio on).
+		percepAt := s.Start.AddSeconds(20)
+		if percepAt > s.End {
+			percepAt = s.End
+		}
+		g.SetState(app, percepAt, trace.StatePerceptible)
+		period := m.ChunkPeriod
+		if s.Start >= switchTS {
+			period = m.ChunkPeriod2
+		}
+		if t < percepAt {
+			t = percepAt
+		}
+		for t = t.AddSeconds(g.Rng.Jitter(period, 0.2)); t < s.End; t = t.AddSeconds(g.Rng.Jitter(period, 0.2)) {
+			chunk := int64(g.Rng.Jitter(float64(m.ChunkBytes), 0.3))
+			g.EmitHTTPBurst(app, t, trace.StatePerceptible, conn, chunkReq, 500, chunk)
+		}
+		g.SetState(app, s.End, trace.StateService)
+	}
+}
+
+// Podcast models podcast apps (§4.2 "Podcasts"): periodic feed checks plus
+// episode downloads, either as one large chunk (Pocketcasts) or as many
+// small chunks spread over the day (Podcastaddict) — the design contrast
+// the paper highlights.
+type Podcast struct {
+	CheckPeriod  float64 // seconds between feed refreshes
+	EpisodesPday float64 // mean episodes downloaded per day
+	EpisodeBytes int64
+	ChunkBytes   int64   // 0: whole episode at once; else chunked
+	ChunkPeriod  float64 // seconds between chunks
+	Server       uint32
+}
+
+// Generate implements Behavior.
+func (p *Podcast) Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp) {
+	server := ServerIP(p.Server + app*2654435761)
+	emitSessions(g, app, sessions, SessionCfg{
+		BurstPeriod: 30, BurstUp: 2000, BurstDown: 50000,
+		BgState:  trace.StateBackground,
+		Residual: ResidualCfg{Bursts: 2, Window: 20, Up: 1000, Down: 20000},
+	}, server)
+	if len(sessions) == 0 {
+		g.SetState(app, start, trace.StateBackground)
+	}
+	// Feed checks.
+	feedReq := appproto.Request("GET", hostFor("feeds", p.Server+app), "/rss")
+	epReq := appproto.Request("GET", "episodes-"+fmt.Sprintf("%04x", (p.Server+app)&0xffff)+".cdn.example", "/ep")
+	if p.CheckPeriod > 0 {
+		conn := g.NewConn(server, 443)
+		n := 0
+		for t := start.AddSeconds(g.Rng.Float64() * p.CheckPeriod); t < end; t = t.AddSeconds(g.Rng.Jitter(p.CheckPeriod, 0.3)) {
+			g.EmitHTTPBurst(app, t, stateAt(sessions, t, trace.StateBackground), conn, feedReq, 1500, 8000)
+			if n++; n%8 == 0 {
+				conn = g.NewConn(server, 443)
+			}
+		}
+	}
+	// Episode downloads.
+	const daySec = 86400.0
+	days := int(end.Sub(start) / daySec)
+	for d := 0; d < days; d++ {
+		eps := g.Rng.Poisson(p.EpisodesPday)
+		for e := 0; e < eps; e++ {
+			at := start.AddSeconds(float64(d)*daySec + g.Rng.Float64()*daySec)
+			size := int64(g.Rng.Jitter(float64(p.EpisodeBytes), 0.4))
+			conn := g.NewConn(server, 443)
+			if p.ChunkBytes <= 0 {
+				// One large batch: efficient (Pocketcasts).
+				g.EmitHTTPBurst(app, at, stateAt(sessions, at, trace.StateBackground), conn, epReq, 2000, size)
+				continue
+			}
+			// Chunked on demand: many radio wakeups (Podcastaddict).
+			t := at
+			for remaining := size; remaining > 0 && t < end; remaining -= p.ChunkBytes {
+				chunk := p.ChunkBytes
+				if chunk > remaining {
+					chunk = remaining
+				}
+				g.EmitHTTPBurst(app, t, stateAt(sessions, t, trace.StateBackground), conn, epReq, 800, chunk)
+				t = t.AddSeconds(g.Rng.Jitter(p.ChunkPeriod, 0.3))
+			}
+		}
+	}
+}
+
+// Browser models §4.1's headline finding. During sessions the user loads
+// pages; when the app is backgrounded, with probability LeakProb an open
+// tab keeps issuing requests (auto-refreshing content, ads, analytics) on a
+// short period, for a heavy-tailed duration that can exceed a day. Firefox
+// and the stock browser set LeakProb to 0 — they suspend background tabs.
+type Browser struct {
+	PageLoadPeriod float64 // mean seconds between page loads in a session
+	PageUpBytes    int64
+	PageDownBytes  int64
+
+	LeakProb      float64 // probability a background transition leaks
+	LeakPeriod    float64 // seconds between leaked requests
+	LeakUpBytes   int64
+	LeakDownBytes int64
+	// Leak duration is log-normal: exp(N(ln(LeakMedian), LeakSigma)).
+	LeakMedian float64 // seconds
+	LeakSigma  float64
+
+	// Residual is the in-flight completion traffic every browser emits
+	// right after backgrounding; browsers that suspend background tabs
+	// (Firefox, the stock browser) keep this tiny.
+	Residual ResidualCfg
+
+	// LeakInfinitePortion is the fraction of leaks that never stop on
+	// their own — the paper's egregious case, a page that refreshes
+	// "indefinitely, keeping the cellular radio alive and draining the
+	// battery until the app is killed or the tab is closed". These run at
+	// LeakInfinitePeriod until the user next opens the browser.
+	LeakInfinitePortion float64
+	LeakInfinitePeriod  float64
+
+	Server uint32
+}
+
+// Generate implements Behavior.
+func (b *Browser) Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp) {
+	server := ServerIP(b.Server + app*2654435761)
+	// A small stable set of first-party sites the user browses.
+	var pageHosts []string
+	for i := 0; i < 4; i++ {
+		pageHosts = append(pageHosts, hostFor("www", b.Server+uint32(i)*7919))
+	}
+	for _, s := range sessions {
+		g.UIEvent(app, s.Start, trace.UILaunch)
+		g.SetState(app, s.Start, trace.StateForeground)
+		conn := g.NewConn(server, 443)
+		for t := s.Start.AddSeconds(1 + g.Rng.Exp(2)); t < s.End; t = t.AddSeconds(g.Rng.Exp(b.PageLoadPeriod)) {
+			up := int64(g.Rng.Jitter(float64(b.PageUpBytes), 0.5))
+			down := int64(g.Rng.LogNormalMean(float64(b.PageDownBytes), 1.0))
+			req := appproto.Request("GET", pageHosts[g.Rng.Intn(len(pageHosts))], "/page")
+			g.EmitHTTPBurst(app, t, trace.StateForeground, conn, req, up, down)
+		}
+		leaking := g.Rng.Bool(b.LeakProb)
+		var lc *Conn
+		var leakReq []byte
+		if leaking {
+			// The auto-refreshing page opened its connection while the
+			// user was still browsing: the leaked flow *starts in the
+			// foreground* and persists into the background — exactly the
+			// §4.1 phenomenon Figures 4 and 5 quantify. Leaked requests
+			// target auto-refreshing content, ads or analytics beacons
+			// ("including some ad and analytics content", §4.1).
+			leakHost := pageHosts[0]
+			switch g.Rng.Intn(3) {
+			case 0:
+				leakHost = appproto.AdHosts[g.Rng.Intn(len(appproto.AdHosts))]
+			case 1:
+				leakHost = appproto.AnalyticsHosts[g.Rng.Intn(len(appproto.AnalyticsHosts))]
+			}
+			leakReq = appproto.Request("GET", leakHost, "/refresh")
+			lc = g.NewConn(server, 443)
+			openAt := s.End.AddSeconds(-g.Rng.Jitter(minFloat(30, s.Duration()/2), 0.5))
+			if openAt < s.Start {
+				openAt = s.Start
+			}
+			g.EmitHTTPBurst(app, openAt, trace.StateForeground, lc, leakReq,
+				b.LeakUpBytes, b.LeakDownBytes)
+		}
+		g.SetState(app, s.End, trace.StateBackground)
+		emitResidual(g, app, s.End, b.Residual, trace.StateBackground, server, pageHosts[0])
+
+		if !leaking {
+			continue
+		}
+		// The leaky tab keeps refreshing until its duration expires, the
+		// user returns to the app, or the trace ends. A small fraction of
+		// leaks are unbounded and only stop at the next session — these are
+		// the multi-day persistence cases in Figure 5's tail.
+		period := b.LeakPeriod
+		var leakEnd trace.Timestamp
+		if b.LeakInfinitePortion > 0 && g.Rng.Bool(b.LeakInfinitePortion) {
+			leakEnd = end
+			if b.LeakInfinitePeriod > 0 {
+				period = b.LeakInfinitePeriod
+			}
+		} else {
+			dur := g.Rng.LogNormal(lnOr(b.LeakMedian, 120), b.LeakSigma)
+			leakEnd = s.End.AddSeconds(dur)
+		}
+		if next, ok := nextSessionAfter(sessions, s.End); ok && next.Start < leakEnd {
+			leakEnd = next.Start
+		}
+		if leakEnd > end {
+			leakEnd = end
+		}
+		for t := s.End.AddSeconds(g.Rng.Jitter(period, 0.2)); t < leakEnd; t = t.AddSeconds(g.Rng.Jitter(period, 0.2)) {
+			g.EmitHTTPBurst(app, t, trace.StateBackground, lc, leakReq,
+				int64(g.Rng.Jitter(float64(b.LeakUpBytes), 0.3)),
+				int64(g.Rng.Jitter(float64(b.LeakDownBytes), 0.3)))
+		}
+	}
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// lnOr returns ln(v), substituting def when v is not positive. It converts
+// a median duration into the mu parameter of a log-normal distribution.
+func lnOr(v, def float64) float64 {
+	if v <= 0 {
+		v = def
+	}
+	return math.Log(v)
+}
+
+// Generic models the long tail of apps: traffic while used, a residual
+// after backgrounding, and (for a subset) a post-session sync: the app
+// keeps refreshing at exact multiples of SyncPeriod after being
+// backgrounded, for a limited time — the behaviour behind Figure 6's 5- and
+// 10-minute spikes and its rapid fall-off.
+type Generic struct {
+	BurstPeriod float64
+	BurstUp     int64
+	BurstDown   int64
+
+	// SyncPeriod enables post-session polling at this exact interval
+	// (0: none). SyncDurMean is the mean duration (seconds) the polling
+	// continues after each session before the app gives up.
+	SyncPeriod  float64
+	SyncUp      int64
+	SyncDown    int64
+	SyncDurMean float64
+
+	Residual ResidualCfg
+	Server   uint32
+}
+
+// Generate implements Behavior.
+func (a *Generic) Generate(g *Gen, app uint32, sessions []Session, start, end trace.Timestamp) {
+	server := ServerIP(a.Server + app*2654435761)
+	emitSessions(g, app, sessions, SessionCfg{
+		BurstPeriod: a.BurstPeriod, BurstUp: a.BurstUp, BurstDown: a.BurstDown,
+		BgState:  trace.StateBackground,
+		Residual: a.Residual,
+	}, server)
+	if a.SyncPeriod <= 0 {
+		return
+	}
+	durMean := a.SyncDurMean
+	if durMean <= 0 {
+		durMean = 4 * a.SyncPeriod
+	}
+	for si, s := range sessions {
+		stop := s.End.AddSeconds(g.Rng.Exp(durMean))
+		if next, ok := nextSessionAfter(sessions, s.End); ok && next.Start < stop {
+			stop = next.Start
+		}
+		if stop > end {
+			stop = end
+		}
+		conn := g.NewConn(server, 443)
+		syncReq := appproto.Request("POST", hostFor("sync", a.Server+app), "/refresh")
+		for k := 1; ; k++ {
+			// Exact multiples of the sync period with a few seconds of
+			// alarm slop — the phase-locked pattern behind Figure 6's
+			// spikes.
+			t := s.End.AddSeconds(float64(k)*a.SyncPeriod + g.Rng.Norm(0, 4))
+			if t >= stop {
+				break
+			}
+			g.EmitHTTPBurst(app, t, trace.StateBackground, conn, syncReq,
+				int64(g.Rng.Jitter(float64(a.SyncUp), 0.3)),
+				int64(g.Rng.Jitter(float64(a.SyncDown), 0.3)))
+		}
+		_ = si
+	}
+}

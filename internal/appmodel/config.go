@@ -1,0 +1,166 @@
+package appmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BehaviorConfig is the JSON-serialisable form of a Behavior: a type tag
+// plus exactly one populated parameter struct.
+type BehaviorConfig struct {
+	Type     string          `json:"type"` // poller | streamer | podcast | browser | generic
+	Poller   *PeriodicPoller `json:"poller,omitempty"`
+	Streamer *Streamer       `json:"streamer,omitempty"`
+	Podcast  *Podcast        `json:"podcast,omitempty"`
+	Browser  *Browser        `json:"browser,omitempty"`
+	Generic  *Generic        `json:"generic,omitempty"`
+}
+
+// behavior materialises the configured Behavior.
+func (bc *BehaviorConfig) behavior() (Behavior, error) {
+	switch bc.Type {
+	case "poller":
+		if bc.Poller == nil {
+			return nil, fmt.Errorf("appmodel: poller config missing")
+		}
+		return bc.Poller, nil
+	case "streamer":
+		if bc.Streamer == nil {
+			return nil, fmt.Errorf("appmodel: streamer config missing")
+		}
+		return bc.Streamer, nil
+	case "podcast":
+		if bc.Podcast == nil {
+			return nil, fmt.Errorf("appmodel: podcast config missing")
+		}
+		return bc.Podcast, nil
+	case "browser":
+		if bc.Browser == nil {
+			return nil, fmt.Errorf("appmodel: browser config missing")
+		}
+		return bc.Browser, nil
+	case "generic":
+		if bc.Generic == nil {
+			return nil, fmt.Errorf("appmodel: generic config missing")
+		}
+		return bc.Generic, nil
+	default:
+		return nil, fmt.Errorf("appmodel: unknown behavior type %q", bc.Type)
+	}
+}
+
+// configOf reverses behavior() for the built-in behaviour types.
+func configOf(b Behavior) (BehaviorConfig, error) {
+	switch v := b.(type) {
+	case *PeriodicPoller:
+		return BehaviorConfig{Type: "poller", Poller: v}, nil
+	case *Streamer:
+		return BehaviorConfig{Type: "streamer", Streamer: v}, nil
+	case *Podcast:
+		return BehaviorConfig{Type: "podcast", Podcast: v}, nil
+	case *Browser:
+		return BehaviorConfig{Type: "browser", Browser: v}, nil
+	case *Generic:
+		return BehaviorConfig{Type: "generic", Generic: v}, nil
+	default:
+		return BehaviorConfig{}, fmt.Errorf("appmodel: behavior %T is not serialisable", b)
+	}
+}
+
+// ProfileConfig is the JSON-serialisable form of a Profile.
+type ProfileConfig struct {
+	Package         string         `json:"package"`
+	Label           string         `json:"label,omitempty"`
+	Behavior        BehaviorConfig `json:"behavior"`
+	InstallProb     float64        `json:"install_prob"`
+	SessionsPerDay  float64        `json:"sessions_per_day,omitempty"`
+	SessionMean     float64        `json:"session_mean_s,omitempty"`
+	NeverForeground bool           `json:"never_foreground,omitempty"`
+	UseDaysMean     float64        `json:"use_days_mean,omitempty"`
+	GapDaysMean     float64        `json:"gap_days_mean,omitempty"`
+}
+
+// validate rejects configurations that would generate degenerate traces.
+func (pc *ProfileConfig) validate() error {
+	if pc.Package == "" {
+		return fmt.Errorf("appmodel: profile missing package name")
+	}
+	if pc.InstallProb <= 0 || pc.InstallProb > 1 {
+		return fmt.Errorf("appmodel: %s: install_prob %v outside (0, 1]", pc.Package, pc.InstallProb)
+	}
+	if !pc.NeverForeground && pc.SessionsPerDay <= 0 {
+		return fmt.Errorf("appmodel: %s: foregroundable profile needs sessions_per_day > 0", pc.Package)
+	}
+	if !pc.NeverForeground && pc.SessionMean <= 0 {
+		return fmt.Errorf("appmodel: %s: foregroundable profile needs session_mean_s > 0", pc.Package)
+	}
+	return nil
+}
+
+// LoadProfiles decodes a JSON array of profile configurations into
+// Profiles usable by the generator. Engagement-day means default to
+// "always engaged" (UseDaysMean 30, GapDaysMean 0.5) when omitted.
+func LoadProfiles(r io.Reader) ([]Profile, error) {
+	var cfgs []ProfileConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfgs); err != nil {
+		return nil, fmt.Errorf("appmodel: decoding profiles: %w", err)
+	}
+	seen := map[string]bool{}
+	out := make([]Profile, 0, len(cfgs))
+	for i := range cfgs {
+		pc := &cfgs[i]
+		if err := pc.validate(); err != nil {
+			return nil, err
+		}
+		if seen[pc.Package] {
+			return nil, fmt.Errorf("appmodel: duplicate package %q", pc.Package)
+		}
+		seen[pc.Package] = true
+		b, err := pc.Behavior.behavior()
+		if err != nil {
+			return nil, fmt.Errorf("appmodel: %s: %w", pc.Package, err)
+		}
+		p := Profile{
+			Package: pc.Package, Label: pc.Label, Behavior: b,
+			InstallProb: pc.InstallProb, SessionsPerDay: pc.SessionsPerDay,
+			SessionMean: pc.SessionMean, NeverForeground: pc.NeverForeground,
+			UseDaysMean: pc.UseDaysMean, GapDaysMean: pc.GapDaysMean,
+		}
+		if p.Label == "" {
+			p.Label = p.Package
+		}
+		if p.UseDaysMean <= 0 {
+			p.UseDaysMean = 30
+		}
+		if p.GapDaysMean <= 0 {
+			p.GapDaysMean = 0.5
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SaveProfiles encodes profiles as indented JSON, the inverse of
+// LoadProfiles. It fails on custom Behavior implementations.
+func SaveProfiles(w io.Writer, profiles []Profile) error {
+	cfgs := make([]ProfileConfig, 0, len(profiles))
+	for i := range profiles {
+		p := &profiles[i]
+		bc, err := configOf(p.Behavior)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Package, err)
+		}
+		cfgs = append(cfgs, ProfileConfig{
+			Package: p.Package, Label: p.Label, Behavior: bc,
+			InstallProb: p.InstallProb, SessionsPerDay: p.SessionsPerDay,
+			SessionMean: p.SessionMean, NeverForeground: p.NeverForeground,
+			UseDaysMean: p.UseDaysMean, GapDaysMean: p.GapDaysMean,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfgs)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"netenergy/internal/appmodel"
+	"netenergy/internal/synthgen"
+)
+
+// TestCalibrationTargets is the integration-level check that the default
+// workload reproduces the paper's headline regime. It runs a mid-sized
+// fleet (10 users x 28 days), so it is skipped under -short.
+func TestCalibrationTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration study is slow; run without -short")
+	}
+	s, err := Run(synthgen.Small(10, 28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Headline()
+
+	check := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %.3f, want in [%.2f, %.2f]", name, got, lo, hi)
+		} else {
+			t.Logf("%s = %.3f (paper-target regime [%.2f, %.2f])", name, got, lo, hi)
+		}
+	}
+	// Paper: 84% background, 8% perceptible, 32% service.
+	check("background fraction", h.BackgroundFraction, 0.75, 0.93)
+	check("perceptible fraction", h.PerceptibleFraction, 0.01, 0.15)
+	check("service fraction", h.ServiceFraction, 0.25, 0.60)
+	// Paper: 84% of apps send >=80% of bg bytes within 60 s.
+	check("first-minute criterion", h.FirstMinute.Fraction, 0.70, 0.92)
+	// Paper: Chrome ~30% background energy; Firefox/stock ~0.
+	check("chrome bg share", h.BrowserBgShares[appmodel.PkgChrome], 0.12, 0.55)
+	if v := h.BrowserBgShares[appmodel.PkgFirefox]; v > 0.05 {
+		t.Errorf("firefox bg share = %.3f, want ~0", v)
+	}
+	if v := h.BrowserBgShares[appmodel.PkgStockBrowser]; v > 0.05 {
+		t.Errorf("stock browser bg share = %.3f, want ~0", v)
+	}
+
+	// Table 1 orderings.
+	rows := s.Table1()
+	get := func(label string) float64 {
+		for _, r := range rows {
+			if r.Label == label {
+				return r.JPerDay
+			}
+		}
+		return 0
+	}
+	if w, tw := get("Weibo"), get("Twitter"); w > 0 && tw > 0 && w < 2*tw {
+		t.Errorf("Weibo (%v J/day) should be well above Twitter (%v)", w, tw)
+	}
+	if app, wdg := get("Accuweather"), get("Accuweather widget"); app > 0 && wdg > 0 && app < 5*wdg {
+		t.Errorf("Accuweather app (%v) should dwarf its widget (%v)", app, wdg)
+	}
+
+	// Cellular must dwarf WiFi energy (§3 premise).
+	if s.Networks.WiFiJ > 0 && s.Networks.Ratio() < 3 {
+		t.Errorf("cellular/wifi energy ratio = %v, want >> 1", s.Networks.Ratio())
+	}
+
+	// Fig6 must show both alignment spikes.
+	f6 := s.Fig6()
+	if f6.Spike5m < 1.1 && f6.Spike10m < 1.1 {
+		t.Errorf("no 5/10-minute spikes: %v / %v", f6.Spike5m, f6.Spike10m)
+	}
+
+	// Weekly fluctuation exists (paper: up to 60%).
+	if trend := s.WeeklyTrend(); trend.MaxWeekOverWeekChange < 0.02 {
+		t.Errorf("weekly fluctuation = %v, implausibly flat", trend.MaxWeekOverWeekChange)
+	}
+}

@@ -1,0 +1,228 @@
+// Package core orchestrates the full study end-to-end: synthesise (or open)
+// a fleet of device traces, run the energy attribution, and evaluate every
+// figure, table and headline statistic of the paper. It is the high-level
+// API the command-line tools, the examples and the benchmark harness build
+// on.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/appmodel"
+	"netenergy/internal/energy"
+	"netenergy/internal/radio"
+	"netenergy/internal/report"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+	"netenergy/internal/whatif"
+)
+
+// Study is a loaded dataset plus everything needed to reproduce the paper's
+// evaluation artifacts.
+type Study struct {
+	Config  synthgen.Config
+	Devices []*analysis.DeviceData
+	// Networks compares cellular vs WiFi energy for the same fleet (§3's
+	// premise); computed at load time while the raw traces are in hand.
+	Networks analysis.NetworkComparison
+}
+
+// Run generates the configured fleet in memory and loads it.
+func Run(cfg synthgen.Config) (*Study, error) {
+	dts := synthgen.GenerateInMemory(cfg)
+	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	nets, err := analysis.CompareNetworks(dts)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{Config: cfg, Devices: devs, Networks: nets}, nil
+}
+
+// Open loads an on-disk fleet previously written by cmd/gentrace.
+func Open(dir string) (*Study, error) {
+	fleet, err := trace.OpenFleet(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{}
+	err = fleet.EachDevice(func(dt *trace.DeviceTrace) error {
+		dd, err := analysis.Load(dt, energy.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		s.Devices = append(s.Devices, dd)
+		nets, err := analysis.CompareNetworks([]*trace.DeviceTrace{dt})
+		if err != nil {
+			return err
+		}
+		s.Networks.CellularJ += nets.CellularJ
+		s.Networks.WiFiJ += nets.WiFiJ
+		s.Networks.CellularBytes += nets.CellularBytes
+		s.Networks.WiFiBytes += nets.WiFiBytes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Table1Packages is the fixed row order of the paper's Table 1.
+var Table1Packages = []string{
+	appmodel.PkgWeibo, appmodel.PkgTwitter, appmodel.PkgFacebook, appmodel.PkgPlus,
+	appmodel.PkgSamsungPush, appmodel.PkgUrbanairship, appmodel.PkgMaps, appmodel.PkgGmail,
+	appmodel.PkgGoWeatherWdg, appmodel.PkgGoWeather, appmodel.PkgAccuweather, appmodel.PkgAccuweatherW,
+	appmodel.PkgSpotify, appmodel.PkgPandora,
+	appmodel.PkgPocketcasts, appmodel.PkgPodcastaddict,
+}
+
+// Table1Labels are the display names matching Table1Packages.
+var Table1Labels = []string{
+	"Weibo", "Twitter", "Facebook", "Plus",
+	"Samsung Push", "Urbanairship", "Maps", "Gmail",
+	"Go Weather widget", "Go Weather", "Accuweather", "Accuweather widget",
+	"Spotify", "Pandora",
+	"Pocketcasts", "Podcastaddict",
+}
+
+// Table2Packages is the fixed column order of the paper's Table 2 (the
+// extracted header names are garbled in the source; DESIGN.md documents the
+// mapping).
+var Table2Packages = []string{
+	appmodel.PkgSamsungPush, appmodel.PkgWeibo, appmodel.PkgMessenger,
+	appmodel.PkgESPN, appmodel.PkgForecast, appmodel.PkgGoWeather,
+}
+
+// Table2Labels are the display names matching Table2Packages.
+var Table2Labels = []string{
+	"SamsungPush", "Weibo", "Messenger", "ESPN", "Forecast", "GoWeather",
+}
+
+// Headline computes the prose statistics (84% background, first-minute
+// criterion, browser shares).
+func (s *Study) Headline() analysis.Headline {
+	return analysis.ComputeHeadline(s.Devices)
+}
+
+// Fig1 computes Figure 1 (apps in users' top-10 lists, >=2 users).
+func (s *Study) Fig1() analysis.TopAppsResult {
+	return analysis.TopApps(s.Devices, 2)
+}
+
+// Fig2 computes Figure 2 (top data and energy consumers).
+func (s *Study) Fig2() analysis.HungryAppsResult {
+	return analysis.HungryApps(s.Devices, 12)
+}
+
+// Fig3 computes Figure 3 (per-state energy for the top-12 apps).
+func (s *Study) Fig3() []analysis.StateBreakdown {
+	return analysis.StateBreakdowns(s.Devices, nil)
+}
+
+// Fig4 computes Figure 4 (Chrome traffic around a background transition).
+func (s *Study) Fig4() (analysis.TimelineResult, bool) {
+	return analysis.Timeline(s.Devices, appmodel.PkgChrome, 300, 900, 10)
+}
+
+// Fig5 computes Figure 5 (persistence of Chrome traffic after
+// backgrounding).
+func (s *Study) Fig5() analysis.PersistenceCDF {
+	return analysis.Persistence(s.Devices, appmodel.PkgChrome)
+}
+
+// Fig6 computes Figure 6 (background bytes vs time since foreground, 10 s
+// bins over 2 hours).
+func (s *Study) Fig6() analysis.SinceForegroundResult {
+	return analysis.SinceForeground(s.Devices, 10, 7200)
+}
+
+// LeakHosts attributes Chrome's background traffic to destination hosts
+// and categories — the §4.1 validation that leaked traffic includes ad and
+// analytics content.
+func (s *Study) LeakHosts() analysis.HostBreakdownResult {
+	return analysis.HostBreakdown(s.Devices, appmodel.PkgChrome, true)
+}
+
+// ScreenOff computes the screen-off traffic characterisation (extension).
+func (s *Study) ScreenOff() analysis.ScreenOffResult {
+	return analysis.ScreenOff(s.Devices, 10)
+}
+
+// WeeklyTrend computes the §3.1 longitudinal background-energy view.
+func (s *Study) WeeklyTrend() analysis.WeeklyTrend {
+	return analysis.Weekly(s.Devices)
+}
+
+// DNSOverhead computes the resolver-traffic overhead (extension).
+func (s *Study) DNSOverhead() analysis.DNSResult {
+	return analysis.DNS(s.Devices, radio.LTE())
+}
+
+// Batching simulates the §6 batch-your-updates recommendation at the given
+// coalescing factor.
+func (s *Study) Batching(factor int) whatif.BatchResult {
+	return whatif.SimulateBatchingFleet(s.Devices, radio.LTE(), factor)
+}
+
+// Retrans computes the TCP retransmission overhead (extension).
+func (s *Study) Retrans() analysis.RetransResult {
+	return analysis.Retransmissions(s.Devices, 10)
+}
+
+// Table1 computes the sixteen case-study rows.
+func (s *Study) Table1() []analysis.CaseStudy {
+	return analysis.CaseStudies(s.Devices, Table1Packages, Table1Labels)
+}
+
+// Table2 computes the what-if rows for the paper's six example apps.
+func (s *Study) Table2(killAfterDays int) []whatif.AppResult {
+	return whatif.Evaluate(s.Devices, Table2Packages, Table2Labels, killAfterDays)
+}
+
+// Sweep runs the kill-threshold ablation over 1..maxDays.
+func (s *Study) Sweep(maxDays int) []whatif.SweepPoint {
+	return whatif.SweepThresholds(s.Devices, maxDays)
+}
+
+// WriteReport renders every artifact to w — the full `cmd/analyze` output.
+func (s *Study) WriteReport(w io.Writer) error {
+	sections := []func() error{
+		func() error { return report.Headline(w, s.Headline()) },
+		func() error { return report.TopApps(w, s.Fig1()) },
+		func() error { return report.HungryApps(w, s.Fig2()) },
+		func() error { return report.StateBreakdowns(w, s.Fig3()) },
+		func() error {
+			tl, ok := s.Fig4()
+			if !ok {
+				_, err := fmt.Fprintln(w, "Figure 4: no Chrome background transition found")
+				return err
+			}
+			return report.Timeline(w, tl)
+		},
+		func() error { return report.Persistence(w, s.Fig5()) },
+		func() error { return report.HostBreakdown(w, s.LeakHosts()) },
+		func() error { return report.SinceForeground(w, s.Fig6()) },
+		func() error { return report.CaseStudies(w, s.Table1()) },
+		func() error { return report.WhatIf(w, s.Table2(3), 3) },
+		func() error { return report.ScreenOff(w, s.ScreenOff()) },
+		func() error { return report.Retransmissions(w, s.Retrans()) },
+		func() error { return report.Longitudinal(w, s.WeeklyTrend(), s.Networks) },
+		func() error { return report.DNS(w, s.DNSOverhead()) },
+	}
+	for i, fn := range sections {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netenergy/internal/synthgen"
+)
+
+func runStudy(t *testing.T, users, days int) *Study {
+	t.Helper()
+	s, err := Run(synthgen.Small(users, days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunSmallStudy(t *testing.T) {
+	s := runStudy(t, 3, 7)
+	if len(s.Devices) != 3 {
+		t.Fatalf("devices = %d", len(s.Devices))
+	}
+	h := s.Headline()
+	if h.TotalEnergyJ <= 0 {
+		t.Error("no energy in study")
+	}
+	if h.BackgroundFraction < 0.5 || h.BackgroundFraction > 0.98 {
+		t.Errorf("background fraction = %v", h.BackgroundFraction)
+	}
+}
+
+func TestFiguresNonEmpty(t *testing.T) {
+	s := runStudy(t, 4, 10)
+
+	if f1 := s.Fig1(); len(f1.Counts) == 0 {
+		t.Error("Fig1 empty")
+	}
+	f2 := s.Fig2()
+	if len(f2.ByData) == 0 || len(f2.ByEnergy) == 0 {
+		t.Error("Fig2 empty")
+	}
+	f3 := s.Fig3()
+	if len(f3) == 0 {
+		t.Error("Fig3 empty")
+	}
+	for _, sb := range f3 {
+		sum := 0.0
+		for _, v := range sb.Fractions {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("Fig3 %s fractions sum to %v", sb.App, sum)
+		}
+	}
+	if _, ok := s.Fig4(); !ok {
+		t.Error("Fig4: no Chrome transition in 4x10 study")
+	}
+	if f5 := s.Fig5(); len(f5.Durations) == 0 {
+		t.Error("Fig5 empty")
+	}
+	f6 := s.Fig6()
+	if f6.TotalBgBytes <= 0 {
+		t.Error("Fig6 empty")
+	}
+	if f6.FirstMinute <= 0.08 {
+		t.Errorf("Fig6 first-minute share = %v", f6.FirstMinute)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	s := runStudy(t, 6, 10)
+	rows := s.Table1()
+	if len(rows) != len(Table1Packages) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]int{}
+	for i, r := range rows {
+		byLabel[r.Label] = i
+	}
+	// Key shape checks that should hold even on a small fleet, when the
+	// relevant apps were installed by at least one user.
+	weibo, twitter := rows[byLabel["Weibo"]], rows[byLabel["Twitter"]]
+	if weibo.Flows > 0 && twitter.Flows > 0 {
+		if weibo.JPerDay <= twitter.JPerDay {
+			t.Errorf("Weibo J/day (%v) should exceed Twitter (%v)", weibo.JPerDay, twitter.JPerDay)
+		}
+		if weibo.UJPerByte <= twitter.UJPerByte {
+			t.Errorf("Weibo uJ/B (%v) should exceed Twitter (%v)", weibo.UJPerByte, twitter.UJPerByte)
+		}
+	}
+	app, wdg := rows[byLabel["Accuweather"]], rows[byLabel["Accuweather widget"]]
+	if app.Flows > 0 && wdg.Flows > 0 && app.JPerDay <= wdg.JPerDay {
+		t.Errorf("Accuweather app J/day (%v) should exceed its widget (%v)", app.JPerDay, wdg.JPerDay)
+	}
+	pc, pa := rows[byLabel["Pocketcasts"]], rows[byLabel["Podcastaddict"]]
+	if pc.Flows > 0 && pa.Flows > 0 && pa.UJPerByte <= pc.UJPerByte*0.8 {
+		t.Errorf("Podcastaddict uJ/B (%v) should not be far below Pocketcasts (%v)", pa.UJPerByte, pc.UJPerByte)
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	s := runStudy(t, 8, 21)
+	rows := s.Table2(3)
+	if len(rows) != len(Table2Packages) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var anySavings bool
+	for _, r := range rows {
+		if r.AvgEnergyReductionPct < 0 || r.AvgEnergyReductionPct > 100 {
+			t.Errorf("%s reduction = %v", r.Label, r.AvgEnergyReductionPct)
+		}
+		if r.AvgEnergyReductionPct > 1 {
+			anySavings = true
+		}
+		if r.PctBgOnlyDays < 0 || r.PctBgOnlyDays > 100 {
+			t.Errorf("%s bg-only days = %v", r.Label, r.PctBgOnlyDays)
+		}
+	}
+	if !anySavings {
+		t.Error("no app shows kill-after-3-days savings")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	s := runStudy(t, 3, 14)
+	pts := s.Sweep(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FleetSavedJ > pts[i-1].FleetSavedJ+1e-6 {
+			t.Error("savings should be non-increasing in the threshold")
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	s := runStudy(t, 3, 7)
+	var buf bytes.Buffer
+	if err := s.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Headline statistics", "Figure 1", "Figure 2", "Figure 3",
+		"Figure 5", "Figure 6", "Table 1", "Table 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestOpenFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synthgen.Small(2, 3)
+	if _, err := synthgen.GenerateFleet(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Devices) != 2 {
+		t.Fatalf("devices = %d", len(s.Devices))
+	}
+	if s.Headline().TotalEnergyJ <= 0 {
+		t.Error("no energy from disk-loaded study")
+	}
+}
+
+func TestExtensionAccessors(t *testing.T) {
+	s := runStudy(t, 3, 10)
+
+	dns := s.DNSOverhead()
+	if dns.Lookups == 0 || dns.Energy <= 0 {
+		t.Errorf("dns = %+v", dns)
+	}
+	if dns.WakeFraction() <= 0 || dns.WakeFraction() > 1 {
+		t.Errorf("dns wake fraction = %v", dns.WakeFraction())
+	}
+
+	batch := s.Batching(4)
+	if batch.SavedPct <= 0 || batch.SavedPct >= 100 {
+		t.Errorf("batching saved = %v%%", batch.SavedPct)
+	}
+
+	so := s.ScreenOff()
+	if so.OffEnergyFraction() <= 0 {
+		t.Errorf("screen-off energy fraction = %v", so.OffEnergyFraction())
+	}
+
+	re := s.Retrans()
+	if re.Total.Bytes == 0 {
+		t.Error("no bytes through retransmission accounting")
+	}
+	if f := re.Total.RetransFraction(); f < 0.001 || f > 0.1 {
+		t.Errorf("retrans fraction = %v, configured ~1%%", f)
+	}
+
+	trend := s.WeeklyTrend()
+	if len(trend.Weeks) == 0 {
+		t.Error("no weekly trend")
+	}
+
+	if s.Networks.CellularJ <= 0 {
+		t.Error("no cellular energy in network comparison")
+	}
+	if s.Networks.WiFiJ > 0 && s.Networks.Ratio() < 1 {
+		t.Errorf("cellular should out-cost wifi: ratio %v", s.Networks.Ratio())
+	}
+
+	hosts := s.LeakHosts()
+	if len(hosts.Hosts) == 0 {
+		t.Error("no leak hosts attributed")
+	}
+	if tp := hosts.ThirdPartyShare(); tp < 0 || tp > 1 {
+		t.Errorf("third-party share = %v", tp)
+	}
+}

@@ -1,0 +1,172 @@
+package flows
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netenergy/internal/netparse"
+	"netenergy/internal/rng"
+	"netenergy/internal/trace"
+)
+
+const sec = trace.Timestamp(1_000_000)
+
+func tuple(port uint16) netparse.FiveTuple {
+	a := netparse.NewEndpoint(netparse.EndpointIPv4, []byte{10, 0, 0, 1})
+	b := netparse.NewEndpoint(netparse.EndpointIPv4, []byte{93, 184, 216, 34})
+	return netparse.FiveTuple{AddrA: a, AddrB: b, PortA: port, PortB: 443, Proto: netparse.IPProtoTCP}
+}
+
+func TestAssemblerSingleFlow(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1000), Dir: trace.DirUp, Bytes: 100, State: trace.StateForeground, Energy: 2})
+	a.Add(PacketInfo{TS: 5 * sec, App: 1, Tuple: tuple(1000), Dir: trace.DirDown, Bytes: 1400, State: trace.StateBackground, Energy: 3})
+	fs := a.Flows()
+	if len(fs) != 1 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	f := fs[0]
+	if f.Packets != 2 || f.BytesUp != 100 || f.BytesDown != 1400 {
+		t.Errorf("flow stats: %+v", f)
+	}
+	if f.Energy != 5 {
+		t.Errorf("energy = %v", f.Energy)
+	}
+	if f.FgBytes != 100 || f.BgBytes != 1400 {
+		t.Errorf("fg/bg bytes = %d/%d", f.FgBytes, f.BgBytes)
+	}
+	if !f.StartedForeground() {
+		t.Error("flow started in foreground")
+	}
+	if f.Duration() != 5 {
+		t.Errorf("duration = %v", f.Duration())
+	}
+	if f.Bytes() != 1500 {
+		t.Errorf("bytes = %d", f.Bytes())
+	}
+}
+
+func TestAssemblerBidirectionalMerges(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	fwd := tuple(2000)
+	rev := netparse.FiveTuple{AddrA: fwd.AddrB, AddrB: fwd.AddrA, PortA: fwd.PortB, PortB: fwd.PortA, Proto: fwd.Proto}
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: fwd, Dir: trace.DirUp, Bytes: 10})
+	a.Add(PacketInfo{TS: sec, App: 1, Tuple: rev, Dir: trace.DirDown, Bytes: 20})
+	if fs := a.Flows(); len(fs) != 1 {
+		t.Fatalf("both directions should form one flow, got %d", len(fs))
+	}
+}
+
+func TestAssemblerTimeoutSplits(t *testing.T) {
+	a := NewAssembler(Config{InactivityTimeout: 60})
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(3000), Bytes: 1})
+	a.Add(PacketInfo{TS: 30 * sec, App: 1, Tuple: tuple(3000), Bytes: 1})
+	a.Add(PacketInfo{TS: 200 * sec, App: 1, Tuple: tuple(3000), Bytes: 1}) // 170 s gap > 60
+	fs := a.Flows()
+	if len(fs) != 2 {
+		t.Fatalf("want 2 flows after timeout split, got %d", len(fs))
+	}
+	if fs[0].Packets != 2 || fs[1].Packets != 1 {
+		t.Errorf("split sizes: %d/%d", fs[0].Packets, fs[1].Packets)
+	}
+}
+
+func TestAssemblerZeroTimeoutNeverSplits(t *testing.T) {
+	a := NewAssembler(Config{InactivityTimeout: 0})
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1), Bytes: 1})
+	a.Add(PacketInfo{TS: 1_000_000 * sec, App: 1, Tuple: tuple(1), Bytes: 1})
+	if fs := a.Flows(); len(fs) != 1 {
+		t.Fatalf("zero timeout split flows: %d", len(fs))
+	}
+}
+
+func TestAssemblerDistinctTuples(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1000), Bytes: 1})
+	a.Add(PacketInfo{TS: sec, App: 2, Tuple: tuple(1001), Bytes: 1})
+	fs := a.Flows()
+	if len(fs) != 2 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+}
+
+func TestFlowsSortedByStart(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	a.Add(PacketInfo{TS: 10 * sec, App: 1, Tuple: tuple(2), Bytes: 1})
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1), Bytes: 1})
+	fs := a.Flows()
+	if fs[0].Start != 0 || fs[1].Start != 10*sec {
+		t.Errorf("not sorted: %v %v", fs[0].Start, fs[1].Start)
+	}
+}
+
+func TestByApp(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1), Bytes: 1})
+	a.Add(PacketInfo{TS: 0, App: 2, Tuple: tuple(2), Bytes: 1})
+	a.Add(PacketInfo{TS: 0, App: 2, Tuple: tuple(3), Bytes: 1})
+	m := ByApp(a.Flows())
+	if len(m[1]) != 1 || len(m[2]) != 2 {
+		t.Errorf("ByApp = %v", m)
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	a := NewAssembler(DefaultConfig())
+	a.Add(PacketInfo{TS: 0, App: 1, Tuple: tuple(1), Bytes: 1})
+	a.Add(PacketInfo{TS: 100 * sec, App: 1, Tuple: tuple(1), Bytes: 1})
+	a.Add(PacketInfo{TS: 200 * sec, App: 1, Tuple: tuple(2), Bytes: 1})
+	fs := a.Flows()
+	if got := ActiveAt(fs, 50*sec); len(got) != 1 {
+		t.Errorf("ActiveAt(50) = %d flows", len(got))
+	}
+	if got := ActiveAt(fs, 150*sec); len(got) != 0 {
+		t.Errorf("ActiveAt(150) = %d flows", len(got))
+	}
+	if got := ActiveAt(fs, 200*sec); len(got) != 1 {
+		t.Errorf("ActiveAt(200) = %d flows", len(got))
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Total bytes, packets, and energy across flows must equal the inputs.
+	src := rng.New(55)
+	f := func(n uint8) bool {
+		a := NewAssembler(Config{InactivityTimeout: 45})
+		count := int(n)%200 + 1
+		var wantBytes int64
+		var wantEnergy float64
+		ts := trace.Timestamp(0)
+		for i := 0; i < count; i++ {
+			ts += trace.Timestamp(src.Exp(20) * 1e6)
+			b := 1 + src.Intn(1400)
+			e := src.Float64()
+			wantBytes += int64(b)
+			wantEnergy += e
+			a.Add(PacketInfo{
+				TS: ts, App: uint32(src.Intn(5)), Tuple: tuple(uint16(src.Intn(8))),
+				Dir: trace.Direction(src.Intn(2)), Bytes: b,
+				State: trace.ProcState(1 + src.Intn(5)), Energy: e,
+			})
+		}
+		var gotBytes int64
+		var gotEnergy float64
+		gotPkts := 0
+		for _, fl := range a.Flows() {
+			gotBytes += fl.Bytes()
+			gotEnergy += fl.Energy
+			gotPkts += fl.Packets
+			if fl.End < fl.Start {
+				return false
+			}
+			if fl.FgBytes+fl.BgBytes > fl.Bytes() {
+				return false
+			}
+		}
+		return gotBytes == wantBytes && gotPkts == count &&
+			gotEnergy > wantEnergy-1e-9 && gotEnergy < wantEnergy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the pcap reader.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 96)
+	w.WritePacket(Packet{TS: 1_000_000, OrigLen: 100, Data: []byte{0x45, 1, 2, 3}})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			p, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(p.Data) > 1<<26 {
+				t.Fatalf("oversized packet accepted: %d", len(p.Data))
+			}
+		}
+	})
+}

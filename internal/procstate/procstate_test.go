@@ -1,0 +1,241 @@
+package procstate
+
+import (
+	"testing"
+
+	"netenergy/internal/rng"
+	"netenergy/internal/trace"
+)
+
+const us = trace.Timestamp(1_000_000) // one second in timestamp units
+
+func buildTracker() *Tracker {
+	t := NewTracker()
+	// App 1: launched, foregrounded, backgrounded, serviced, foregrounded again.
+	t.Observe(1, 10*us, trace.StateForeground)
+	t.Observe(1, 100*us, trace.StateBackground)
+	t.Observe(1, 200*us, trace.StateService)
+	t.Observe(1, 300*us, trace.StateForeground)
+	t.Observe(1, 400*us, trace.StateBackground)
+	// App 2: pure background service.
+	t.Observe(2, 50*us, trace.StateService)
+	return t
+}
+
+func TestStateAt(t *testing.T) {
+	tr := buildTracker()
+	cases := []struct {
+		ts   trace.Timestamp
+		want trace.ProcState
+	}{
+		{5 * us, trace.StateUnknown},
+		{10 * us, trace.StateForeground},
+		{99 * us, trace.StateForeground},
+		{100 * us, trace.StateBackground},
+		{250 * us, trace.StateService},
+		{1000 * us, trace.StateBackground},
+	}
+	for _, tc := range cases {
+		if got := tr.StateAt(1, tc.ts); got != tc.want {
+			t.Errorf("StateAt(1, %d) = %v, want %v", tc.ts, got, tc.want)
+		}
+	}
+	if got := tr.StateAt(99, 500*us); got != trace.StateUnknown {
+		t.Errorf("unknown app state = %v", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := buildTracker()
+	tl := tr.Timeline(1, 500*us)
+	want := []Interval{
+		{10 * us, 100 * us, trace.StateForeground},
+		{100 * us, 200 * us, trace.StateBackground},
+		{200 * us, 300 * us, trace.StateService},
+		{300 * us, 400 * us, trace.StateForeground},
+		{400 * us, 500 * us, trace.StateBackground},
+	}
+	if len(tl) != len(want) {
+		t.Fatalf("timeline %v", tl)
+	}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, tl[i], want[i])
+		}
+	}
+	if tr.Timeline(42, 100*us) != nil {
+		t.Error("unknown app should have nil timeline")
+	}
+}
+
+func TestTimelineMergesSameState(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(1, 10*us, trace.StateService)
+	tr.Observe(1, 20*us, trace.StateService) // duplicate
+	tr.Observe(1, 30*us, trace.StateBackground)
+	tl := tr.Timeline(1, 40*us)
+	if len(tl) != 2 {
+		t.Fatalf("timeline = %v", tl)
+	}
+	if tl[0].End != 30*us {
+		t.Errorf("merged interval end = %v", tl[0].End)
+	}
+}
+
+func TestBackgroundTransitions(t *testing.T) {
+	tr := buildTracker()
+	trans := tr.BackgroundTransitions(1)
+	if len(trans) != 2 {
+		t.Fatalf("transitions = %v", trans)
+	}
+	if trans[0].TS != 100*us || trans[1].TS != 400*us {
+		t.Errorf("transition times = %v", trans)
+	}
+	if len(tr.BackgroundTransitions(2)) != 0 {
+		t.Error("service-only app should have no fg->bg transitions")
+	}
+}
+
+func TestLastForegroundEnd(t *testing.T) {
+	tr := buildTracker()
+	// At t=250, last foreground ended at t=100.
+	ts, ok := tr.LastForegroundEnd(1, 250*us)
+	if !ok || ts != 100*us {
+		t.Errorf("LastForegroundEnd(250) = %v %v", ts, ok)
+	}
+	// While foreground: clamps to query time.
+	ts, ok = tr.LastForegroundEnd(1, 350*us)
+	if !ok || ts != 350*us {
+		t.Errorf("LastForegroundEnd(350) = %v %v", ts, ok)
+	}
+	// Before any foreground.
+	if _, ok := tr.LastForegroundEnd(2, 500*us); ok {
+		t.Error("app 2 never foregrounded")
+	}
+	if _, ok := tr.LastForegroundEnd(1, 5*us); ok {
+		t.Error("before first observation")
+	}
+}
+
+func TestTimeInState(t *testing.T) {
+	tr := buildTracker()
+	m := tr.TimeInState(1, 0, 500*us)
+	if m[trace.StateForeground] != 190 { // 90 + 100 seconds
+		t.Errorf("foreground time = %v", m[trace.StateForeground])
+	}
+	if m[trace.StateBackground] != 200 { // 100 + 100
+		t.Errorf("background time = %v", m[trace.StateBackground])
+	}
+	if m[trace.StateService] != 100 {
+		t.Errorf("service time = %v", m[trace.StateService])
+	}
+	// Clamped window.
+	m2 := tr.TimeInState(1, 150*us, 250*us)
+	if m2[trace.StateBackground] != 50 || m2[trace.StateService] != 50 {
+		t.Errorf("clamped = %v", m2)
+	}
+}
+
+func TestOutOfOrderObservations(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(1, 100*us, trace.StateBackground)
+	tr.Observe(1, 10*us, trace.StateForeground) // late arrival
+	if got := tr.StateAt(1, 50*us); got != trace.StateForeground {
+		t.Errorf("StateAt after out-of-order = %v", got)
+	}
+	if got := tr.StateAt(1, 150*us); got != trace.StateBackground {
+		t.Errorf("StateAt(150) = %v", got)
+	}
+}
+
+func TestApps(t *testing.T) {
+	tr := buildTracker()
+	apps := tr.Apps()
+	if len(apps) != 2 || apps[0] != 1 || apps[1] != 2 {
+		t.Errorf("Apps = %v", apps)
+	}
+}
+
+func TestForegroundDays(t *testing.T) {
+	tr := NewTracker()
+	day := trace.Timestamp(86400 * 1_000_000)
+	tr.Observe(1, 0, trace.StateForeground)
+	tr.Observe(1, 10*us, trace.StateBackground)
+	// Foreground again spanning a day boundary: day 2 into day 3.
+	tr.Observe(1, 2*day+10*us, trace.StateForeground)
+	tr.Observe(1, 3*day+10*us, trace.StateBackground)
+	days := tr.ForegroundDays(1)
+	for _, d := range []int{0, 2, 3} {
+		if !days[d] {
+			t.Errorf("day %d missing: %v", d, days)
+		}
+	}
+	if days[1] {
+		t.Error("day 1 should have no foreground")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	dt := &trace.DeviceTrace{Device: "d", Start: 0, Apps: trace.NewAppTable()}
+	dt.Records = []trace.Record{
+		{Type: trace.RecProcState, TS: 10 * us, App: 1, State: trace.StateForeground},
+		{Type: trace.RecPacket, TS: 20 * us, App: 1, State: trace.StateForeground},
+		{Type: trace.RecProcState, TS: 30 * us, App: 1, State: trace.StateBackground},
+	}
+	tr := FromTrace(dt)
+	if tr.StateAt(1, 25*us) != trace.StateForeground {
+		t.Error("FromTrace missed an event")
+	}
+	if got := len(tr.BackgroundTransitions(1)); got != 1 {
+		t.Errorf("transitions = %d", got)
+	}
+}
+
+func TestTimelineTilesAndMatchesStateAt(t *testing.T) {
+	// Property: timeline intervals are contiguous, non-overlapping, cover
+	// [firstEvent, end), and agree with StateAt at every probe point.
+	src := rng.New(33)
+	for trial := 0; trial < 30; trial++ {
+		tr := NewTracker()
+		n := 2 + src.Intn(40)
+		ts := trace.Timestamp(0)
+		var first trace.Timestamp = -1
+		for i := 0; i < n; i++ {
+			ts += trace.Timestamp(1+src.Intn(1000)) * us
+			if first < 0 {
+				first = ts
+			}
+			tr.Observe(1, ts, trace.ProcState(1+src.Intn(5)))
+		}
+		end := ts + 1000*us
+		tl := tr.Timeline(1, end)
+		if len(tl) == 0 {
+			t.Fatal("empty timeline")
+		}
+		if tl[0].Start != first || tl[len(tl)-1].End != end {
+			t.Fatalf("timeline bounds [%d,%d) want [%d,%d)", tl[0].Start, tl[len(tl)-1].End, first, end)
+		}
+		for i := 1; i < len(tl); i++ {
+			if tl[i].Start != tl[i-1].End {
+				t.Fatalf("gap/overlap between %v and %v", tl[i-1], tl[i])
+			}
+			if tl[i].State == tl[i-1].State {
+				t.Fatalf("unmerged equal states at %d", i)
+			}
+		}
+		for probe := 0; probe < 50; probe++ {
+			p := first + trace.Timestamp(src.Intn(int(end-first)))
+			want := tr.StateAt(1, p)
+			var got trace.ProcState
+			for _, iv := range tl {
+				if iv.Start <= p && p < iv.End {
+					got = iv.State
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("probe %d: timeline %v vs StateAt %v", p, got, want)
+			}
+		}
+	}
+}

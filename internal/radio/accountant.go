@@ -1,0 +1,109 @@
+package radio
+
+// Charges is the energy charged when one packet is observed.
+//
+// Promotion and Transfer belong to the packet just observed. GapTail is the
+// connected/tail energy spent between the end of the previous transmission
+// and this packet (or the end of the tail, if the radio went idle in
+// between); per the paper's attribution rule it belongs to the *previous*
+// packet — "we assign any tail energy to the last packet sent during the
+// tail period to avoid double-counting energy when there are multiple
+// concurrent flows" (§3.1).
+type Charges struct {
+	Promotion float64 // J, charged to this packet's app
+	Transfer  float64 // J, charged to this packet's app
+	GapTail   float64 // J, charged to the previous packet's app
+}
+
+// Total returns the sum of all charge components.
+func (c Charges) Total() float64 { return c.Promotion + c.Transfer + c.GapTail }
+
+// Accountant drives one radio interface's state machine over a timestamped
+// packet stream and emits per-packet energy charges. One Accountant models
+// one device's one interface; packets from all apps on the device flow
+// through it in timestamp order, which is what makes the tail attribution
+// rule meaningful. Accountant is not safe for concurrent use.
+type Accountant struct {
+	p Params
+
+	started bool
+	state   State
+	lastEnd float64 // when the previous transmission finished
+	total   float64 // all energy charged so far (for conservation checks)
+}
+
+// NewAccountant returns an Accountant for the given radio parameters.
+func NewAccountant(p Params) *Accountant {
+	return &Accountant{p: p, state: Idle}
+}
+
+// Params returns the model parameters in use.
+func (a *Accountant) Params() *Params { return &a.p }
+
+// State returns the radio state as of the last processed event.
+func (a *Accountant) State() State { return a.state }
+
+// TotalEnergy returns the cumulative energy (J) charged so far across all
+// packets, including the final tail only after Finish has been called.
+func (a *Accountant) TotalEnergy() float64 { return a.total }
+
+// OnPacket processes a packet of n bytes in direction d at time t (seconds;
+// any epoch, but non-decreasing across calls — out-of-order packets are
+// treated as arriving at the previous transmission end). It returns the
+// energy charges this packet triggers.
+func (a *Accountant) OnPacket(t float64, n int, d Dir) Charges {
+	var c Charges
+	if !a.started {
+		a.started = true
+		c.Promotion = a.p.PromotionEnergy()
+		a.state = Active
+		a.lastEnd = t + a.p.txTime(n, d)
+		c.Transfer = a.p.TransferEnergy(n, d)
+		a.total += c.Total()
+		return c
+	}
+	if t < a.lastEnd {
+		// Overlapping or out-of-order packet: the radio is still busy;
+		// no gap energy accrues, the transfer just extends the busy period.
+		t = a.lastEnd
+	}
+	gap := t - a.lastEnd
+	tail := a.p.TailTime()
+	if gap >= tail {
+		// The radio completed a full tail and went idle; this packet pays
+		// a fresh promotion. The completed tail belongs to the previous
+		// packet.
+		c.GapTail = a.p.FullTailEnergy()
+		c.Promotion = a.p.PromotionEnergy()
+	} else {
+		// Still within the tail: charge the elapsed portion to the
+		// previous packet; no promotion needed.
+		c.GapTail = a.p.tailEnergy(0, gap)
+	}
+	c.Transfer = a.p.TransferEnergy(n, d)
+	a.state = Active
+	a.lastEnd = t + a.p.txTime(n, d)
+	a.total += c.Total()
+	return c
+}
+
+// Finish closes the stream: the radio rides its final tail to completion
+// and demotes to idle. The returned energy (J) belongs to the last packet
+// observed. Calling Finish on a stream with no packets returns 0.
+func (a *Accountant) Finish() float64 {
+	if !a.started || a.state == Idle {
+		return 0
+	}
+	e := a.p.FullTailEnergy()
+	a.state = Idle
+	a.total += e
+	return e
+}
+
+// BurstEnergy is a convenience that returns the total energy of an isolated
+// burst of n bytes in direction d — promotion + transfer + full tail. This
+// is the marginal cost of one more wakeup, the quantity the paper's
+// batching recommendations are about.
+func BurstEnergy(p Params, n int, d Dir) float64 {
+	return p.PromotionEnergy() + p.TransferEnergy(n, d) + p.FullTailEnergy()
+}

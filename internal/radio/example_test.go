@@ -1,0 +1,39 @@
+package radio_test
+
+import (
+	"fmt"
+
+	"netenergy/internal/radio"
+)
+
+// The marginal cost of one isolated background update: promotion + transfer
+// + the full tail. On LTE the tail dominates regardless of payload size —
+// the paper's central observation.
+func ExampleBurstEnergy() {
+	lte := radio.LTE()
+	for _, bytes := range []int{100, 10_000, 1_000_000} {
+		fmt.Printf("%7d B -> %.2f J\n", bytes, radio.BurstEnergy(lte, bytes, radio.Down))
+	}
+	// Output:
+	//     100 B -> 12.63 J
+	//   10000 B -> 12.64 J
+	// 1000000 B -> 13.86 J
+}
+
+// An Accountant charges each packet incrementally; tail energy between
+// packets belongs to the earlier packet (the paper's §3.1 rule).
+func ExampleAccountant() {
+	a := radio.NewAccountant(radio.LTE())
+	first := a.OnPacket(0, 1000, radio.Up)
+	second := a.OnPacket(5, 1000, radio.Up) // 5 s later, within the tail
+	final := a.Finish()
+	fmt.Printf("first packet pays promotion: %v\n", first.Promotion > 0)
+	fmt.Printf("second packet pays no promotion: %v\n", second.Promotion == 0)
+	fmt.Printf("gap tail charged to the previous packet: %.1f J\n", second.GapTail)
+	fmt.Printf("final tail: %.1f J\n", final)
+	// Output:
+	// first packet pays promotion: true
+	// second packet pays no promotion: true
+	// gap tail charged to the previous packet: 5.3 J
+	// final tail: 12.3 J
+}

@@ -1,0 +1,264 @@
+// Package radio models the power behaviour of cellular and WiFi radio
+// interfaces, following the measurement-derived LTE model of Huang et al.
+// (MobiSys 2012) that the paper uses (§3.1, "We use a standard power model
+// for LTE supported by measurements gathered with a Monsoon power monitor").
+//
+// The central abstraction is the RRC-style state machine: the radio is IDLE
+// until traffic arrives, pays a fixed-duration promotion to reach the
+// connected state, transmits at a rate-dependent power, and after the last
+// packet lingers through one or more tail phases (continuous reception,
+// short DRX, long DRX for LTE; DCH and FACH inactivity timers for 3G)
+// before demoting back to IDLE. For intermittent traffic the tail dominates
+// total energy — which is exactly the phenomenon the paper studies.
+//
+// The Accountant type turns a timestamped packet sequence into per-packet
+// energy charges with the paper's attribution rule: tail energy is assigned
+// to the last packet transmitted before the tail, never double-counted
+// across concurrent flows.
+package radio
+
+import "fmt"
+
+// TailPhase is one segment of the post-transfer tail: the radio spends
+// Duration seconds at Power watts (unless interrupted by new traffic).
+type TailPhase struct {
+	Duration float64 // seconds
+	Power    float64 // watts
+}
+
+// Params describes one radio interface's power model. All powers are in
+// watts, durations in seconds, rates in Mbps.
+type Params struct {
+	Name string
+
+	// Promotion from IDLE to the connected state.
+	PromotionTime  float64
+	PromotionPower float64
+
+	// Power during active transfer is Base + AlphaUp*rateUp + AlphaDown*rateDown
+	// where rates are the instantaneous link throughput in Mbps.
+	Base      float64 // watts
+	AlphaUp   float64 // watts per Mbps of uplink throughput
+	AlphaDown float64 // watts per Mbps of downlink throughput
+
+	// Link rates used to convert packet sizes to transmission times.
+	UplinkMbps   float64
+	DownlinkMbps float64
+
+	// TailPhases the radio walks through after the last transmission.
+	TailPhases []TailPhase
+
+	// IdlePower is the baseline (paging DRX) power in IDLE. It is reported
+	// separately and not attributed to apps: it is paid regardless of
+	// traffic.
+	IdlePower float64
+}
+
+// TailTime returns the total tail duration (sum of phases).
+func (p *Params) TailTime() float64 {
+	var t float64
+	for _, ph := range p.TailPhases {
+		t += ph.Duration
+	}
+	return t
+}
+
+// tailEnergy returns the energy spent in the tail between offsets a and b
+// seconds after the end of a transmission (clamped to the tail length).
+func (p *Params) tailEnergy(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	var e, off float64
+	for _, ph := range p.TailPhases {
+		lo, hi := off, off+ph.Duration
+		s := max64(a, lo)
+		t := min64(b, hi)
+		if t > s {
+			e += (t - s) * ph.Power
+		}
+		off = hi
+	}
+	return e
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LTE returns the 4G LTE model with the published parameters from
+// Huang et al., MobiSys 2012 (the model the paper uses): promotion
+// 1210.7 mW for 260.1 ms; transfer power 1288.04 mW + 438.39 mW/Mbps up +
+// 51.97 mW/Mbps down; an 11.576 s tail at 1060.04 mW; idle 11.36 mW.
+// The tail is split into a short continuous-reception phase at the base
+// power followed by the DRX tail, matching the shape of the published
+// power traces.
+func LTE() Params {
+	return Params{
+		Name:           "LTE",
+		PromotionTime:  0.2601,
+		PromotionPower: 1.2107,
+		Base:           1.28804,
+		AlphaUp:        0.43839,
+		AlphaDown:      0.05197,
+		UplinkMbps:     5.64,
+		DownlinkMbps:   12.74,
+		TailPhases: []TailPhase{
+			{Duration: 0.2, Power: 1.28804},    // continuous reception before DRX
+			{Duration: 11.376, Power: 1.06004}, // short + long DRX tail
+		},
+		IdlePower: 0.01136,
+	}
+}
+
+// ThreeG returns a 3G UMTS model (RRC IDLE/FACH/DCH) with representative
+// published parameters: ~2 s promotion to DCH at 800 mW; DCH transfer
+// ~800 mW base; a 5 s DCH inactivity tail followed by a 12 s FACH tail at
+// 460 mW.
+func ThreeG() Params {
+	return Params{
+		Name:           "3G",
+		PromotionTime:  2.0,
+		PromotionPower: 0.8,
+		Base:           0.8,
+		AlphaUp:        0.25,
+		AlphaDown:      0.05,
+		UplinkMbps:     1.1,
+		DownlinkMbps:   3.8,
+		TailPhases: []TailPhase{
+			{Duration: 5.0, Power: 0.8},   // DCH inactivity
+			{Duration: 12.0, Power: 0.46}, // FACH inactivity
+		},
+		IdlePower: 0.01,
+	}
+}
+
+// WiFi returns an 802.11 PSM model with the published MobiSys 2012
+// parameters: negligible promotion, 132.86 mW base transfer power,
+// 283.17 mW/Mbps up, 137.01 mW/Mbps down, and a 238 ms tail at 119.31 mW.
+func WiFi() Params {
+	return Params{
+		Name:           "WiFi",
+		PromotionTime:  0.079,
+		PromotionPower: 0.1248,
+		Base:           0.13286,
+		AlphaUp:        0.28317,
+		AlphaDown:      0.13701,
+		UplinkMbps:     14.3,
+		DownlinkMbps:   24.9,
+		TailPhases: []TailPhase{
+			{Duration: 0.238, Power: 0.11931},
+		},
+		IdlePower: 0.003,
+	}
+}
+
+// Dir is the transfer direction as seen by the radio.
+type Dir uint8
+
+// Transfer directions.
+const (
+	Up Dir = iota
+	Down
+)
+
+// txTime returns the transmission time in seconds for a packet of n bytes.
+func (p *Params) txTime(n int, d Dir) float64 {
+	rate := p.DownlinkMbps
+	if d == Up {
+		rate = p.UplinkMbps
+	}
+	if rate <= 0 {
+		return 0
+	}
+	return float64(n) * 8 / (rate * 1e6)
+}
+
+// txPower returns the instantaneous power during a transfer in direction d.
+func (p *Params) txPower(d Dir) float64 {
+	if d == Up {
+		return p.Base + p.AlphaUp*p.UplinkMbps
+	}
+	return p.Base + p.AlphaDown*p.DownlinkMbps
+}
+
+// TransferEnergy returns the transfer-phase energy (J) for n bytes in
+// direction d, excluding promotion and tail.
+func (p *Params) TransferEnergy(n int, d Dir) float64 {
+	return p.txTime(n, d) * p.txPower(d)
+}
+
+// PromotionEnergy returns the energy of one IDLE->CONNECTED promotion.
+func (p *Params) PromotionEnergy() float64 {
+	return p.PromotionTime * p.PromotionPower
+}
+
+// FullTailEnergy returns the energy of one complete uninterrupted tail.
+func (p *Params) FullTailEnergy() float64 {
+	return p.tailEnergy(0, p.TailTime())
+}
+
+// String names the model.
+func (p *Params) String() string { return fmt.Sprintf("radio model %s", p.Name) }
+
+// State is the radio's RRC-style macro state.
+type State uint8
+
+// Radio states.
+const (
+	Idle State = iota
+	Promoting
+	Active // transferring
+	Tail
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Promoting:
+		return "promoting"
+	case Active:
+		return "active"
+	case Tail:
+		return "tail"
+	default:
+		return "invalid"
+	}
+}
+
+// LTEVariants returns the default model plus two carrier-style variants —
+// the paper's caveat that "energy consumption values vary by device and
+// carrier" made concrete. VariantShortTail uses a more aggressive network
+// inactivity timer; VariantHotIdle reflects a chattier DRX configuration.
+func LTEVariants() []Params {
+	std := LTE()
+
+	short := LTE()
+	short.Name = "LTE-shortTail"
+	short.TailPhases = []TailPhase{
+		{Duration: 0.2, Power: 1.28804},
+		{Duration: 7.8, Power: 1.06004},
+	}
+
+	hot := LTE()
+	hot.Name = "LTE-hotIdle"
+	hot.TailPhases = []TailPhase{
+		{Duration: 0.3, Power: 1.32},
+		{Duration: 12.7, Power: 1.12},
+	}
+	hot.PromotionTime = 0.4
+
+	return []Params{std, short, hot}
+}

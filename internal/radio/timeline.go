@@ -1,0 +1,104 @@
+package radio
+
+// StateSpan is one interval of the radio's state timeline with its power
+// draw — the "power trace" view a Monsoon monitor would record.
+type StateSpan struct {
+	Start, End float64 // seconds
+	State      State
+	Power      float64 // watts during the span
+}
+
+// Duration returns the span length in seconds.
+func (s StateSpan) Duration() float64 { return s.End - s.Start }
+
+// Energy returns the span's energy in joules.
+func (s StateSpan) Energy() float64 { return s.Duration() * s.Power }
+
+// TimelineBuilder reconstructs the radio's full state/power timeline from a
+// packet stream — promotion, transfer, tail phases and idle — for
+// visualisation and for validating the Accountant's integral accounting.
+// Feed packets in time order; call Finish to close the final tail.
+type TimelineBuilder struct {
+	p       Params
+	spans   []StateSpan
+	started bool
+	lastEnd float64
+}
+
+// NewTimelineBuilder returns a builder for the given radio parameters.
+func NewTimelineBuilder(p Params) *TimelineBuilder {
+	return &TimelineBuilder{p: p}
+}
+
+// push appends a span, merging zero-length ones away.
+func (b *TimelineBuilder) push(start, end float64, st State, power float64) {
+	if end <= start {
+		return
+	}
+	b.spans = append(b.spans, StateSpan{Start: start, End: end, State: st, Power: power})
+}
+
+// tailSpans appends the tail phases covering [0, upto) seconds after a
+// transmission ending at base.
+func (b *TimelineBuilder) tailSpans(base, upto float64) {
+	off := 0.0
+	for _, ph := range b.p.TailPhases {
+		if off >= upto {
+			break
+		}
+		end := off + ph.Duration
+		if end > upto {
+			end = upto
+		}
+		b.push(base+off, base+end, Tail, ph.Power)
+		off += ph.Duration
+	}
+}
+
+// OnPacket records a packet of n bytes in direction d at time t seconds.
+func (b *TimelineBuilder) OnPacket(t float64, n int, d Dir) {
+	tx := b.p.txTime(n, d)
+	if !b.started {
+		b.started = true
+		b.push(t-b.p.PromotionTime, t, Promoting, b.p.PromotionPower)
+		b.push(t, t+tx, Active, b.p.txPower(d))
+		b.lastEnd = t + tx
+		return
+	}
+	if t < b.lastEnd {
+		t = b.lastEnd
+	}
+	gap := t - b.lastEnd
+	tail := b.p.TailTime()
+	if gap >= tail {
+		b.tailSpans(b.lastEnd, tail)
+		b.push(b.lastEnd+tail, t-b.p.PromotionTime, Idle, b.p.IdlePower)
+		b.push(t-b.p.PromotionTime, t, Promoting, b.p.PromotionPower)
+	} else {
+		b.tailSpans(b.lastEnd, gap)
+	}
+	b.push(t, t+tx, Active, b.p.txPower(d))
+	b.lastEnd = t + tx
+}
+
+// Finish closes the final tail and returns the completed timeline.
+func (b *TimelineBuilder) Finish() []StateSpan {
+	if b.started {
+		b.tailSpans(b.lastEnd, b.p.TailTime())
+		b.started = false
+	}
+	return b.spans
+}
+
+// TotalEnergy integrates the timeline, excluding idle baseline spans —
+// comparable to Accountant.TotalEnergy over the same packets.
+func TotalEnergy(spans []StateSpan) float64 {
+	var e float64
+	for _, s := range spans {
+		if s.State == Idle {
+			continue
+		}
+		e += s.Energy()
+	}
+	return e
+}

@@ -1,0 +1,445 @@
+// Package report renders analysis results as aligned text tables and CSV,
+// one renderer per paper artifact. The text output is what cmd/analyze
+// prints and what EXPERIMENTS.md records.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/trace"
+	"netenergy/internal/whatif"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes comma-separated values with a header row. Cells containing
+// commas or quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// FmtPeriod renders an update period the way Table 1 does ("5 min", "1 h").
+func FmtPeriod(seconds float64, periodic bool) string {
+	if seconds <= 0 {
+		return "-"
+	}
+	var s string
+	switch {
+	case seconds < 90:
+		s = fmt.Sprintf("%.0f s", seconds)
+	case seconds < 5400:
+		s = fmt.Sprintf("%.0f min", seconds/60)
+	default:
+		s = fmt.Sprintf("%.1f h", seconds/3600)
+	}
+	if !periodic {
+		s += " (aperiodic)"
+	}
+	return s
+}
+
+// TopApps renders Figure 1.
+func TopApps(w io.Writer, res analysis.TopAppsResult) error {
+	fmt.Fprintln(w, "Figure 1: apps in users' top-10 lists by data consumption")
+	rows := make([][]string, 0, len(res.Counts))
+	for _, kv := range res.Counts {
+		rows = append(rows, []string{kv.Key, fmt.Sprintf("%.0f", kv.Val)})
+	}
+	return Table(w, []string{"app", "users"}, rows)
+}
+
+// HungryApps renders Figure 2.
+func HungryApps(w io.Writer, res analysis.HungryAppsResult) error {
+	fmt.Fprintln(w, "Figure 2: highest cellular data and network energy usage by app")
+	fmt.Fprintln(w, "-- by data --")
+	rows := make([][]string, 0, len(res.ByData))
+	for _, h := range res.ByData {
+		rows = append(rows, []string{h.App, fmt.Sprintf("%.1f MB", float64(h.Bytes)/1e6), fmt.Sprintf("%.0f J", h.Energy), f2(h.JPerMB) + " J/MB"})
+	}
+	if err := Table(w, []string{"app", "data", "energy", "efficiency"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "-- by energy --")
+	rows = rows[:0]
+	for _, h := range res.ByEnergy {
+		rows = append(rows, []string{h.App, fmt.Sprintf("%.1f MB", float64(h.Bytes)/1e6), fmt.Sprintf("%.0f J", h.Energy), f2(h.JPerMB) + " J/MB"})
+	}
+	return Table(w, []string{"app", "data", "energy", "efficiency"}, rows)
+}
+
+// StateBreakdowns renders Figure 3.
+func StateBreakdowns(w io.Writer, sbs []analysis.StateBreakdown) error {
+	fmt.Fprintln(w, "Figure 3: fraction of energy in each process state")
+	rows := make([][]string, 0, len(sbs))
+	for _, sb := range sbs {
+		row := []string{sb.App}
+		for _, s := range trace.AllStates {
+			row = append(row, f3(sb.Fractions[s]))
+		}
+		row = append(row, f3(sb.BackgroundShare()), fmt.Sprintf("%.0f J", sb.Total))
+		rows = append(rows, row)
+	}
+	headers := []string{"app"}
+	for _, s := range trace.AllStates {
+		headers = append(headers, s.String())
+	}
+	headers = append(headers, "bg-share", "total")
+	return Table(w, headers, rows)
+}
+
+// Timeline renders Figure 4 as a sparkline-style series.
+func Timeline(w io.Writer, res analysis.TimelineResult) error {
+	fmt.Fprintf(w, "Figure 4: %s traffic around a background transition (device %s)\n", res.App, res.Device)
+	fmt.Fprintf(w, "transition at t=%.0f s (grey region begins there)\n", res.Before)
+	rows := make([][]string, 0, len(res.Offsets))
+	for i := range res.Offsets {
+		if res.Bytes[i] == 0 {
+			continue
+		}
+		mark := ""
+		if res.Offsets[i] >= res.Before {
+			mark = "bg"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", res.Offsets[i]-res.Before),
+			fmt.Sprintf("%.0f", res.Bytes[i]),
+			mark,
+		})
+	}
+	return Table(w, []string{"t_rel_s", "bytes", "state"}, rows)
+}
+
+// Persistence renders Figure 5 as CDF quantiles.
+func Persistence(w io.Writer, res analysis.PersistenceCDF) error {
+	fmt.Fprintf(w, "Figure 5: duration traffic persists after %s is backgrounded (%d transitions)\n",
+		res.App, len(res.Durations))
+	rows := [][]string{}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		rows = append(rows, []string{
+			fmt.Sprintf("p%.0f", q*100),
+			fmt.Sprintf("%.0f s", res.CDF.Quantile(q)),
+		})
+	}
+	if err := Table(w, []string{"quantile", "persistence"}, rows); err != nil {
+		return err
+	}
+	xs, _ := res.CDF.Points(60)
+	fmt.Fprintf(w, "persistence spectrum (sorted): %s\n", Spark(xs))
+	over := 0
+	for _, d := range res.Durations {
+		if d > 86400 {
+			over++
+		}
+	}
+	_, err := fmt.Fprintf(w, "transitions persisting > 1 day: %d\n", over)
+	return err
+}
+
+// SinceForeground renders Figure 6.
+func SinceForeground(w io.Writer, res analysis.SinceForegroundResult) error {
+	fmt.Fprintln(w, "Figure 6: background bytes vs time since leaving foreground")
+	fmt.Fprintf(w, "first-minute share: %.1f%%   spike@5min: %.1fx   spike@10min: %.1fx\n",
+		100*res.FirstMinute, res.Spike5m, res.Spike10m)
+	fmt.Fprintf(w, "first 20 min, 20 s bins: %s\n", Spark(downsample(res.Bytes[:min(len(res.Bytes), 120)], 60)))
+	// Print minute-granularity aggregation for readability.
+	perMin := map[int]float64{}
+	maxMin := 0
+	for i, off := range res.Offsets {
+		m := int(off / 60)
+		perMin[m] += res.Bytes[i]
+		if m > maxMin {
+			maxMin = m
+		}
+	}
+	rows := [][]string{}
+	for m := 0; m <= maxMin && m <= 20; m++ {
+		rows = append(rows, []string{fmt.Sprintf("%d min", m), fmt.Sprintf("%.0f", perMin[m])})
+	}
+	return Table(w, []string{"since fg", "bg bytes"}, rows)
+}
+
+// CaseStudies renders Table 1.
+func CaseStudies(w io.Writer, rows []analysis.CaseStudy) error {
+	fmt.Fprintln(w, "Table 1: case studies (energies in joules)")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprintf("%.0f", r.JPerDay),
+			f1(r.JPerFlow),
+			f2(r.MBPerFlow),
+			f2(r.UJPerByte),
+			FmtPeriod(r.Period.Seconds, r.Period.IsPeriodic()),
+			fmt.Sprintf("%d", r.Flows),
+		})
+	}
+	return Table(w, []string{"app", "J/day", "J/flow", "MB/flow", "uJ/B", "update freq", "flows"}, out)
+}
+
+// WhatIf renders Table 2.
+func WhatIf(w io.Writer, rows []whatif.AppResult, killAfter int) error {
+	fmt.Fprintf(w, "Table 2: suppressing background traffic after %d idle days\n", killAfter)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			f1(r.PctBgOnlyDays),
+			fmt.Sprintf("%d", r.MaxConsecutiveBgDays),
+			f1(r.AvgEnergyReductionPct),
+			f2(r.FleetEnergyReductionPct),
+			f1(r.DeviceShareOnSuppressedDaysPct),
+			fmt.Sprintf("%d", r.Users),
+		})
+	}
+	return Table(w, []string{"app", "A:%bg-only days", "B:max consec", "C:avg %reduction", "fleet %", "device % (supp. days)", "users"}, out)
+}
+
+// Headline renders the prose statistics.
+func Headline(w io.Writer, h analysis.Headline) error {
+	fmt.Fprintln(w, "Headline statistics")
+	rows := [][]string{
+		{"background energy fraction", f3(h.BackgroundFraction), "0.84"},
+		{"perceptible fraction", f3(h.PerceptibleFraction), "0.08"},
+		{"service fraction", f3(h.ServiceFraction), "0.32"},
+		{"apps >=80% bg bytes in 60s", f3(h.FirstMinute.Fraction), "0.84"},
+	}
+	for _, pkg := range []string{"com.android.chrome", "org.mozilla.firefox", "com.android.browser"} {
+		if v, ok := h.BrowserBgShares[pkg]; ok {
+			want := "~0"
+			if pkg == "com.android.chrome" {
+				want = "0.30"
+			}
+			rows = append(rows, []string{pkg + " bg energy share", f3(v), want})
+		}
+	}
+	rows = append(rows, []string{"total fleet energy (J)", fmt.Sprintf("%.0f", h.TotalEnergyJ), "-"})
+	return Table(w, []string{"metric", "measured", "paper"}, rows)
+}
+
+// HostBreakdown renders the per-host attribution of an app's traffic.
+func HostBreakdown(w io.Writer, res analysis.HostBreakdownResult) error {
+	scope := "all traffic"
+	if res.BgOnly {
+		scope = "background traffic only"
+	}
+	fmt.Fprintf(w, "Host attribution for %s (%s)\n", res.App, scope)
+	rows := make([][]string, 0, len(res.Hosts))
+	for _, h := range res.Hosts {
+		rows = append(rows, []string{
+			h.Host,
+			h.Category.String(),
+			fmt.Sprintf("%d", h.Requests),
+			fmt.Sprintf("%.2f MB", float64(h.Bytes)/1e6),
+			fmt.Sprintf("%.1f J", h.Energy),
+		})
+	}
+	if err := Table(w, []string{"host", "category", "requests", "data", "energy"}, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "ads+analytics share of attributed energy: %.1f%%  (unattributed: %.2f MB)\n",
+		100*res.ThirdPartyShare(), float64(res.UnattributedBytes)/1e6)
+	return err
+}
+
+// ScreenOff renders the screen-off traffic characterisation.
+func ScreenOff(w io.Writer, res analysis.ScreenOffResult) error {
+	fmt.Fprintln(w, "Screen-off traffic (extension; cf. Huang et al., IMC'12)")
+	fmt.Fprintf(w, "bytes with screen off: %.1f%%   energy with screen off: %.1f%%\n",
+		100*res.OffByteFraction(), 100*res.OffEnergyFraction())
+	rows := make([][]string, 0, len(res.TopOffApps))
+	for _, h := range res.TopOffApps {
+		rows = append(rows, []string{
+			h.App,
+			fmt.Sprintf("%.1f MB", float64(h.Bytes)/1e6),
+			fmt.Sprintf("%.0f J", h.Energy),
+			f2(h.JPerMB) + " J/MB",
+		})
+	}
+	return Table(w, []string{"app (screen-off energy)", "data", "energy", "efficiency"}, rows)
+}
+
+// Retransmissions renders the retransmission-overhead extension.
+func Retransmissions(w io.Writer, res analysis.RetransResult) error {
+	fmt.Fprintln(w, "TCP retransmission overhead (extension)")
+	fmt.Fprintf(w, "streams carried %.1f MB payload, %.2f%% retransmitted (%d out-of-order segments); ~%.0f J wasted\n",
+		float64(res.Total.Bytes)/1e6, 100*res.Total.RetransFraction(),
+		res.Total.OutOfOrder, res.WastedEnergyJ)
+	rows := make([][]string, 0, len(res.PerApp))
+	for _, a := range res.PerApp {
+		rows = append(rows, []string{
+			a.App,
+			fmt.Sprintf("%.2f MB", float64(a.RetransBytes)/1e6),
+			fmt.Sprintf("%.2f%%", 100*a.Fraction()),
+		})
+	}
+	return Table(w, []string{"app", "retransmitted", "of its bytes"}, rows)
+}
+
+// Longitudinal renders the §3.1 weekly trend and the cellular/WiFi
+// comparison.
+func Longitudinal(w io.Writer, trend analysis.WeeklyTrend, nets analysis.NetworkComparison) error {
+	fmt.Fprintln(w, "Longitudinal trends (§3.1)")
+	fmt.Fprintf(w, "max week-over-week background energy change: %.0f%%  (paper: up to 60%%)\n",
+		100*trend.MaxWeekOverWeekChange)
+	rows := make([][]string, 0, len(trend.Weeks))
+	for i, v := range trend.Weeks {
+		rows = append(rows, []string{
+			fmt.Sprintf("week %d", i),
+			fmt.Sprintf("%.0f J", v),
+		})
+	}
+	if err := Table(w, []string{"week", "bg energy"}, rows); err != nil {
+		return err
+	}
+	if nets.CellularJ > 0 || nets.WiFiJ > 0 {
+		_, err := fmt.Fprintf(w, "cellular: %.0f J over %.0f MB; wifi: %.0f J over %.0f MB (%.0fx energy ratio)\n",
+			nets.CellularJ, float64(nets.CellularBytes)/1e6,
+			nets.WiFiJ, float64(nets.WiFiBytes)/1e6, nets.Ratio())
+		return err
+	}
+	return nil
+}
+
+// DNS renders the resolver-overhead extension.
+func DNS(w io.Writer, res analysis.DNSResult) error {
+	_, err := fmt.Fprintf(w,
+		"DNS overhead (extension): %d lookups, %.2f MB, %.0f J attributed; %.0f%% of lookups woke an idle radio\n",
+		res.Lookups, float64(res.Bytes)/1e6, res.Energy, 100*res.WakeFraction())
+	return err
+}
+
+// Candidates renders the isolation-candidate recommendation list.
+func Candidates(w io.Writer, cands []whatif.Candidate, max int) error {
+	fmt.Fprintln(w, "Isolation candidates (ZapDroid-style: idle for days, still burning energy)")
+	if max > 0 && len(cands) > max {
+		cands = cands[:max]
+	}
+	rows := make([][]string, 0, len(cands))
+	for _, c := range cands {
+		rows = append(rows, []string{
+			c.Device,
+			c.App,
+			fmt.Sprintf("%d d", c.MaxIdleRun),
+			fmt.Sprintf("%.0f J", c.BgEnergyJ),
+			fmt.Sprintf("%.1f%%", 100*c.ShareOfDev),
+			fmt.Sprintf("%.0f J", c.SavingsEstJ),
+		})
+	}
+	return Table(w, []string{"device", "app", "max idle", "bg energy", "of device", "3d-kill saves"}, rows)
+}
+
+// sparkBlocks are the eight block glyphs used by Spark.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders a series as a unicode sparkline, the quick-look form of a
+// figure in terminal output. An empty or all-zero series renders as
+// baseline blocks.
+func Spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkBlocks)-1))
+			if idx >= len(sparkBlocks) {
+				idx = len(sparkBlocks) - 1
+			}
+			if idx == 0 {
+				idx = 1 // distinguish nonzero from zero
+			}
+		}
+		out[i] = sparkBlocks[idx]
+	}
+	return string(out)
+}
+
+// downsample reduces a series to at most n points by summing buckets.
+func downsample(vals []float64, n int) []float64 {
+	if len(vals) <= n || n <= 0 {
+		return vals
+	}
+	out := make([]float64, n)
+	for i, v := range vals {
+		out[i*n/len(vals)] += v
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/stats"
+	"netenergy/internal/trace"
+	"netenergy/internal/whatif"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The value column must start at the same offset in every data row.
+	off1 := strings.Index(lines[2], "1")
+	off2 := strings.Index(lines[3], "22")
+	if off1 != off2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off1, off2, buf.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"a", "b"}, [][]string{
+		{"plain", `has "quotes", and commas`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has \"\"quotes\"\", and commas\"\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFmtPeriod(t *testing.T) {
+	cases := []struct {
+		sec      float64
+		periodic bool
+		want     string
+	}{
+		{0, true, "-"},
+		{45, true, "45 s"},
+		{300, true, "5 min"},
+		{3600, true, "60 min"},
+		{7200, true, "2.0 h"},
+		{600, false, "10 min (aperiodic)"},
+	}
+	for _, c := range cases {
+		if got := FmtPeriod(c.sec, c.periodic); got != c.want {
+			t.Errorf("FmtPeriod(%v, %v) = %q, want %q", c.sec, c.periodic, got, c.want)
+		}
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+
+	if err := TopApps(&buf, analysis.TopAppsResult{
+		Counts: []stats.KV{{Key: "com.a", Val: 3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "com.a") {
+		t.Error("TopApps missing app")
+	}
+
+	buf.Reset()
+	if err := HungryApps(&buf, analysis.HungryAppsResult{
+		ByData:   []analysis.HungryApp{{App: "com.big", Bytes: 5e6, Energy: 10, JPerMB: 2}},
+		ByEnergy: []analysis.HungryApp{{App: "com.hot", Bytes: 1e6, Energy: 99, JPerMB: 99}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "com.big") || !strings.Contains(buf.String(), "com.hot") {
+		t.Error("HungryApps incomplete")
+	}
+
+	buf.Reset()
+	if err := StateBreakdowns(&buf, []analysis.StateBreakdown{{
+		App: "com.a", Total: 100,
+		Fractions: map[trace.ProcState]float64{trace.StateService: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "service") {
+		t.Error("StateBreakdowns missing state column")
+	}
+
+	buf.Reset()
+	if err := Persistence(&buf, analysis.PersistenceCDF{
+		App: "com.chrome", Durations: []float64{0, 10, 90000},
+		CDF: stats.NewCDF([]float64{0, 10, 90000}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "persisting > 1 day: 1") {
+		t.Errorf("Persistence missing >1day count:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := SinceForeground(&buf, analysis.SinceForegroundResult{
+		BinWidth: 10, Offsets: []float64{0, 10, 300},
+		Bytes: []float64{100, 50, 20}, FirstMinute: 0.8,
+		Spike5m: 3, Spike10m: 2, TotalBgBytes: 170,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "80.0%") {
+		t.Errorf("SinceForeground missing first-minute share:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := CaseStudies(&buf, []analysis.CaseStudy{{
+		Label: "Weibo", JPerDay: 3500, JPerFlow: 57, MBPerFlow: 0.3, UJPerByte: 190,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Weibo") || !strings.Contains(buf.String(), "3500") {
+		t.Error("CaseStudies incomplete")
+	}
+
+	buf.Reset()
+	if err := WhatIf(&buf, []whatif.AppResult{{
+		Label: "Weibo", PctBgOnlyDays: 83, MaxConsecutiveBgDays: 24,
+		AvgEnergyReductionPct: 54, Users: 3,
+	}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "after 3 idle days") {
+		t.Error("WhatIf missing threshold")
+	}
+
+	buf.Reset()
+	if err := Headline(&buf, analysis.Headline{
+		BackgroundFraction: 0.84,
+		BrowserBgShares:    map[string]float64{"com.android.chrome": 0.3},
+		TotalEnergyJ:       1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.840") {
+		t.Error("Headline missing bg fraction")
+	}
+
+	buf.Reset()
+	if err := Timeline(&buf, analysis.TimelineResult{
+		Device: "u00", App: "com.chrome", Before: 60, BinWidth: 10,
+		Offsets: []float64{0, 10, 70}, Bytes: []float64{5, 0, 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "u00") || !strings.Contains(out, "bg") {
+		t.Errorf("Timeline incomplete:\n%s", out)
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	var buf bytes.Buffer
+
+	if err := ScreenOff(&buf, analysis.ScreenOffResult{
+		OffBytes: 100, OnBytes: 100, OffEnergy: 10, OnEnergy: 5,
+		TopOffApps: []analysis.HungryApp{{App: "com.a", Bytes: 100, Energy: 10, JPerMB: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Screen-off") || !strings.Contains(buf.String(), "com.a") {
+		t.Errorf("ScreenOff output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := Retransmissions(&buf, analysis.RetransResult{
+		PerApp:        []analysis.AppRetrans{{App: "com.lossy", Bytes: 1000, RetransBytes: 100}},
+		WastedEnergyJ: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "com.lossy") {
+		t.Errorf("Retransmissions output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := Longitudinal(&buf, analysis.WeeklyTrend{
+		Weeks: []float64{10, 16, 12}, MaxWeekOverWeekChange: 0.6,
+	}, analysis.NetworkComparison{CellularJ: 100, WiFiJ: 10, CellularBytes: 1e6, WiFiBytes: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "60%") || !strings.Contains(out, "10x energy ratio") {
+		t.Errorf("Longitudinal output:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := DNS(&buf, analysis.DNSResult{Lookups: 10, Bytes: 2000, Energy: 120, WakeLookups: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "90% of lookups") {
+		t.Errorf("DNS output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := Candidates(&buf, []whatif.Candidate{
+		{Device: "u00", App: "com.idle", MaxIdleRun: 12, BgEnergyJ: 900, ShareOfDev: 0.2, SavingsEstJ: 700},
+		{Device: "u01", App: "com.idle2", MaxIdleRun: 5, BgEnergyJ: 100, ShareOfDev: 0.05, SavingsEstJ: 50},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "com.idle") || strings.Contains(out, "com.idle2") {
+		t.Errorf("Candidates max filter broken:\n%s", out)
+	}
+}
+
+func TestHostBreakdownRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	res := analysis.HostBreakdownResult{App: "com.android.chrome", BgOnly: true}
+	res.Hosts = []analysis.HostStat{{Host: "pix.adserver.example", Requests: 5, Bytes: 1e6, Energy: 50}}
+	if err := HostBreakdown(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pix.adserver.example") ||
+		!strings.Contains(buf.String(), "background traffic only") {
+		t.Errorf("HostBreakdown output:\n%s", buf.String())
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Error("empty spark")
+	}
+	s := Spark([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Errorf("spark = %q", s)
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[3] != '█' {
+		t.Errorf("spark shape = %q", s)
+	}
+	// Nonzero values never render as the zero glyph.
+	tiny := Spark([]float64{1000, 1})
+	if []rune(tiny)[1] == '▁' {
+		t.Errorf("nonzero rendered as baseline: %q", tiny)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 1, 1, 1, 1}
+	out := downsample(in, 3)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 6 {
+		t.Errorf("mass not conserved: %v", out)
+	}
+	if got := downsample(in, 10); len(got) != 6 {
+		t.Error("short series should pass through")
+	}
+}

@@ -1,0 +1,27 @@
+package tcpstream_test
+
+import (
+	"fmt"
+
+	"netenergy/internal/tcpstream"
+)
+
+// Stream classifies each segment and keeps goodput/retransmission
+// accounting; wire bytes that deliver no new data still cost radio energy.
+func ExampleStream() {
+	var st tcpstream.Stream
+	fmt.Println(st.Segment(0, 1000))   // first data
+	fmt.Println(st.Segment(1000, 500)) // in order
+	fmt.Println(st.Segment(1000, 500)) // lost ACK: sender retransmits
+	fmt.Println(st.Segment(1200, 600)) // overlaps the boundary
+	fmt.Println(st.Segment(5000, 100)) // a gap: out-of-order arrival
+	s := st.Stats()
+	fmt.Printf("bytes=%d goodput=%d retrans=%d\n", s.Bytes, s.Goodput, s.Retrans)
+	// Output:
+	// new
+	// new
+	// retransmission
+	// partial-retransmission
+	// out-of-order
+	// bytes=2700 goodput=1900 retrans=800
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the METR reader: every input must
+// yield records or a clean error, never a panic or unbounded allocation.
+func FuzzReader(f *testing.F) {
+	// Seed: a valid small trace.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "dev", 1000)
+	w.Write(&Record{Type: RecAppName, TS: 1000, App: 0, AppName: "com.a"})
+	w.Write(&Record{Type: RecPacket, TS: 2000, App: 0, Dir: DirUp,
+		Net: NetCellular, State: StateService, Payload: []byte{0x45, 0, 0, 20}})
+	w.Write(&Record{Type: RecScreen, TS: 3000, ScreenOn: true})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("METR1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if rec.Type == RecPacket && len(rec.Payload) > maxRecordLen {
+				t.Fatalf("oversized payload accepted: %d", len(rec.Payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package trace defines the record streams the on-device collector in the
+// paper produced — packets with packet→process mappings, Android process
+// state transitions, user input events and screen state — together with a
+// compact binary file format ("METR") for storing and streaming them.
+//
+// The paper's study consumed 125 GB of such traces from 20 devices over 623
+// days. In this reproduction the records are produced by the synthetic fleet
+// generator (internal/synthgen) and consumed by the analysis pipeline
+// exactly as real capture files would be: serialised to disk (or a buffer)
+// and re-read through the streaming Reader.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProcState is the Android process importance state of an app at a point in
+// time, per ActivityManager.RunningAppProcessInfo (paper §4). The paper
+// groups foreground+visible as "foreground" and the rest as "background".
+type ProcState uint8
+
+// Android process states, ordered from most to least user-visible.
+const (
+	StateUnknown ProcState = iota
+	StateForeground
+	StateVisible
+	StatePerceptible
+	StateService
+	StateBackground
+)
+
+// String returns the Android name of the state.
+func (s ProcState) String() string {
+	switch s {
+	case StateForeground:
+		return "foreground"
+	case StateVisible:
+		return "visible"
+	case StatePerceptible:
+		return "perceptible"
+	case StateService:
+		return "service"
+	case StateBackground:
+		return "background"
+	default:
+		return "unknown"
+	}
+}
+
+// IsForeground reports whether the paper classifies this state as
+// foreground (foreground or visible; §4: "We refer to the first two
+// categories as 'foreground' processes and the last three as 'background'").
+func (s ProcState) IsForeground() bool {
+	return s == StateForeground || s == StateVisible
+}
+
+// IsBackground reports whether the paper classifies this state as
+// background (perceptible, service, or background).
+func (s ProcState) IsBackground() bool {
+	return s == StatePerceptible || s == StateService || s == StateBackground
+}
+
+// AllStates lists the five real states in display order.
+var AllStates = []ProcState{StateForeground, StateVisible, StatePerceptible, StateService, StateBackground}
+
+// Direction is the direction of a packet relative to the device.
+type Direction uint8
+
+// Packet directions.
+const (
+	DirUp   Direction = iota // device -> network
+	DirDown                  // network -> device
+)
+
+// String returns "up" or "down".
+func (d Direction) String() string {
+	if d == DirUp {
+		return "up"
+	}
+	return "down"
+}
+
+// Network is the radio interface a packet traversed.
+type Network uint8
+
+// Network interfaces. The study focuses on cellular; WiFi records exist so
+// filtering is a real operation.
+const (
+	NetCellular Network = iota
+	NetWiFi
+)
+
+// String returns "cellular" or "wifi".
+func (n Network) String() string {
+	if n == NetCellular {
+		return "cellular"
+	}
+	return "wifi"
+}
+
+// Timestamp is microseconds since the Unix epoch. All trace records carry
+// Timestamps; analyses convert to seconds as needed.
+type Timestamp int64
+
+// TimestampOf converts a time.Time to a trace Timestamp.
+func TimestampOf(t time.Time) Timestamp { return Timestamp(t.UnixMicro()) }
+
+// Time converts the timestamp back to a time.Time in UTC.
+func (ts Timestamp) Time() time.Time { return time.UnixMicro(int64(ts)).UTC() }
+
+// Seconds returns the timestamp as floating-point seconds since the epoch.
+func (ts Timestamp) Seconds() float64 { return float64(ts) / 1e6 }
+
+// Sub returns ts - other as a float64 number of seconds.
+func (ts Timestamp) Sub(other Timestamp) float64 { return float64(ts-other) / 1e6 }
+
+// AddSeconds returns the timestamp advanced by s seconds.
+func (ts Timestamp) AddSeconds(s float64) Timestamp { return ts + Timestamp(s*1e6) }
+
+// Day returns the number of whole days since the epoch, used for per-day
+// ledgers. Days are UTC-aligned, matching the generator.
+func (ts Timestamp) Day() int { return int(int64(ts) / (86400 * 1e6)) }
+
+// RecordType discriminates records in a trace stream.
+type RecordType uint8
+
+// Record types in a METR stream.
+const (
+	RecInvalid   RecordType = iota
+	RecAppName              // registers an app ID -> package name mapping
+	RecPacket               // one captured IP packet with its process mapping
+	RecProcState            // an app's process state changed
+	RecUIEvent              // user input delivered to an app
+	RecScreen               // screen turned on or off
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecAppName:
+		return "appname"
+	case RecPacket:
+		return "packet"
+	case RecProcState:
+		return "procstate"
+	case RecUIEvent:
+		return "uievent"
+	case RecScreen:
+		return "screen"
+	default:
+		return "invalid"
+	}
+}
+
+// UIEventKind classifies user input events.
+type UIEventKind uint8
+
+// UI event kinds recorded by the collector.
+const (
+	UITouch UIEventKind = iota
+	UIKey
+	UILaunch // app brought to foreground by the user
+	UIClose  // app explicitly dismissed by the user
+)
+
+// Record is one trace record. Exactly the fields relevant to its Type are
+// meaningful; the rest are zero. A flat struct (rather than an interface)
+// keeps the streaming reader allocation-free.
+type Record struct {
+	Type RecordType
+	TS   Timestamp
+
+	// App identifies the owning app for Packet/ProcState/UIEvent records,
+	// as an index into the trace's app-name table.
+	App uint32
+
+	// AppName carries the package name for RecAppName records.
+	AppName string
+
+	// Packet fields.
+	Dir     Direction
+	Net     Network
+	State   ProcState // process state of the owning app at capture time
+	Payload []byte    // raw IP packet bytes; aliased to the reader's buffer
+
+	// ProcState events reuse State. UI events use UIKind. Screen events
+	// use ScreenOn.
+	UIKind   UIEventKind
+	ScreenOn bool
+}
+
+// String renders a compact human-readable form, mainly for debugging.
+func (r Record) String() string {
+	switch r.Type {
+	case RecAppName:
+		return fmt.Sprintf("appname app=%d name=%s", r.App, r.AppName)
+	case RecPacket:
+		return fmt.Sprintf("packet ts=%d app=%d dir=%s net=%s state=%s len=%d",
+			r.TS, r.App, r.Dir, r.Net, r.State, len(r.Payload))
+	case RecProcState:
+		return fmt.Sprintf("procstate ts=%d app=%d state=%s", r.TS, r.App, r.State)
+	case RecUIEvent:
+		return fmt.Sprintf("uievent ts=%d app=%d kind=%d", r.TS, r.App, r.UIKind)
+	case RecScreen:
+		return fmt.Sprintf("screen ts=%d on=%v", r.TS, r.ScreenOn)
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,159 @@
+package whatif
+
+import (
+	"sort"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/radio"
+	"netenergy/internal/trace"
+)
+
+// DozeConfig models the Android M Doze behaviour the paper's conclusion
+// anticipates ("Google announced Android M, where all background activity
+// is disabled when the device is idle"): once the device has been idle —
+// no app in the foreground — for IdleAfter seconds, background traffic is
+// suppressed except during periodic maintenance windows.
+type DozeConfig struct {
+	IdleAfter        float64 // seconds of no foreground use before dozing
+	MaintenanceEvery float64 // seconds between maintenance windows while dozed
+	MaintenanceLen   float64 // length of each maintenance window
+	// Whitelist lists app IDs exempt from suppression (the paper proposes
+	// "a new permission or whitelist" for legitimate background apps).
+	Whitelist map[uint32]bool
+}
+
+// DefaultDoze matches the behaviour sketch of the Android M preview:
+// doze after 1 h idle with a ~10-minute maintenance window every 6 h.
+func DefaultDoze() DozeConfig {
+	return DozeConfig{IdleAfter: 3600, MaintenanceEvery: 6 * 3600, MaintenanceLen: 600}
+}
+
+// DozeResult summarises the simulation for one device or a fleet.
+type DozeResult struct {
+	BaselineJ    float64
+	DozedJ       float64
+	SavedJ       float64
+	SavedPct     float64
+	Suppressed   int // packets suppressed
+	TotalPackets int
+}
+
+// deviceActivity merges all apps' foreground intervals into a sorted
+// device-level activity timeline.
+func deviceActivity(d *analysis.DeviceData) [][2]trace.Timestamp {
+	var spans [][2]trace.Timestamp
+	for _, app := range d.Tracker.Apps() {
+		for _, iv := range d.Tracker.Timeline(app, d.Span[1]) {
+			if iv.State.IsForeground() {
+				spans = append(spans, [2]trace.Timestamp{iv.Start, iv.End})
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	// Merge overlaps.
+	var out [][2]trace.Timestamp
+	for _, s := range spans {
+		if n := len(out); n > 0 && s[0] <= out[n-1][1] {
+			if s[1] > out[n-1][1] {
+				out[n-1][1] = s[1]
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// lastActivityBefore returns the end of the latest activity span at or
+// before ts, and whether any exists.
+func lastActivityBefore(spans [][2]trace.Timestamp, ts trace.Timestamp) (trace.Timestamp, bool) {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i][0] > ts })
+	if i == 0 {
+		return 0, false
+	}
+	s := spans[i-1]
+	if s[1] > ts {
+		return ts, true // device active right now
+	}
+	return s[1], true
+}
+
+// SimulateDoze replays one device's packet stream under the Doze policy:
+// background packets arriving while the device is dozed (and outside
+// maintenance windows) are dropped, and the radio energy is re-accounted
+// over the surviving packets. Re-accounting matters — removing packets also
+// removes the tails they would have kept alive.
+func SimulateDoze(d *analysis.DeviceData, p radio.Params, cfg DozeConfig) DozeResult {
+	res := DozeResult{BaselineJ: d.Energy.Ledger.Total, TotalPackets: len(d.Energy.Packets)}
+	activity := deviceActivity(d)
+
+	acct := radio.NewAccountant(p)
+	for i := range d.Energy.Packets {
+		pkt := &d.Energy.Packets[i]
+		if suppressedByDoze(pkt, activity, cfg) {
+			res.Suppressed++
+			continue
+		}
+		dir := radio.Down
+		if pkt.Dir == trace.DirUp {
+			dir = radio.Up
+		}
+		acct.OnPacket(pkt.TS.Seconds(), pkt.Bytes, dir)
+	}
+	acct.Finish()
+	res.DozedJ = acct.TotalEnergy()
+	res.SavedJ = res.BaselineJ - res.DozedJ
+	if res.BaselineJ > 0 {
+		res.SavedPct = 100 * res.SavedJ / res.BaselineJ
+	}
+	return res
+}
+
+// suppressedByDoze decides whether a packet is dropped under the policy:
+// background-state packets while the device has been idle past the
+// threshold, outside maintenance windows, from non-whitelisted apps.
+func suppressedByDoze(pkt *energy.Packet, activity [][2]trace.Timestamp, cfg DozeConfig) bool {
+	if !pkt.State.IsBackground() {
+		return false
+	}
+	if cfg.Whitelist[pkt.App] {
+		return false
+	}
+	lastAct, ok := lastActivityBefore(activity, pkt.TS)
+	if !ok {
+		// No activity ever observed before this packet: treat the trace
+		// start as activity so early traffic is not unfairly suppressed.
+		return false
+	}
+	idle := pkt.TS.Sub(lastAct)
+	if idle <= cfg.IdleAfter {
+		return false
+	}
+	if cfg.MaintenanceEvery > 0 && cfg.MaintenanceLen > 0 {
+		// Maintenance windows open periodically once dozed.
+		sinceDoze := idle - cfg.IdleAfter
+		phase := sinceDoze - float64(int(sinceDoze/cfg.MaintenanceEvery))*cfg.MaintenanceEvery
+		if phase < cfg.MaintenanceLen {
+			return false
+		}
+	}
+	return true
+}
+
+// SimulateDozeFleet runs the policy over every device and aggregates.
+func SimulateDozeFleet(devs []*analysis.DeviceData, p radio.Params, cfg DozeConfig) DozeResult {
+	var agg DozeResult
+	for _, d := range devs {
+		r := SimulateDoze(d, p, cfg)
+		agg.BaselineJ += r.BaselineJ
+		agg.DozedJ += r.DozedJ
+		agg.SavedJ += r.SavedJ
+		agg.Suppressed += r.Suppressed
+		agg.TotalPackets += r.TotalPackets
+	}
+	if agg.BaselineJ > 0 {
+		agg.SavedPct = 100 * agg.SavedJ / agg.BaselineJ
+	}
+	return agg
+}

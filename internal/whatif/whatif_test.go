@@ -1,0 +1,192 @@
+package whatif
+
+import (
+	"testing"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/netparse"
+	"netenergy/internal/trace"
+)
+
+const daySec = 86400
+
+// dayTrace builds a device trace where app "com.x" has one small packet per
+// listed day; fg days get a foreground-state packet, bg days a service one.
+func dayTrace(t *testing.T, fgDays, bgDays []int) *analysis.DeviceData {
+	t.Helper()
+	dt := &trace.DeviceTrace{Device: "d0", Start: 0, Apps: trace.NewAppTable()}
+	app := dt.Apps.Intern("com.x")
+	dt.Records = append(dt.Records, trace.Record{Type: trace.RecAppName, App: app, AppName: "com.x"})
+	port := uint16(40000)
+	add := func(day int, st trace.ProcState) {
+		port++
+		buf := make([]byte, 96)
+		stored, _, err := netparse.BuildTCPv4Snapped(buf, [4]byte{10, 0, 0, 1}, [4]byte{23, 1, 1, 1},
+			port, 443, 0, netparse.TCPAck, 500, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := trace.Timestamp(int64(day)*daySec+43200) * 1_000_000
+		dt.Records = append(dt.Records, trace.Record{
+			Type: trace.RecPacket, TS: ts, App: app, Dir: trace.DirUp,
+			Net: trace.NetCellular, State: st, Payload: buf[:stored],
+		})
+	}
+	for _, d := range fgDays {
+		add(d, trace.StateForeground)
+	}
+	for _, d := range bgDays {
+		add(d, trace.StateService)
+	}
+	dt.SortByTime()
+	dd, err := analysis.Load(dt, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dd
+}
+
+func TestRowABgOnlyDays(t *testing.T) {
+	// fg on days 0 and 10; bg-only on days 1-9 (9 of 11 traffic days).
+	dd := dayTrace(t, []int{0, 10}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.x"}, nil, 3)
+	if len(res) != 1 {
+		t.Fatal("no result")
+	}
+	r := res[0]
+	if r.Users != 1 {
+		t.Errorf("users = %d", r.Users)
+	}
+	want := 100.0 * 9 / 11
+	if r.PctBgOnlyDays < want-0.01 || r.PctBgOnlyDays > want+0.01 {
+		t.Errorf("pct bg-only = %v, want %v", r.PctBgOnlyDays, want)
+	}
+}
+
+func TestRowBMaxConsecutive(t *testing.T) {
+	// Runs: days 1-9 bounded by fg days 0 and 10 (9 days); days 12-13
+	// bounded by fg 10 but no closing fg -> unbounded, not counted.
+	dd := dayTrace(t, []int{0, 10}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.x"}, nil, 3)
+	if res[0].MaxConsecutiveBgDays != 9 {
+		t.Errorf("max run = %d, want 9", res[0].MaxConsecutiveBgDays)
+	}
+}
+
+func TestRowCKillSavings(t *testing.T) {
+	// fg day 0; bg days 1-9. Kill-after-3: days 4-9 suppressed (6 of 9 bg
+	// days); each bg day costs the same isolated-burst energy, so the
+	// app-level reduction should be slightly under 6/10 of total.
+	dd := dayTrace(t, []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.x"}, nil, 3)
+	r := res[0]
+	if r.AvgEnergyReductionPct < 50 || r.AvgEnergyReductionPct > 65 {
+		t.Errorf("reduction = %v%%, want ~60%%", r.AvgEnergyReductionPct)
+	}
+	if r.FleetEnergyReductionPct <= 0 {
+		t.Error("fleet reduction should be positive")
+	}
+	// Single-app device: suppressed-day share is 100% (all energy on those
+	// days is the app's background energy).
+	if r.DeviceShareOnSuppressedDaysPct < 99 {
+		t.Errorf("device share on suppressed days = %v", r.DeviceShareOnSuppressedDaysPct)
+	}
+}
+
+func TestKillRevivedByForeground(t *testing.T) {
+	// fg 0, bg 1-5, fg 6, bg 7-8: after the fg on day 6 the counter
+	// resets, so days 7-8 are not suppressed (run too short).
+	dd := dayTrace(t, []int{0, 6}, []int{1, 2, 3, 4, 5, 7, 8})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.x"}, nil, 3)
+	// Suppressed: days 4,5 only -> 2 of 9 traffic days.
+	r := res[0]
+	if r.AvgEnergyReductionPct < 10 || r.AvgEnergyReductionPct > 30 {
+		t.Errorf("reduction = %v%%, want ~20%%", r.AvgEnergyReductionPct)
+	}
+}
+
+func TestNoSavingsForActivelyUsedApp(t *testing.T) {
+	dd := dayTrace(t, []int{0, 1, 2, 3, 4, 5}, []int{})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.x"}, nil, 3)
+	if res[0].AvgEnergyReductionPct != 0 {
+		t.Errorf("reduction for daily-used app = %v", res[0].AvgEnergyReductionPct)
+	}
+	if res[0].PctBgOnlyDays != 0 {
+		t.Errorf("bg-only days = %v", res[0].PctBgOnlyDays)
+	}
+}
+
+func TestAbsentApp(t *testing.T) {
+	dd := dayTrace(t, []int{0}, []int{1})
+	res := Evaluate([]*analysis.DeviceData{dd}, []string{"com.absent"}, []string{"Absent"}, 3)
+	r := res[0]
+	if r.Users != 0 || r.AvgEnergyReductionPct != 0 || r.Label != "Absent" {
+		t.Errorf("absent app row = %+v", r)
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	dd := dayTrace(t, []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	pts := SweepThresholds([]*analysis.DeviceData{dd}, 7)
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FleetSavedJ > pts[i-1].FleetSavedJ+1e-9 {
+			t.Errorf("savings increased with a laxer threshold: %v", pts)
+		}
+	}
+	if pts[0].FleetSavedPct <= 0 {
+		t.Error("threshold 1 should save something")
+	}
+}
+
+func TestMultiUserAveraging(t *testing.T) {
+	// User A: heavy idle (big savings). User B: daily use (no savings).
+	a := dayTrace(t, []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	bT := dayTrace(t, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []int{})
+	bT.Device = "d1"
+	res := Evaluate([]*analysis.DeviceData{a, bT}, []string{"com.x"}, nil, 3)
+	r := res[0]
+	if r.Users != 2 {
+		t.Fatalf("users = %d", r.Users)
+	}
+	// Average of ~60% and 0%.
+	if r.AvgEnergyReductionPct < 25 || r.AvgEnergyReductionPct > 35 {
+		t.Errorf("avg reduction = %v%%", r.AvgEnergyReductionPct)
+	}
+}
+
+func TestIsolationCandidates(t *testing.T) {
+	// An app idle 9 days with bg energy qualifies; a daily-used app does not.
+	idle := dayTrace(t, []int{0}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	cands := IsolationCandidates([]*analysis.DeviceData{idle}, 5, 1)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %+v", cands)
+	}
+	c := cands[0]
+	if c.App != "com.x" || c.MaxIdleRun != 9 {
+		t.Errorf("candidate = %+v", c)
+	}
+	if c.SavingsEstJ <= 0 || c.BgEnergyJ <= 0 {
+		t.Errorf("estimates: %+v", c)
+	}
+	if c.ShareOfDev <= 0 || c.ShareOfDev > 1 {
+		t.Errorf("share = %v", c.ShareOfDev)
+	}
+
+	active := dayTrace(t, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, nil)
+	active.Device = "d1"
+	if got := IsolationCandidates([]*analysis.DeviceData{active}, 5, 1); len(got) != 0 {
+		t.Errorf("daily-used app flagged: %+v", got)
+	}
+
+	// Thresholds filter.
+	if got := IsolationCandidates([]*analysis.DeviceData{idle}, 20, 1); len(got) != 0 {
+		t.Errorf("idle-run threshold ignored: %+v", got)
+	}
+	if got := IsolationCandidates([]*analysis.DeviceData{idle}, 5, 1e12); len(got) != 0 {
+		t.Errorf("energy threshold ignored: %+v", got)
+	}
+}

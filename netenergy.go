@@ -1,0 +1,68 @@
+// Package netenergy reproduces "Revisiting Network Energy Efficiency of
+// Mobile Apps: Performance in the Wild" (Rosen et al., IMC 2015): a
+// measurement pipeline that attributes cellular network energy to apps by
+// replaying packet traces through an LTE RRC power model, plus the
+// synthetic device-fleet generator that stands in for the paper's
+// proprietary 20-user dataset.
+//
+// This top-level package is a thin facade over the implementation packages:
+//
+//   - internal/trace     — collector record streams and the METR file format
+//   - internal/netparse  — gopacket-style IPv4/IPv6 + TCP/UDP codec
+//   - internal/radio     — LTE/3G/WiFi RRC power models and energy accounting
+//   - internal/energy    — per-(app, state, day) energy attribution
+//   - internal/procstate — Android process-state timelines
+//   - internal/flows     — five-tuple flow assembly
+//   - internal/appmodel  — calibrated per-app behaviour models
+//   - internal/usermodel — user session/engagement simulation
+//   - internal/synthgen  — fleet dataset generation
+//   - internal/analysis  — one analysis per paper figure/table
+//   - internal/whatif    — §5 kill-idle-apps policy simulation
+//   - internal/core      — the end-to-end Study orchestration
+//
+// Typical use:
+//
+//	study, err := netenergy.Run(netenergy.SmallConfig(5, 14))
+//	if err != nil { ... }
+//	h := study.Headline()
+//	fmt.Printf("background energy share: %.0f%%\n", 100*h.BackgroundFraction)
+package netenergy
+
+import (
+	"io"
+
+	"netenergy/internal/core"
+	"netenergy/internal/synthgen"
+)
+
+// Study is the loaded dataset plus every analysis of the paper's
+// evaluation. See internal/core for the full method set: Headline, Fig1-6,
+// Table1, Table2, Sweep and WriteReport.
+type Study = core.Study
+
+// Config controls dataset synthesis (users, days, seed, app population).
+type Config = synthgen.Config
+
+// DefaultConfig is the full-study configuration: 20 users, 126 days,
+// the calibrated 342-app population.
+func DefaultConfig() Config { return synthgen.Default() }
+
+// SmallConfig scales the study down for quick experiments and tests.
+func SmallConfig(users, days int) Config { return synthgen.Small(users, days) }
+
+// Run generates the configured fleet in memory and evaluates it.
+func Run(cfg Config) (*Study, error) { return core.Run(cfg) }
+
+// Open loads a fleet previously written to disk by cmd/gentrace or
+// GenerateFleet.
+func Open(dir string) (*Study, error) { return core.Open(dir) }
+
+// GenerateFleet writes the configured fleet to dir as METR files.
+func GenerateFleet(cfg Config, dir string) error {
+	_, err := synthgen.GenerateFleet(cfg, dir)
+	return err
+}
+
+// WriteReport renders the full evaluation (headline statistics, Figures
+// 1-6, Tables 1-2) for a study.
+func WriteReport(s *Study, w io.Writer) error { return s.WriteReport(w) }

@@ -1,0 +1,60 @@
+package netenergy_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netenergy"
+)
+
+func TestFacadeRun(t *testing.T) {
+	study, err := netenergy.Run(netenergy.SmallConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := study.Headline()
+	if h.TotalEnergyJ <= 0 {
+		t.Error("no energy")
+	}
+	var buf bytes.Buffer
+	if err := netenergy.WriteReport(study, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("report missing Table 1")
+	}
+}
+
+func TestFacadeGenerateAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := netenergy.GenerateFleet(netenergy.SmallConfig(2, 2), dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.metr"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("fleet files: %v %v", files, err)
+	}
+	study, err := netenergy.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := study.Headline().TotalEnergyJ; got <= 0 {
+		t.Errorf("energy = %v", got)
+	}
+}
+
+func TestDefaultConfigShape(t *testing.T) {
+	cfg := netenergy.DefaultConfig()
+	if cfg.Users != 20 || cfg.Days != 126 {
+		t.Errorf("default config = %+v", cfg)
+	}
+	small := netenergy.SmallConfig(3, 4)
+	if small.Users != 3 || small.Days != 4 {
+		t.Errorf("small config = %+v", small)
+	}
+	if small.Seed != cfg.Seed {
+		t.Error("small config should inherit the default seed")
+	}
+}
