@@ -1,0 +1,44 @@
+# Tier-1 check for this repo: `make ci` (vet + build + race tests + the
+# fleetsim -> ingestd smoke run). The plain seed check `go build ./... &&
+# go test ./...` remains a subset of this.
+
+GO ?= go
+
+.PHONY: ci vet build test race smoke fuzz bench clean
+
+ci: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+	@mkdir -p bin
+	$(GO) build -o bin/ ./cmd/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# End-to-end load smoke: 200 synthetic devices stream one trace-day each
+# into a local ingestd; fleetsim exits non-zero on any dropped or rejected
+# record, and ingestd must drain gracefully on SIGTERM.
+smoke: build
+	./scripts/smoke.sh
+
+# Short runs of every fuzz target (trace reader, pcap reader, packet
+# parser, ingest frame decoder).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/pcapio/
+	$(GO) test -run=NONE -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/netparse/
+	$(GO) test -run=NONE -fuzz=FuzzFrameDecoder -fuzztime=$(FUZZTIME) ./internal/ingest/
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+clean:
+	rm -rf bin

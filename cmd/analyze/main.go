@@ -10,6 +10,8 @@
 //	analyze -data data/ -headline     # headline statistics only
 //	analyze -data data/ -stream       # bounded-memory single-pass summary
 //	analyze -data data/ -csv fig6.csv -fig 6
+//	analyze -data data/ -workers 8    # load device files in parallel
+//	analyze -data data/ -stream -csv fig6.csv  # stream mode CSV export
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/core"
@@ -41,18 +44,19 @@ func main() {
 		device   = flag.String("device", "", "restrict analyses to one device (e.g. u03)")
 		kill     = flag.Int("kill", 3, "kill-after-days threshold for table 2")
 		csvPath  = flag.String("csv", "", "also write the selected figure's raw series as CSV")
+		workers  = flag.Int("workers", runtime.NumCPU(), "device files loaded in parallel (per-device files are independent)")
 	)
 	flag.Parse()
 
 	if *stream {
-		if err := runStream(*data); err != nil {
+		if err := runStream(*data, *csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	study, err := load(*data, *gen, *users, *days, *seed)
+	study, err := load(*data, *gen, *users, *days, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
@@ -91,7 +95,7 @@ func main() {
 	}
 }
 
-func load(data string, gen bool, users, days int, seed uint64) (*core.Study, error) {
+func load(data string, gen bool, users, days int, seed uint64, workers int) (*core.Study, error) {
 	if gen || data == "" {
 		cfg := synthgen.Default()
 		cfg.Users = users
@@ -100,7 +104,7 @@ func load(data string, gen bool, users, days int, seed uint64) (*core.Study, err
 		fmt.Fprintf(os.Stderr, "analyze: generating %d users x %d days in memory\n", users, days)
 		return core.Run(cfg)
 	}
-	return core.Open(data)
+	return core.OpenParallel(data, workers)
 }
 
 func printFigure(w io.Writer, s *core.Study, n int, csvPath string) error {
@@ -178,8 +182,9 @@ func printFigure(w io.Writer, s *core.Study, n int, csvPath string) error {
 
 // runStream computes the bounded-memory summary: headline energy shares,
 // the Figure 6 aggregates, the first-minute criterion and the screen split,
-// in one sequential pass per trace file.
-func runStream(data string) error {
+// in one sequential pass per trace file. With csvPath the Fig. 6 series is
+// exported in the same shape as the batch mode's -fig 6 -csv.
+func runStream(data, csvPath string) error {
 	if data == "" {
 		return fmt.Errorf("-stream requires -data")
 	}
@@ -203,6 +208,24 @@ func runStream(data string) error {
 	total := res.OffBytes + res.OnBytes
 	if total > 0 {
 		fmt.Printf("screen-off bytes: %.1f%%\n", 100*float64(res.OffBytes)/float64(total))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rows := make([][]string, len(f6.Offsets))
+		for i := range f6.Offsets {
+			rows[i] = []string{
+				fmt.Sprintf("%.0f", f6.Offsets[i]),
+				fmt.Sprintf("%.0f", f6.Bytes[i]),
+			}
+		}
+		if err := report.CSV(f, []string{"since_fg_s", "bg_bytes"}, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fig6 series to %s\n", csvPath)
 	}
 	return nil
 }

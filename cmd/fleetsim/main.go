@@ -1,0 +1,162 @@
+// Command fleetsim is the fleet load generator: it synthesises N device
+// traces (the same generator the batch study uses) and streams them to an
+// ingestd concurrently, optionally time-compressed, then reports achieved
+// throughput. With -admin it cross-checks the server's counters against
+// what was sent and exits non-zero on any dropped or rejected record —
+// the repo's end-to-end load benchmark.
+//
+// Usage:
+//
+//	fleetsim -addr localhost:9009 -devices 200 -days 1
+//	fleetsim -addr localhost:9009 -admin http://localhost:9010 -devices 200
+//	fleetsim -devices 50 -speedup 86400   # one trace-day per wall-second
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netenergy/internal/ingest"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:9009", "ingestd stream address")
+		admin   = flag.String("admin", "", "ingestd admin base URL for the drop cross-check (e.g. http://localhost:9010)")
+		devices = flag.Int("devices", 20, "synthetic devices to stream concurrently")
+		days    = flag.Int("days", 1, "trace days per device")
+		seed    = flag.Uint64("seed", 20151028, "generator seed")
+		speedup = flag.Float64("speedup", 0, "time-compression factor: trace-seconds per wall-second (0: unpaced, as fast as possible)")
+		timeout = flag.Duration("connect-timeout", 10*time.Second, "dial retry budget (lets fleetsim start before ingestd binds)")
+	)
+	flag.Parse()
+
+	cfg := synthgen.Default()
+	cfg.Users = *devices
+	cfg.Days = *days
+	cfg.Seed = *seed
+
+	var sentRecords, sentBytes, failed atomic.Int64
+	gen := make(chan struct{}, runtime.GOMAXPROCS(0)) // bound concurrent generation
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen <- struct{}{}
+			dt := synthgen.GenerateDevice(cfg, i)
+			<-gen
+			if err := streamDevice(*addr, dt, *speedup, *timeout); err != nil {
+				fmt.Fprintf(os.Stderr, "fleetsim: %s: %v\n", dt.Device, err)
+				failed.Add(1)
+				return
+			}
+			sentRecords.Add(int64(len(dt.Records)))
+			var bytes int64
+			for j := range dt.Records {
+				bytes += int64(len(dt.Records[j].Payload))
+			}
+			sentBytes.Add(bytes)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	recs := sentRecords.Load()
+	fmt.Printf("fleetsim: %d devices x %d days: %d records in %.2fs (%.0f records/s, %.2f MB payload)\n",
+		*devices, *days, recs, wall.Seconds(), float64(recs)/wall.Seconds(),
+		float64(sentBytes.Load())/1e6)
+	if failed.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: %d device streams failed\n", failed.Load())
+		os.Exit(1)
+	}
+
+	if *admin != "" {
+		if err := crossCheck(*admin, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// streamDevice sends one device trace, pacing by the time-compression
+// factor when one is set.
+func streamDevice(addr string, dt *trace.DeviceTrace, speedup float64, timeout time.Duration) error {
+	c, err := ingest.Dial(addr, dt.Device, dt.Start, timeout)
+	if err != nil {
+		return err
+	}
+	wallStart := time.Now()
+	for i := range dt.Records {
+		if speedup > 0 {
+			due := wallStart.Add(time.Duration(dt.Records[i].TS.Sub(dt.Start) / speedup * float64(time.Second)))
+			if ahead := time.Until(due); ahead > 5*time.Millisecond {
+				if err := c.Flush(); err != nil {
+					return err
+				}
+				time.Sleep(ahead)
+			}
+		}
+		if err := c.Send(&dt.Records[i]); err != nil {
+			return err
+		}
+	}
+	return c.Close()
+}
+
+// crossCheck fetches the server's counters and live headline and verifies
+// nothing sent was dropped or rejected. The server may still be draining
+// socket buffers when the last connection closes, so the record counter is
+// polled until it settles.
+func crossCheck(admin string, sent int64) error {
+	var st ingest.Stats
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := getJSON(admin+"/stats", &st); err != nil {
+			return err
+		}
+		if st.Records >= sent || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	var h ingest.LiveHeadline
+	if err := getJSON(admin+"/headline", &h); err != nil {
+		return err
+	}
+	fmt.Printf("server: %d records accepted, %d crc errors, %d decode errors, shard depths %v\n",
+		st.Records, st.CRCErrors, st.DecodeErrors, st.ShardDepths)
+	fmt.Printf("live headline: %.0f J, background fraction %.3f, first-minute %.3f, screen-off bytes %.1f%%\n",
+		h.TotalEnergyJ, h.BackgroundFraction, h.FirstMinuteFraction, 100*h.ScreenOffByteShare)
+	if dropped := sent - st.Records; dropped != 0 {
+		return fmt.Errorf("dropped records: sent %d, server accepted %d (diff %d)", sent, st.Records, dropped)
+	}
+	if st.CRCErrors != 0 || st.DecodeErrors != 0 || st.FrameErrors != 0 {
+		return fmt.Errorf("server rejected frames: %d crc, %d decode, %d frame errors",
+			st.CRCErrors, st.DecodeErrors, st.FrameErrors)
+	}
+	fmt.Println("fleetsim: zero dropped records")
+	return nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,77 @@
+// Command ingestd is the live fleet-ingest daemon: it accepts METR record
+// streams over TCP from many concurrent devices, routes them through a
+// sharded analysis pipeline, and serves the paper's headline statistics
+// live over an HTTP admin endpoint while the fleet streams.
+//
+// Usage:
+//
+//	ingestd -listen :9009 -admin :9010
+//	curl http://localhost:9010/headline   # live fleet headline
+//	curl http://localhost:9010/stats      # counters, rates, queue depths
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// severs device connections, flushes every shard queue, finalises all
+// device streams and prints the final fleet headline before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netenergy/internal/ingest"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":9009", "TCP listen address for device streams")
+		admin   = flag.String("admin", ":9010", "HTTP admin listen address (empty: disabled)")
+		shards  = flag.Int("shards", 8, "worker shards (consistent-hashed by device ID)")
+		queue   = flag.Int("queue", 256, "per-shard queue depth (bounded; full queue = backpressure)")
+		batch   = flag.Int("batch", 128, "records per shard hand-off batch")
+		timeout = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	srv := ingest.NewServer(ingest.Config{
+		Addr:        *listen,
+		AdminAddr:   *admin,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		BatchSize:   *batch,
+		ReadTimeout: *timeout,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ingestd: streaming on %s", srv.Addr())
+	if a := srv.AdminAddr(); a != nil {
+		fmt.Printf(", admin on http://%s", a)
+	}
+	fmt.Printf(" (%d shards)\n", *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ingestd: draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	final, err := srv.Shutdown(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: drain failed:", err)
+		os.Exit(1)
+	}
+	st := srv.Stats(false)
+	h := ingest.HeadlineOf(final, st.Devices, st.Records)
+	fmt.Printf("ingestd: drained %d devices, %d records, %d bytes (%d crc errors, %d decode errors)\n",
+		st.Devices, st.Records, st.Bytes, st.CRCErrors, st.DecodeErrors)
+	fmt.Printf("final headline: %.0f J attributed, background fraction %.3f, first-minute %.3f, screen-off bytes %.1f%%\n",
+		h.TotalEnergyJ, h.BackgroundFraction, h.FirstMinuteFraction, 100*h.ScreenOffByteShare)
+}

@@ -37,6 +37,69 @@ type StreamResult struct {
 	Span [2]trace.Timestamp
 }
 
+// newStreamResult returns an empty result with all accumulators allocated.
+func newStreamResult(device string) *StreamResult {
+	return &StreamResult{
+		Device:          device,
+		Ledger:          energy.NewLedger(),
+		SinceFg:         stats.NewTimeBins(10, 720),
+		BgBytesByApp:    map[uint32]int64{},
+		EarlyBytesByApp: map[uint32]int64{},
+		EverForeground:  map[uint32]bool{},
+	}
+}
+
+// NewStreamResult returns an empty result, for callers that accumulate via
+// Merge (the ingest shards seed their fleet aggregate with one).
+func NewStreamResult(device string) *StreamResult { return newStreamResult(device) }
+
+// Clone returns a deep copy: mutating the clone (or continuing to feed the
+// original) leaves the other untouched. Used to snapshot live accumulators.
+func (r *StreamResult) Clone() *StreamResult {
+	c := newStreamResult(r.Device)
+	c.Merge(r)
+	return c
+}
+
+// Merge adds other's accumulators into r, turning per-device stream results
+// into fleet aggregates. App IDs must be comparable across devices (same
+// caveat as energy.MergeLedgers). Fig6 bins merge by time offset, so
+// differing bin layouts still combine correctly.
+func (r *StreamResult) Merge(other *StreamResult) {
+	r.DecodeErrors += other.DecodeErrors
+	r.Ledger.Merge(other.Ledger)
+	if r.SinceFg.Width == other.SinceFg.Width && len(r.SinceFg.Vals) == len(other.SinceFg.Vals) {
+		for i, v := range other.SinceFg.Vals {
+			r.SinceFg.Vals[i] += v
+		}
+	} else {
+		for i, v := range other.SinceFg.Vals {
+			r.SinceFg.Add(float64(i)*other.SinceFg.Width, v)
+		}
+	}
+	for app, b := range other.BgBytesByApp {
+		r.BgBytesByApp[app] += b
+	}
+	for app, b := range other.EarlyBytesByApp {
+		r.EarlyBytesByApp[app] += b
+	}
+	for app, v := range other.EverForeground {
+		if v {
+			r.EverForeground[app] = true
+		}
+	}
+	r.OffBytes += other.OffBytes
+	r.OnBytes += other.OnBytes
+	r.OffEnergy += other.OffEnergy
+	r.OnEnergy += other.OnEnergy
+	if r.Span[0] == 0 || (other.Span[0] != 0 && other.Span[0] < r.Span[0]) {
+		r.Span[0] = other.Span[0]
+	}
+	if other.Span[1] > r.Span[1] {
+		r.Span[1] = other.Span[1]
+	}
+}
+
 // FirstMinuteFraction evaluates the §4.1 criterion over the streamed
 // accumulators.
 func (r *StreamResult) FirstMinuteFraction(threshold float64) float64 {
@@ -79,38 +142,151 @@ func (r *StreamResult) SinceForeground() SinceForegroundResult {
 	return res
 }
 
-// StreamDevice processes one METR stream record by record. Nothing is
-// retained per packet: the radio accountant, the process-state snapshot,
-// the screen flag and the aggregate bins advance in lockstep with the
-// stream. Records must be in timestamp order (generated traces are).
-func StreamDevice(r *trace.Reader, opts energy.Options) (*StreamResult, error) {
+// StreamAccumulator is the push-mode form of the bounded-memory analyzer:
+// records are fed to it one at a time (in timestamp order, as a device
+// produces them) and the StreamResult advances in lockstep. The batch
+// StreamDevice pass and the live ingest server are both built on it.
+// Not safe for concurrent use; one accumulator per device stream.
+type StreamAccumulator struct {
+	opts   energy.Options
+	res    *StreamResult
+	parser *netparse.Parser
+	acct   *radio.Accountant
+
+	// Incremental per-app state: whether the app is foreground now and the
+	// end of its latest foreground interval.
+	lastFgEnd map[uint32]trace.Timestamp
+	inFg      map[uint32]bool
+	screenOn  bool
+
+	prevApp   uint32
+	prevState trace.ProcState
+	prevDay   int
+	havePrev  bool
+	records   int64
+}
+
+// NewStreamAccumulator returns an accumulator for one device stream.
+func NewStreamAccumulator(device string, opts energy.Options) *StreamAccumulator {
 	if opts.Radio.Name == "" {
 		opts.Radio = radio.LTE()
-	}
-	res := &StreamResult{
-		Device:          r.Device(),
-		Ledger:          energy.NewLedger(),
-		SinceFg:         stats.NewTimeBins(10, 720),
-		BgBytesByApp:    map[uint32]int64{},
-		EarlyBytesByApp: map[uint32]int64{},
-		EverForeground:  map[uint32]bool{},
 	}
 	parser := netparse.NewParser()
 	parser.VerifyChecksums = opts.VerifyChecksums
 	parser.Snap = opts.Snap
-	acct := radio.NewAccountant(opts.Radio)
+	return &StreamAccumulator{
+		opts:      opts,
+		res:       newStreamResult(device),
+		parser:    parser,
+		acct:      radio.NewAccountant(opts.Radio),
+		lastFgEnd: map[uint32]trace.Timestamp{},
+		inFg:      map[uint32]bool{},
+	}
+}
 
-	// Incremental per-app state: whether the app is foreground now and the
-	// end of its latest foreground interval.
-	lastFgEnd := map[uint32]trace.Timestamp{}
-	inFg := map[uint32]bool{}
-	screenOn := false
+// Records returns the number of records fed so far.
+func (a *StreamAccumulator) Records() int64 { return a.records }
 
-	var prevApp uint32
-	var prevState trace.ProcState
-	var prevDay int
-	havePrev := false
+// Feed advances the accumulator by one record. Nothing is retained per
+// packet: the radio accountant, the process-state snapshot, the screen flag
+// and the aggregate bins advance in lockstep with the stream. The record
+// (and its Payload) may be reused by the caller after Feed returns.
+func (a *StreamAccumulator) Feed(rec *trace.Record) {
+	a.records++
+	res := a.res
+	switch rec.Type {
+	case trace.RecProcState:
+		if a.inFg[rec.App] && !rec.State.IsForeground() {
+			a.lastFgEnd[rec.App] = rec.TS
+		}
+		a.inFg[rec.App] = rec.State.IsForeground()
+		if rec.State.IsForeground() {
+			res.EverForeground[rec.App] = true
+		}
+	case trace.RecScreen:
+		a.screenOn = rec.ScreenOn
+	case trace.RecPacket:
+		if rec.Net != a.opts.Network {
+			return
+		}
+		d, err := a.parser.DecodePacket(rec.Payload)
+		if err != nil {
+			res.DecodeErrors++
+			return
+		}
+		if !a.havePrev {
+			res.Span[0] = rec.TS
+		}
+		res.Span[1] = rec.TS
+		dir := radio.Down
+		if rec.Dir == trace.DirUp {
+			dir = radio.Up
+		}
+		c := a.acct.OnPacket(rec.TS.Seconds(), d.WireLen, dir)
+		day := rec.TS.Day()
+		if c.GapTail > 0 && a.havePrev {
+			res.Ledger.Charge(a.prevApp, a.prevState, a.prevDay, c.GapTail)
+		} else if c.GapTail > 0 {
+			res.Ledger.Charge(rec.App, rec.State, day, c.GapTail)
+		}
+		own := c.Promotion + c.Transfer
+		res.Ledger.Charge(rec.App, rec.State, day, own)
+		res.Ledger.AddPacket(rec.App, day, rec.State, int64(d.WireLen))
 
+		if rec.State.IsBackground() {
+			res.BgBytesByApp[rec.App] += int64(d.WireLen)
+			fgEnd, wasFg := a.lastFgEnd[rec.App]
+			if a.inFg[rec.App] {
+				fgEnd, wasFg = rec.TS, true
+			}
+			if wasFg {
+				since := rec.TS.Sub(fgEnd)
+				res.SinceFg.Add(since, float64(d.WireLen))
+				if since <= 60 {
+					res.EarlyBytesByApp[rec.App] += int64(d.WireLen)
+				}
+			}
+		}
+		if a.screenOn {
+			res.OnBytes += int64(d.WireLen)
+			res.OnEnergy += own + c.GapTail
+		} else {
+			res.OffBytes += int64(d.WireLen)
+			res.OffEnergy += own + c.GapTail
+		}
+		a.prevApp, a.prevState, a.prevDay = rec.App, rec.State, day
+		a.havePrev = true
+	}
+}
+
+// Finish closes the stream — the radio rides its final tail out and the
+// idle baseline is settled — and returns the completed result. The
+// accumulator must not be fed afterwards.
+func (a *StreamAccumulator) Finish() *StreamResult {
+	if fin := a.acct.Finish(); fin > 0 && a.havePrev {
+		a.res.Ledger.Charge(a.prevApp, a.prevState, a.prevDay, fin)
+	}
+	a.res.Ledger.IdleEnergy = a.opts.Radio.IdlePower * a.res.Span[1].Sub(a.res.Span[0])
+	return a.res
+}
+
+// Snapshot returns a deep copy of the result as if the stream ended now:
+// the pending radio tail and idle baseline are charged on the copy, while
+// the live accumulator continues unperturbed. This is what makes the fleet
+// headline queryable mid-stream.
+func (a *StreamAccumulator) Snapshot() *StreamResult {
+	c := a.res.Clone()
+	if a.havePrev && a.acct.State() != radio.Idle {
+		c.Ledger.Charge(a.prevApp, a.prevState, a.prevDay, a.acct.Params().FullTailEnergy())
+	}
+	c.Ledger.IdleEnergy = a.opts.Radio.IdlePower * c.Span[1].Sub(c.Span[0])
+	return c
+}
+
+// StreamDevice processes one METR stream record by record. Records must be
+// in timestamp order (generated traces are).
+func StreamDevice(r *trace.Reader, opts energy.Options) (*StreamResult, error) {
+	acc := NewStreamAccumulator(r.Device(), opts)
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -119,120 +295,21 @@ func StreamDevice(r *trace.Reader, opts energy.Options) (*StreamResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch rec.Type {
-		case trace.RecProcState:
-			if inFg[rec.App] && !rec.State.IsForeground() {
-				lastFgEnd[rec.App] = rec.TS
-			}
-			inFg[rec.App] = rec.State.IsForeground()
-			if rec.State.IsForeground() {
-				res.EverForeground[rec.App] = true
-			}
-		case trace.RecScreen:
-			screenOn = rec.ScreenOn
-		case trace.RecPacket:
-			if rec.Net != opts.Network {
-				continue
-			}
-			d, err := parser.DecodePacket(rec.Payload)
-			if err != nil {
-				res.DecodeErrors++
-				continue
-			}
-			if !havePrev {
-				res.Span[0] = rec.TS
-			}
-			res.Span[1] = rec.TS
-			dir := radio.Down
-			if rec.Dir == trace.DirUp {
-				dir = radio.Up
-			}
-			c := acct.OnPacket(rec.TS.Seconds(), d.WireLen, dir)
-			day := rec.TS.Day()
-			if c.GapTail > 0 && havePrev {
-				res.Ledger.Charge(prevApp, prevState, prevDay, c.GapTail)
-			} else if c.GapTail > 0 {
-				res.Ledger.Charge(rec.App, rec.State, day, c.GapTail)
-			}
-			own := c.Promotion + c.Transfer
-			res.Ledger.Charge(rec.App, rec.State, day, own)
-			res.Ledger.AddPacket(rec.App, day, rec.State, int64(d.WireLen))
-
-			if rec.State.IsBackground() {
-				res.BgBytesByApp[rec.App] += int64(d.WireLen)
-				fgEnd, wasFg := lastFgEnd[rec.App]
-				if inFg[rec.App] {
-					fgEnd, wasFg = rec.TS, true
-				}
-				if wasFg {
-					since := rec.TS.Sub(fgEnd)
-					res.SinceFg.Add(since, float64(d.WireLen))
-					if since <= 60 {
-						res.EarlyBytesByApp[rec.App] += int64(d.WireLen)
-					}
-				}
-			}
-			if screenOn {
-				res.OnBytes += int64(d.WireLen)
-				res.OnEnergy += own + c.GapTail
-			} else {
-				res.OffBytes += int64(d.WireLen)
-				res.OffEnergy += own + c.GapTail
-			}
-			prevApp, prevState, prevDay = rec.App, rec.State, day
-			havePrev = true
-		}
+		acc.Feed(rec)
 	}
-	if fin := acct.Finish(); fin > 0 && havePrev {
-		res.Ledger.Charge(prevApp, prevState, prevDay, fin)
-	}
-	res.Ledger.IdleEnergy = opts.Radio.IdlePower * res.Span[1].Sub(res.Span[0])
-	return res, nil
+	return acc.Finish(), nil
 }
 
 // StreamFleet runs StreamDevice over every file of a fleet, merging the
 // aggregate accumulators. Peak memory is one device's O(apps) state.
 func StreamFleet(fleet *trace.Fleet, opts energy.Options) (*StreamResult, error) {
-	agg := &StreamResult{
-		Device:          "fleet",
-		Ledger:          energy.NewLedger(),
-		SinceFg:         stats.NewTimeBins(10, 720),
-		BgBytesByApp:    map[uint32]int64{},
-		EarlyBytesByApp: map[uint32]int64{},
-		EverForeground:  map[uint32]bool{},
-	}
+	agg := newStreamResult("fleet")
 	for _, path := range fleet.Paths {
 		res, err := streamFile(path, opts)
 		if err != nil {
 			return nil, err
 		}
-		agg.DecodeErrors += res.DecodeErrors
-		agg.OffBytes += res.OffBytes
-		agg.OnBytes += res.OnBytes
-		agg.OffEnergy += res.OffEnergy
-		agg.OnEnergy += res.OnEnergy
-		merged := energy.MergeLedgers([]*energy.Ledger{agg.Ledger, res.Ledger})
-		agg.Ledger = merged
-		for i, v := range res.SinceFg.Vals {
-			agg.SinceFg.Vals[i] += v
-		}
-		for app, b := range res.BgBytesByApp {
-			agg.BgBytesByApp[app] += b
-		}
-		for app, b := range res.EarlyBytesByApp {
-			agg.EarlyBytesByApp[app] += b
-		}
-		for app, v := range res.EverForeground {
-			if v {
-				agg.EverForeground[app] = true
-			}
-		}
-		if agg.Span[0] == 0 || (res.Span[0] != 0 && res.Span[0] < agg.Span[0]) {
-			agg.Span[0] = res.Span[0]
-		}
-		if res.Span[1] > agg.Span[1] {
-			agg.Span[1] = res.Span[1]
-		}
+		agg.Merge(res)
 	}
 	return agg, nil
 }

@@ -77,6 +77,100 @@ func TestStreamMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestMergedStreamMatchesHeadline extends the stream-vs-batch equivalence
+// to the merged path: per-device StreamResults combined with Merge must
+// reproduce the in-memory Study.Headline() (ComputeHeadline is exactly
+// what core.Study.Headline delegates to) — the property the ingest
+// server's live fleet headline rests on.
+func TestMergedStreamMatchesHeadline(t *testing.T) {
+	cfg := synthgen.Small(3, 4)
+	dts := synthgen.GenerateInMemory(cfg)
+
+	// Merged per-device streaming pass, as the ingest shards run it.
+	merged := NewStreamResult("fleet")
+	for _, dt := range dts {
+		data, err := dt.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := StreamDevice(r, energy.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(res)
+	}
+
+	devs, err := LoadAll(dts, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeHeadline(devs)
+
+	if got := merged.Ledger.BackgroundFraction(); math.Abs(got-want.BackgroundFraction) > 1e-9 {
+		t.Errorf("merged background fraction %v vs headline %v", got, want.BackgroundFraction)
+	}
+	if got := merged.Ledger.StateFraction(trace.StatePerceptible); math.Abs(got-want.PerceptibleFraction) > 1e-9 {
+		t.Errorf("merged perceptible fraction %v vs headline %v", got, want.PerceptibleFraction)
+	}
+	if got := merged.Ledger.StateFraction(trace.StateService); math.Abs(got-want.ServiceFraction) > 1e-9 {
+		t.Errorf("merged service fraction %v vs headline %v", got, want.ServiceFraction)
+	}
+	if got := merged.FirstMinuteFraction(0.8); math.Abs(got-want.FirstMinute.Fraction) > 1e-9 {
+		t.Errorf("merged first minute %v vs headline %v", got, want.FirstMinute.Fraction)
+	}
+	if math.Abs(merged.Ledger.Total-want.TotalEnergyJ) > 1e-6*(1+want.TotalEnergyJ) {
+		t.Errorf("merged total %v vs headline %v", merged.Ledger.Total, want.TotalEnergyJ)
+	}
+	// Merging in a different order must not change anything beyond float
+	// association noise.
+	reversed := NewStreamResult("fleet")
+	for i := len(dts) - 1; i >= 0; i-- {
+		data, _ := dts[i].Encode()
+		r, _ := trace.NewReader(bytes.NewReader(data))
+		res, err := StreamDevice(r, energy.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reversed.Merge(res)
+	}
+	if math.Abs(reversed.Ledger.Total-merged.Ledger.Total) > 1e-6*(1+merged.Ledger.Total) {
+		t.Errorf("merge order changed total: %v vs %v", reversed.Ledger.Total, merged.Ledger.Total)
+	}
+	if reversed.OffBytes != merged.OffBytes || reversed.Span != merged.Span {
+		t.Errorf("merge order changed aggregates: %+v vs %+v",
+			reversed.Span, merged.Span)
+	}
+}
+
+// TestSnapshotMatchesFinish: a Snapshot taken after the last record equals
+// Finish, and snapshotting never perturbs the live accumulator.
+func TestSnapshotMatchesFinish(t *testing.T) {
+	dt := synthgen.GenerateDevice(synthgen.Small(1, 2), 0)
+	acc := NewStreamAccumulator(dt.Device, energy.DefaultOptions())
+	for i := range dt.Records {
+		acc.Feed(&dt.Records[i])
+		if i == len(dt.Records)/2 {
+			acc.Snapshot() // mid-stream snapshot must be side-effect free
+		}
+	}
+	snap := acc.Snapshot()
+	fin := acc.Finish()
+	if math.Abs(snap.Ledger.Total-fin.Ledger.Total) > 1e-9*(1+fin.Ledger.Total) {
+		t.Errorf("snapshot total %v vs finish %v", snap.Ledger.Total, fin.Ledger.Total)
+	}
+	if math.Abs(snap.Ledger.IdleEnergy-fin.Ledger.IdleEnergy) > 1e-9 {
+		t.Errorf("snapshot idle %v vs finish %v", snap.Ledger.IdleEnergy, fin.Ledger.IdleEnergy)
+	}
+	if snap.OffBytes != fin.OffBytes || snap.OnBytes != fin.OnBytes {
+		t.Errorf("snapshot screen split %d/%d vs finish %d/%d",
+			snap.OffBytes, snap.OnBytes, fin.OffBytes, fin.OnBytes)
+	}
+}
+
 func TestStreamFleet(t *testing.T) {
 	dir := t.TempDir()
 	cfg := synthgen.Small(2, 3)

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/appmodel"
@@ -44,30 +45,72 @@ func Run(cfg synthgen.Config) (*Study, error) {
 }
 
 // Open loads an on-disk fleet previously written by cmd/gentrace.
-func Open(dir string) (*Study, error) {
+func Open(dir string) (*Study, error) { return OpenParallel(dir, 1) }
+
+// OpenParallel loads an on-disk fleet with up to workers device files in
+// flight at once. Per-device files are independent, so loading — read,
+// decode, energy replay — parallelises cleanly; results are folded in path
+// order, so the Study is identical regardless of worker count (modulo
+// float association in the network totals, which are summed in order too).
+// workers <= 1 degrades to the sequential one-trace-in-memory behaviour;
+// higher counts trade peak memory for wall time.
+func OpenParallel(dir string, workers int) (*Study, error) {
 	fleet, err := trace.OpenFleet(dir)
 	if err != nil {
 		return nil, err
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(fleet.Paths) {
+		workers = len(fleet.Paths)
+	}
+
+	type loaded struct {
+		dev  *analysis.DeviceData
+		nets analysis.NetworkComparison
+	}
+	results := make([]loaded, len(fleet.Paths))
+	errs := make([]error, len(fleet.Paths))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, path := range fleet.Paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dt, err := trace.ReadFile(path)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: reading %s: %w", path, err)
+				return
+			}
+			dd, err := analysis.Load(dt, energy.DefaultOptions())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nets, err := analysis.CompareNetworks([]*trace.DeviceTrace{dt})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = loaded{dev: dd, nets: nets}
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Study{}
-	err = fleet.EachDevice(func(dt *trace.DeviceTrace) error {
-		dd, err := analysis.Load(dt, energy.DefaultOptions())
-		if err != nil {
-			return err
-		}
-		s.Devices = append(s.Devices, dd)
-		nets, err := analysis.CompareNetworks([]*trace.DeviceTrace{dt})
-		if err != nil {
-			return err
-		}
-		s.Networks.CellularJ += nets.CellularJ
-		s.Networks.WiFiJ += nets.WiFiJ
-		s.Networks.CellularBytes += nets.CellularBytes
-		s.Networks.WiFiBytes += nets.WiFiBytes
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	for _, r := range results {
+		s.Devices = append(s.Devices, r.dev)
+		s.Networks.CellularJ += r.nets.CellularJ
+		s.Networks.WiFiJ += r.nets.WiFiJ
+		s.Networks.CellularBytes += r.nets.CellularBytes
+		s.Networks.WiFiBytes += r.nets.WiFiBytes
 	}
 	return s, nil
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"netenergy/internal/synthgen"
+)
+
+// genFleetDir writes a small on-disk fleet once per test/benchmark run.
+func genFleetDir(tb testing.TB, users, days int) string {
+	tb.Helper()
+	dir := tb.TempDir()
+	if _, err := synthgen.GenerateFleet(synthgen.Small(users, days), dir); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+// TestOpenParallelMatchesOpen: the parallel loader must produce the same
+// study as the sequential one, device order included.
+func TestOpenParallelMatchesOpen(t *testing.T) {
+	dir := genFleetDir(t, 4, 2)
+	seq, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := OpenParallel(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Devices) != len(par.Devices) {
+		t.Fatalf("device counts differ: %d vs %d", len(seq.Devices), len(par.Devices))
+	}
+	for i := range seq.Devices {
+		if seq.Devices[i].Device != par.Devices[i].Device {
+			t.Errorf("device order differs at %d: %s vs %s",
+				i, seq.Devices[i].Device, par.Devices[i].Device)
+		}
+		a, b := seq.Devices[i].Energy.Ledger.Total, par.Devices[i].Energy.Ledger.Total
+		if math.Abs(a-b) > 1e-9*(1+a) {
+			t.Errorf("device %s energy differs: %v vs %v", seq.Devices[i].Device, a, b)
+		}
+	}
+	hs, hp := seq.Headline(), par.Headline()
+	if math.Abs(hs.BackgroundFraction-hp.BackgroundFraction) > 1e-12 {
+		t.Errorf("headline differs: %v vs %v", hs.BackgroundFraction, hp.BackgroundFraction)
+	}
+	if math.Abs(seq.Networks.CellularJ-par.Networks.CellularJ) > 1e-9*(1+seq.Networks.CellularJ) {
+		t.Errorf("network totals differ: %v vs %v", seq.Networks.CellularJ, par.Networks.CellularJ)
+	}
+}
+
+// BenchmarkOpenParallel shows the loader speedup on a multi-device fleet:
+// compare the workers=1 sub-benchmark against the wider ones (the gain
+// tracks available cores; on a single-core box they tie).
+func BenchmarkOpenParallel(b *testing.B) {
+	dir := genFleetDir(b, 6, 2)
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := OpenParallel(dir, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -329,38 +329,45 @@ func ProcessFleet(fleet *trace.Fleet, opts Options) ([]*Result, error) {
 func MergeLedgers(ls []*Ledger) *Ledger {
 	m := newLedger()
 	for _, l := range ls {
-		m.Total += l.Total
-		m.IdleEnergy += l.IdleEnergy
-		for app, e := range l.ByApp {
-			m.ByApp[app] += e
-		}
-		for s, e := range l.ByState {
-			m.ByState[s] += e
-		}
-		for app, as := range l.ByAppState {
-			dst := m.ByAppState[app]
-			if dst == nil {
-				dst = make(map[trace.ProcState]float64)
-				m.ByAppState[app] = dst
-			}
-			for s, e := range as {
-				dst[s] += e
-			}
-		}
-		for app, days := range l.ByAppDay {
-			for day, ds := range days {
-				dst := m.dayStats(app, day)
-				dst.Energy += ds.Energy
-				dst.FgEnergy += ds.FgEnergy
-				dst.BgEnergy += ds.BgEnergy
-				dst.FgBytes += ds.FgBytes
-				dst.BgBytes += ds.BgBytes
-				dst.Packets += ds.Packets
-			}
-		}
-		for app, b := range l.BytesByApp {
-			m.BytesByApp[app] += b
-		}
+		m.Merge(l)
 	}
 	return m
+}
+
+// Merge adds the contents of other into l in place. The streaming fleet
+// aggregator and the ingest shards use it to fold per-device ledgers into a
+// running fleet total without reallocating.
+func (l *Ledger) Merge(other *Ledger) {
+	l.Total += other.Total
+	l.IdleEnergy += other.IdleEnergy
+	for app, e := range other.ByApp {
+		l.ByApp[app] += e
+	}
+	for s, e := range other.ByState {
+		l.ByState[s] += e
+	}
+	for app, as := range other.ByAppState {
+		dst := l.ByAppState[app]
+		if dst == nil {
+			dst = make(map[trace.ProcState]float64)
+			l.ByAppState[app] = dst
+		}
+		for s, e := range as {
+			dst[s] += e
+		}
+	}
+	for app, days := range other.ByAppDay {
+		for day, ds := range days {
+			dst := l.dayStats(app, day)
+			dst.Energy += ds.Energy
+			dst.FgEnergy += ds.FgEnergy
+			dst.BgEnergy += ds.BgEnergy
+			dst.FgBytes += ds.FgBytes
+			dst.BgBytes += ds.BgBytes
+			dst.Packets += ds.Packets
+		}
+	}
+	for app, b := range other.BytesByApp {
+		l.BytesByApp[app] += b
+	}
 }

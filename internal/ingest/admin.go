@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/trace"
+)
+
+// LiveHeadline is the admin /headline document: the paper's headline
+// statistics evaluated over everything the server has ingested so far.
+type LiveHeadline struct {
+	Devices int   `json:"devices"`
+	Records int64 `json:"records"`
+
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	IdleEnergyJ  float64 `json:"idle_energy_j"`
+
+	// BackgroundFraction is the share of attributed energy consumed in
+	// background states (paper: 0.84).
+	BackgroundFraction  float64 `json:"background_fraction"`
+	PerceptibleFraction float64 `json:"perceptible_fraction"`
+	ServiceFraction     float64 `json:"service_fraction"`
+
+	// FirstMinuteFraction is the §4.1 criterion at the 80% threshold
+	// (paper: 0.84).
+	FirstMinuteFraction float64 `json:"first_minute_fraction"`
+
+	// Fig6 aggregates.
+	Fig6FirstMinute float64 `json:"fig6_first_minute"`
+	Fig6Spike5m     float64 `json:"fig6_spike_5m"`
+	Fig6Spike10m    float64 `json:"fig6_spike_10m"`
+
+	// ScreenOffByteShare is the fraction of bytes moved with the screen
+	// off (paper §4: "more than half").
+	ScreenOffByteShare float64 `json:"screen_off_byte_share"`
+
+	DecodeErrors int `json:"decode_errors"`
+
+	SpanStartUS int64 `json:"span_start_us"`
+	SpanEndUS   int64 `json:"span_end_us"`
+}
+
+// HeadlineOf evaluates the live headline over a fleet StreamResult.
+func HeadlineOf(res *analysis.StreamResult, devices int, records int64) LiveHeadline {
+	f6 := res.SinceForeground()
+	h := LiveHeadline{
+		Devices:             devices,
+		Records:             records,
+		TotalEnergyJ:        res.Ledger.Total,
+		IdleEnergyJ:         res.Ledger.IdleEnergy,
+		BackgroundFraction:  res.Ledger.BackgroundFraction(),
+		FirstMinuteFraction: res.FirstMinuteFraction(0.8),
+		Fig6FirstMinute:     f6.FirstMinute,
+		Fig6Spike5m:         f6.Spike5m,
+		Fig6Spike10m:        f6.Spike10m,
+		DecodeErrors:        res.DecodeErrors,
+		SpanStartUS:         int64(res.Span[0]),
+		SpanEndUS:           int64(res.Span[1]),
+	}
+	h.PerceptibleFraction = res.Ledger.StateFraction(trace.StatePerceptible)
+	h.ServiceFraction = res.Ledger.StateFraction(trace.StateService)
+	if total := res.OffBytes + res.OnBytes; total > 0 {
+		h.ScreenOffByteShare = float64(res.OffBytes) / float64(total)
+	}
+	return h
+}
+
+// Headline evaluates the live headline over the current Snapshot.
+func (s *Server) Headline() LiveHeadline {
+	return HeadlineOf(s.Snapshot(), s.devices.len(), s.counters.records.Load())
+}
+
+// adminMux serves the observability surface:
+//
+//	GET /healthz  -> 200 "ok"
+//	GET /stats    -> Stats JSON (add ?devices=1 for per-device counters)
+//	GET /headline -> LiveHeadline JSON
+func (s *Server) adminMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats(r.URL.Query().Get("devices") != ""))
+	})
+	mux.HandleFunc("/headline", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Headline())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+
+	"netenergy/internal/trace"
+)
+
+// Client streams one device's records to an ingest server. It is the
+// device-side half of the wire protocol, used by cmd/fleetsim and tests.
+// Not safe for concurrent use.
+type Client struct {
+	conn  io.WriteCloser
+	bw    *bufio.Writer
+	enc   *trace.RecordEncoder
+	frame []byte
+
+	// Records and Bytes count what has been handed to Send: the
+	// "records sent" side of the drop accounting.
+	Records int64
+	Bytes   int64
+}
+
+// Dial connects to an ingest server and performs the hello for the given
+// device stream. It retries the TCP connect until timeout elapses, so a
+// load generator can start before the server finishes binding.
+func Dial(addr, device string, start trace.Timestamp, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return NewClient(conn, device, start)
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// NewClient writes the hello on an established connection and returns the
+// Client. The connection is owned by the Client from here on.
+func NewClient(conn io.WriteCloser, device string, start trace.Timestamp) (*Client, error) {
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := writeHello(bw, device, start); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, bw: bw, enc: trace.NewRecordEncoder(start)}, nil
+}
+
+// Send frames and buffers one record.
+func (c *Client) Send(r *trace.Record) error {
+	body, err := c.enc.Encode(r)
+	if err != nil {
+		return err
+	}
+	c.frame = appendFrame(c.frame[:0], body)
+	if _, err := c.bw.Write(c.frame); err != nil {
+		return err
+	}
+	c.Records++
+	c.Bytes += int64(len(c.frame))
+	return nil
+}
+
+// Flush pushes buffered frames to the connection.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Close flushes and closes the connection; the server finalises the device
+// stream (radio tail, idle baseline) when it sees the clean end of stream.
+func (c *Client) Close() error {
+	ferr := c.bw.Flush()
+	cerr := c.conn.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

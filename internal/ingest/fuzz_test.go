@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"netenergy/internal/trace"
+)
+
+// FuzzFrameDecoder feeds arbitrary bytes to the server-side frame reader
+// and record decoder: malformed lengths, truncated frames and bad CRCs
+// must yield clean errors — never a panic or an allocation beyond the
+// frame cap.
+func FuzzFrameDecoder(f *testing.F) {
+	// Seed: a valid hello plus a few well-formed frames.
+	var buf bytes.Buffer
+	writeHello(&buf, "dev", 1000) //nolint:errcheck
+	enc := trace.NewRecordEncoder(1000)
+	for _, r := range []trace.Record{
+		{Type: trace.RecAppName, TS: 1000, App: 0, AppName: "com.a"},
+		{Type: trace.RecPacket, TS: 2000, App: 0, Dir: trace.DirUp,
+			Net: trace.NetCellular, State: trace.StateService, Payload: []byte{0x45, 0, 0, 20}},
+		{Type: trace.RecScreen, TS: 3000, ScreenOn: true},
+	} {
+		body, _ := enc.Encode(&r)
+		buf.Write(appendFrame(nil, body))
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("FLTS1\n"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		_, start, err := readHello(br)
+		if err != nil {
+			return
+		}
+		dec := trace.NewRecordDecoder(start)
+		fr := newFrameReader(br)
+		for i := 0; i < 10000; i++ {
+			body, err := fr.next()
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrFrameCRC):
+				continue
+			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrFrameTruncated),
+				errors.Is(err, ErrFrameTooBig):
+				return
+			default:
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if len(body) > MaxFrame {
+				t.Fatalf("oversized frame body accepted: %d", len(body))
+			}
+			rec, err := dec.Decode(body)
+			if err != nil {
+				continue // counted as a decode error by the server
+			}
+			if rec.Type == trace.RecPacket && len(rec.Payload) > MaxFrame {
+				t.Fatalf("oversized payload decoded: %d", len(rec.Payload))
+			}
+		}
+	})
+}

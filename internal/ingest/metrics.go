@@ -1,0 +1,137 @@
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the server-wide monotonic totals, updated lock-free from
+// every connection handler.
+type counters struct {
+	connsTotal   atomic.Int64
+	connsActive  atomic.Int64
+	frames       atomic.Int64
+	records      atomic.Int64
+	bytes        atomic.Int64
+	crcErrors    atomic.Int64
+	decodeErrors atomic.Int64
+	frameErrors  atomic.Int64
+	helloErrors  atomic.Int64
+}
+
+// DeviceStats are the per-device counters the admin endpoint exposes; the
+// error counters are what flags a misbehaving collector in the fleet.
+type DeviceStats struct {
+	Records      int64 `json:"records"`
+	Bytes        int64 `json:"bytes"`
+	CRCErrors    int64 `json:"crc_errors"`
+	DecodeErrors int64 `json:"decode_errors"`
+	Conns        int64 `json:"conns"`
+}
+
+// deviceCounters is the live (atomic) form of DeviceStats.
+type deviceCounters struct {
+	records, bytes, crcErrors, decodeErrors, conns atomic.Int64
+}
+
+func (d *deviceCounters) snapshot() DeviceStats {
+	return DeviceStats{
+		Records:      d.records.Load(),
+		Bytes:        d.bytes.Load(),
+		CRCErrors:    d.crcErrors.Load(),
+		DecodeErrors: d.decodeErrors.Load(),
+		Conns:        d.conns.Load(),
+	}
+}
+
+// deviceRegistry interns per-device counters across reconnects.
+type deviceRegistry struct {
+	mu   sync.RWMutex
+	devs map[string]*deviceCounters
+}
+
+func newDeviceRegistry() *deviceRegistry {
+	return &deviceRegistry{devs: map[string]*deviceCounters{}}
+}
+
+func (r *deviceRegistry) get(device string) *deviceCounters {
+	r.mu.RLock()
+	d := r.devs[device]
+	r.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d = r.devs[device]; d == nil {
+		d = &deviceCounters{}
+		r.devs[device] = d
+	}
+	return d
+}
+
+func (r *deviceRegistry) snapshot() map[string]DeviceStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]DeviceStats, len(r.devs))
+	for dev, c := range r.devs {
+		out[dev] = c.snapshot()
+	}
+	return out
+}
+
+func (r *deviceRegistry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.devs)
+}
+
+// Stats is the admin /stats document.
+type Stats struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	ConnsActive   int64   `json:"conns_active"`
+	ConnsTotal    int64   `json:"conns_total"`
+	Devices       int     `json:"devices"`
+	Frames        int64   `json:"frames"`
+	Records       int64   `json:"records"`
+	Bytes         int64   `json:"bytes"`
+	CRCErrors     int64   `json:"crc_errors"`
+	DecodeErrors  int64   `json:"decode_errors"`
+	FrameErrors   int64   `json:"frame_errors"`
+	HelloErrors   int64   `json:"hello_errors"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	// ShardDepths is the instantaneous queue occupancy per shard — the
+	// backpressure gauge.
+	ShardDepths []int `json:"shard_depths"`
+	// PerDevice is included when the caller asks for it (?devices=1).
+	PerDevice map[string]DeviceStats `json:"per_device,omitempty"`
+}
+
+// rateTracker turns monotonic totals into rates between observations.
+type rateTracker struct {
+	mu          sync.Mutex
+	lastTime    time.Time
+	lastRecords int64
+	lastBytes   int64
+}
+
+// rates returns records/s and bytes/s since the previous call (0 on the
+// first observation or when called again within a millisecond).
+func (t *rateTracker) rates(records, bytes int64, now time.Time) (float64, float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastTime.IsZero() {
+		t.lastTime, t.lastRecords, t.lastBytes = now, records, bytes
+		return 0, 0
+	}
+	dt := now.Sub(t.lastTime).Seconds()
+	if dt < 1e-3 {
+		return 0, 0
+	}
+	rps := float64(records-t.lastRecords) / dt
+	bps := float64(bytes-t.lastBytes) / dt
+	t.lastTime, t.lastRecords, t.lastBytes = now, records, bytes
+	return rps, bps
+}

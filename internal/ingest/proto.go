@@ -1,0 +1,142 @@
+// Package ingest implements the live fleet-ingest subsystem: a TCP server
+// (cmd/ingestd) that accepts streams of METR records from many concurrent
+// device connections, routes each device through a sharded worker pool, and
+// feeds the bounded-memory analysis accumulators incrementally so the
+// paper's headline statistics are queryable in real time over an HTTP admin
+// endpoint. cmd/fleetsim is the matching load generator.
+//
+// Wire protocol (one TCP connection per device stream):
+//
+//	hello := "FLTS1\n" deviceLen:uvarint device:bytes start:varint(µs)
+//	frame := bodyLen:uvarint body:bytes crc:uint32le
+//	body  := type:byte record-body            (trace.RecordEncoder)
+//
+// The frame body is byte-identical to the CRC-covered region of a METR file
+// record, and record timestamps are delta-encoded per connection exactly as
+// in a METR file — a device stream is a METR trace re-framed for the wire.
+// The explicit length prefix is what lets the server drop an individual
+// CRC-corrupted frame and keep the connection, where a file reader has to
+// abort: framing survives body corruption, only a corrupted length prefix
+// kills the connection.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+
+	"netenergy/internal/trace"
+)
+
+// Protocol errors.
+var (
+	// ErrBadHello means the connection did not start with a valid hello.
+	ErrBadHello = errors.New("ingest: bad hello")
+	// ErrFrameTooBig means a frame declared a body larger than MaxFrame;
+	// the length prefix cannot be trusted, so the connection is fatal.
+	ErrFrameTooBig = errors.New("ingest: frame exceeds size limit")
+	// ErrFrameCRC means one frame's CRC check failed. The stream remains
+	// framed; the caller counts the error and continues.
+	ErrFrameCRC = errors.New("ingest: frame crc mismatch")
+	// ErrFrameTruncated means the stream ended inside a frame.
+	ErrFrameTruncated = errors.New("ingest: truncated frame")
+)
+
+var helloMagic = []byte("FLTS1\n")
+
+const (
+	// MaxFrame caps a frame body; matches the METR file record cap.
+	MaxFrame = 1 << 20
+	// maxDeviceID caps the hello's device-identifier length.
+	maxDeviceID = 4096
+)
+
+// writeHello writes the connection preamble.
+func writeHello(w io.Writer, device string, start trace.Timestamp) error {
+	b := append([]byte(nil), helloMagic...)
+	b = binary.AppendUvarint(b, uint64(len(device)))
+	b = append(b, device...)
+	b = binary.AppendVarint(b, int64(start))
+	_, err := w.Write(b)
+	return err
+}
+
+// readHello parses the connection preamble.
+func readHello(r *bufio.Reader) (device string, start trace.Timestamp, err error) {
+	var m [6]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return "", 0, ErrBadHello
+	}
+	for i := range m {
+		if m[i] != helloMagic[i] {
+			return "", 0, ErrBadHello
+		}
+	}
+	dlen, err := binary.ReadUvarint(r)
+	if err != nil || dlen == 0 || dlen > maxDeviceID {
+		return "", 0, ErrBadHello
+	}
+	dev := make([]byte, dlen)
+	if _, err := io.ReadFull(r, dev); err != nil {
+		return "", 0, ErrBadHello
+	}
+	s, err := binary.ReadVarint(r)
+	if err != nil {
+		return "", 0, ErrBadHello
+	}
+	return string(dev), trace.Timestamp(s), nil
+}
+
+// appendFrame appends one framed body (length prefix, body, CRC) to dst.
+func appendFrame(dst, body []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(body))
+	return append(dst, crcb[:]...)
+}
+
+// frameReader reads frames from a buffered stream, reusing one body buffer.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r *bufio.Reader) *frameReader {
+	return &frameReader{r: r, buf: make([]byte, 0, 2048)}
+}
+
+// next returns the next frame body, valid until the following call. A clean
+// end of stream is io.EOF. ErrFrameCRC is recoverable (the frame was fully
+// consumed); every other error is fatal for the connection. The body buffer
+// grows to the actual bytes read, never to an attacker-claimed length
+// beyond MaxFrame.
+func (f *frameReader) next() ([]byte, error) {
+	blen, err := binary.ReadUvarint(f.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrFrameTruncated
+	}
+	if blen > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	if cap(f.buf) < int(blen) {
+		f.buf = make([]byte, blen)
+	}
+	body := f.buf[:blen]
+	if _, err := io.ReadFull(f.r, body); err != nil {
+		return nil, ErrFrameTruncated
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(f.r, crcb[:]); err != nil {
+		return nil, ErrFrameTruncated
+	}
+	if binary.LittleEndian.Uint32(crcb[:]) != crc32.ChecksumIEEE(body) {
+		return nil, ErrFrameCRC
+	}
+	return body, nil
+}

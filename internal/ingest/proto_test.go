@@ -1,0 +1,143 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+	"testing"
+
+	"netenergy/internal/trace"
+)
+
+func sampleRecords() []trace.Record {
+	return []trace.Record{
+		{Type: trace.RecAppName, TS: 1000, App: 0, AppName: "com.example.app"},
+		{Type: trace.RecProcState, TS: 1500, App: 0, State: trace.StateService},
+		{Type: trace.RecPacket, TS: 2000, App: 0, Dir: trace.DirUp,
+			Net: trace.NetCellular, State: trace.StateService,
+			Payload: []byte{0x45, 0, 0, 20, 1, 2, 3, 4}},
+		{Type: trace.RecScreen, TS: 3000, ScreenOn: true},
+	}
+}
+
+// TestProtoRoundtrip drives the client encoder against the server-side
+// frame reader and record decoder directly.
+func TestProtoRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, "u07", 500); err != nil {
+		t.Fatal(err)
+	}
+	enc := trace.NewRecordEncoder(500)
+	recs := sampleRecords()
+	for i := range recs {
+		body, err := enc.Encode(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(appendFrame(nil, body))
+	}
+
+	br := bufio.NewReader(&buf)
+	device, start, err := readHello(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device != "u07" || start != 500 {
+		t.Fatalf("hello = %q/%d", device, start)
+	}
+	dec := trace.NewRecordDecoder(start)
+	fr := newFrameReader(br)
+	for i := range recs {
+		body, err := fr.next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := dec.Decode(body)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		want := recs[i]
+		if got.Type != want.Type || got.TS != want.TS || got.App != want.App ||
+			got.State != want.State || got.ScreenOn != want.ScreenOn ||
+			got.AppName != want.AppName || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("record %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestFrameCRCRecoverable corrupts one frame body: the reader must flag
+// exactly that frame and resume on the next.
+func TestFrameCRCRecoverable(t *testing.T) {
+	enc := trace.NewRecordEncoder(0)
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	var frames [][]byte
+	for i := range recs {
+		body, err := enc.Encode(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, appendFrame(nil, body))
+	}
+	// Corrupt a body byte of the second frame (not its length prefix).
+	frames[1][2] ^= 0xff
+	for _, f := range frames {
+		buf.Write(f)
+	}
+
+	fr := newFrameReader(bufio.NewReader(&buf))
+	if _, err := fr.next(); err != nil {
+		t.Fatalf("frame 0: %v", err)
+	}
+	if _, err := fr.next(); !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("frame 1: want ErrFrameCRC, got %v", err)
+	}
+	if _, err := fr.next(); err != nil {
+		t.Fatalf("frame 2 after CRC error: %v", err)
+	}
+	if _, err := fr.next(); err != nil {
+		t.Fatalf("frame 3 after CRC error: %v", err)
+	}
+	if _, err := fr.next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestFrameSizeLimit: a huge claimed length must fail fast, not allocate.
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // uvarint ~2^34
+	fr := newFrameReader(bufio.NewReader(&buf))
+	if _, err := fr.next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+}
+
+// TestRingDistribution: every device maps to a valid shard, the mapping is
+// stable, and no shard is starved on a realistic fleet.
+func TestRingDistribution(t *testing.T) {
+	const shards = 8
+	r := newRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < 4096; i++ {
+		dev := "device-" + string(rune('a'+i%26)) + "-" + strconv.Itoa(i)
+		s := r.shard(dev)
+		if s < 0 || s >= shards {
+			t.Fatalf("shard out of range: %d", s)
+		}
+		if s2 := r.shard(dev); s2 != s {
+			t.Fatalf("unstable mapping for %q: %d vs %d", dev, s, s2)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d starved", s)
+		}
+	}
+}

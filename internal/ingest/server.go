@@ -1,0 +1,387 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/trace"
+)
+
+// Config tunes an ingest Server. Zero values select production defaults.
+type Config struct {
+	// Addr is the TCP listen address for device streams (":9009").
+	Addr string
+	// AdminAddr is the HTTP admin listen address ("" disables admin).
+	AdminAddr string
+	// Shards is the worker-pool width (default: 8).
+	Shards int
+	// QueueDepth bounds each shard's request queue (default: 256). A full
+	// queue blocks the connection handler — backpressure, not drops.
+	QueueDepth int
+	// BatchSize is how many records a connection handler accumulates
+	// before handing off to a shard (default: 128).
+	BatchSize int
+	// ReadTimeout is the per-frame read deadline (default: 60s). A device
+	// that goes silent longer is disconnected and finalised.
+	ReadTimeout time.Duration
+	// Opts is the energy accounting configuration (default:
+	// energy.DefaultOptions with KeepPackets off).
+	Opts energy.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 60 * time.Second
+	}
+	if c.Opts.Radio.Name == "" {
+		c.Opts = energy.DefaultOptions()
+		c.Opts.KeepPackets = false
+	}
+	return c
+}
+
+// Server is the fleet-ingest daemon: a TCP accept loop, per-connection
+// frame decoders, and a consistent-hash sharded pool of analysis workers.
+type Server struct {
+	cfg   Config
+	ring  *ring
+	shard []*shard
+
+	ln      net.Listener
+	adminLn net.Listener
+	admin   *http.Server
+
+	counters counters
+	devices  *deviceRegistry
+	rates    rateTracker
+	started  time.Time
+
+	mu       sync.RWMutex // guards conns, drain, chClosed, final
+	conns    map[net.Conn]struct{}
+	drain    bool
+	chClosed bool
+	final    *analysis.StreamResult
+	handler sync.WaitGroup
+	accept  sync.WaitGroup
+}
+
+// NewServer builds a Server; Start brings up the listeners.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		ring:    newRing(cfg.Shards),
+		devices: newDeviceRegistry(),
+		conns:   map[net.Conn]struct{}{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts))
+	}
+	return s
+}
+
+// Start binds the listeners and launches the shard workers, the accept
+// loop and (if configured) the admin endpoint. It returns once the server
+// is accepting.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.AdminAddr != "" {
+		aln, err := net.Listen("tcp", s.cfg.AdminAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.adminLn = aln
+		s.admin = &http.Server{Handler: s.adminMux()}
+		go s.admin.Serve(aln) //nolint:errcheck // closed via Shutdown
+	}
+	s.started = time.Now()
+	for _, sh := range s.shard {
+		go sh.run()
+	}
+	s.accept.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound stream-listener address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AdminAddr returns the bound admin address, or nil when disabled.
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.accept.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.mu.Lock()
+		if s.drain {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.handler.Add(1)
+		s.mu.Unlock()
+		s.counters.connsTotal.Add(1)
+		s.counters.connsActive.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) forgetConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handleConn owns one device connection: hello, then the frame loop. Every
+// decoded record is copied into the current batch; batches are enqueued to
+// the device's shard; the partial batch and the device-close marker are
+// flushed when the connection ends for any reason, so everything the
+// handler accepted reaches the analyzer.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.forgetConn(conn)
+		s.counters.connsActive.Add(-1)
+		s.handler.Done()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	device, start, err := readHello(br)
+	if err != nil {
+		s.counters.helloErrors.Add(1)
+		return
+	}
+	dev := s.devices.get(device)
+	dev.conns.Add(1)
+
+	sh := s.shard[s.ring.shard(device)]
+	dec := trace.NewRecordDecoder(start)
+	fr := newFrameReader(br)
+	batch := make([]trace.Record, 0, s.cfg.BatchSize)
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		sh.ch <- shardReq{batch: &recordBatch{device: device, recs: batch}}
+		batch = make([]trace.Record, 0, s.cfg.BatchSize)
+	}
+	defer func() {
+		flush()
+		sh.ch <- shardReq{closeDevice: device}
+	}()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		body, err := fr.next()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrFrameCRC):
+			s.counters.crcErrors.Add(1)
+			dev.crcErrors.Add(1)
+			continue
+		case errors.Is(err, io.EOF):
+			return
+		default:
+			// Truncated/oversized frame or a closed socket: the framing
+			// cannot be trusted past this point.
+			s.counters.frameErrors.Add(1)
+			return
+		}
+		s.counters.frames.Add(1)
+		rec, err := dec.Decode(body)
+		if err != nil {
+			s.counters.decodeErrors.Add(1)
+			dev.decodeErrors.Add(1)
+			continue
+		}
+		cp := *rec
+		if len(rec.Payload) > 0 {
+			cp.Payload = append([]byte(nil), rec.Payload...)
+		}
+		batch = append(batch, cp)
+		s.counters.records.Add(1)
+		s.counters.bytes.Add(int64(len(body)))
+		dev.records.Add(1)
+		dev.bytes.Add(int64(len(body)))
+		if len(batch) >= s.cfg.BatchSize {
+			flush()
+		}
+	}
+}
+
+// Snapshot returns the live fleet-wide StreamResult: every shard's retired
+// aggregate merged with a tail-settled snapshot of every in-flight device
+// stream. After Shutdown it returns the final drained result.
+func (s *Server) Snapshot() *analysis.StreamResult {
+	s.mu.RLock()
+	if s.final != nil {
+		defer s.mu.RUnlock()
+		return s.final.Clone()
+	}
+	if s.chClosed {
+		// Drain in progress: the queues are closed but the final merge is
+		// not published yet. Wait for the shards and read their retired
+		// aggregates directly (the done-channel close orders the reads).
+		s.mu.RUnlock()
+		agg := analysis.NewStreamResult("fleet")
+		for _, sh := range s.shard {
+			<-sh.done
+			agg.Merge(sh.retired)
+		}
+		return agg
+	}
+	// Enqueue all queries while holding the read lock (Shutdown closes the
+	// shard channels only under the write lock, after handlers exit); the
+	// replies are safe to collect outside it — a closing shard drains its
+	// queue, queries included, before exiting.
+	replies := make([]chan *analysis.StreamResult, len(s.shard))
+	for i, sh := range s.shard {
+		c := make(chan *analysis.StreamResult, 1)
+		replies[i] = c
+		sh.ch <- shardReq{query: c}
+	}
+	s.mu.RUnlock()
+
+	agg := analysis.NewStreamResult("fleet")
+	for _, c := range replies {
+		agg.Merge(<-c)
+	}
+	return agg
+}
+
+// Stats assembles the observability snapshot.
+func (s *Server) Stats(perDevice bool) Stats {
+	now := time.Now()
+	records, bytes := s.counters.records.Load(), s.counters.bytes.Load()
+	rps, bps := s.rates.rates(records, bytes, now)
+	st := Stats{
+		UptimeSec:    now.Sub(s.started).Seconds(),
+		ConnsActive:  s.counters.connsActive.Load(),
+		ConnsTotal:   s.counters.connsTotal.Load(),
+		Devices:      s.devices.len(),
+		Frames:       s.counters.frames.Load(),
+		Records:      records,
+		Bytes:        bytes,
+		CRCErrors:    s.counters.crcErrors.Load(),
+		DecodeErrors: s.counters.decodeErrors.Load(),
+		FrameErrors:  s.counters.frameErrors.Load(),
+		HelloErrors:  s.counters.helloErrors.Load(),
+		RecordsPerSec: rps,
+		BytesPerSec:   bps,
+	}
+	for _, sh := range s.shard {
+		st.ShardDepths = append(st.ShardDepths, sh.depth())
+	}
+	if perDevice {
+		st.PerDevice = s.devices.snapshot()
+	}
+	return st
+}
+
+// DeviceRecords returns the number of records accepted for one device —
+// the server-side acknowledgement count a drained headline corresponds to.
+func (s *Server) DeviceRecords(device string) int64 {
+	return s.devices.get(device).records.Load()
+}
+
+// Shutdown drains the server: stop accepting, sever every connection (the
+// handlers flush their partial batches and device-close markers on the way
+// out), close the shard queues and wait for them to drain and finalise all
+// live streams. The returned StreamResult is the final fleet aggregate over
+// every record the server accepted; it remains available via Snapshot.
+func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
+	s.mu.Lock()
+	if s.drain {
+		final := s.final
+		s.mu.Unlock()
+		if final == nil {
+			return nil, fmt.Errorf("ingest: shutdown already in progress")
+		}
+		return final.Clone(), nil
+	}
+	s.drain = true
+	s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+
+	s.accept.Wait()
+	if err := waitCtx(ctx, &s.handler); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.chClosed = true
+	for _, sh := range s.shard {
+		close(sh.ch)
+	}
+	s.mu.Unlock()
+	agg := analysis.NewStreamResult("fleet")
+	for _, sh := range s.shard {
+		select {
+		case <-sh.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		agg.Merge(sh.retired)
+	}
+
+	s.mu.Lock()
+	s.final = agg
+	s.mu.Unlock()
+
+	if s.admin != nil {
+		s.admin.Shutdown(ctx) //nolint:errcheck // best effort
+	}
+	return agg.Clone(), nil
+}
+
+// waitCtx waits on a WaitGroup, bounded by the context.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,281 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+)
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := NewServer(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func streamTrace(t *testing.T, addr string, dt *trace.DeviceTrace) {
+	t.Helper()
+	c, err := Dial(addr, dt.Device, dt.Start, 5*time.Second)
+	if err != nil {
+		t.Errorf("dial %s: %v", dt.Device, err)
+		return
+	}
+	for i := range dt.Records {
+		if err := c.Send(&dt.Records[i]); err != nil {
+			t.Errorf("send %s: %v", dt.Device, err)
+			break
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("close %s: %v", dt.Device, err)
+	}
+}
+
+func batchOpts() energy.Options {
+	opts := energy.DefaultOptions()
+	opts.KeepPackets = false
+	return opts
+}
+
+// TestServeFleetMatchesBatch is the acceptance check: a fleet streamed
+// concurrently over TCP must yield the same headline as the batch pipeline
+// over the same generated dataset.
+func TestServeFleetMatchesBatch(t *testing.T) {
+	cfg := synthgen.Small(4, 3)
+	dts := synthgen.GenerateInMemory(cfg)
+
+	s := startServer(t, Config{AdminAddr: "127.0.0.1:0", Shards: 4, QueueDepth: 16, BatchSize: 32})
+	addr := s.Addr().String()
+
+	var wg sync.WaitGroup
+	var sent int64
+	var mu sync.Mutex
+	for _, dt := range dts {
+		wg.Add(1)
+		go func(dt *trace.DeviceTrace) {
+			defer wg.Done()
+			streamTrace(t, addr, dt)
+			mu.Lock()
+			sent += int64(len(dt.Records))
+			mu.Unlock()
+		}(dt)
+	}
+	wg.Wait()
+
+	// Wait for the shards to drain what the handlers enqueued.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.counters.records.Load() < sent && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Query the live headline over HTTP before shutdown.
+	var live LiveHeadline
+	resp, err := http.Get(fmt.Sprintf("http://%s/headline", s.AdminAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No drops: every record sent was accepted.
+	if got := s.counters.records.Load(); got != sent {
+		t.Fatalf("records accepted = %d, sent = %d", got, sent)
+	}
+	if s.counters.crcErrors.Load() != 0 || s.counters.decodeErrors.Load() != 0 {
+		t.Fatalf("unexpected errors: %+v", s.Stats(false))
+	}
+
+	// Batch reference over the identical dataset (KeepPackets on: the
+	// first-minute figure walks the per-packet slice in batch mode).
+	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.ComputeHeadline(devs)
+
+	if d := math.Abs(final.Ledger.BackgroundFraction() - want.BackgroundFraction); d > 0.01*want.BackgroundFraction {
+		t.Errorf("background fraction: ingest %v vs batch %v", final.Ledger.BackgroundFraction(), want.BackgroundFraction)
+	}
+	if d := math.Abs(final.Ledger.Total - want.TotalEnergyJ); d > 1e-6*(1+want.TotalEnergyJ) {
+		t.Errorf("total energy: ingest %v vs batch %v", final.Ledger.Total, want.TotalEnergyJ)
+	}
+	if d := math.Abs(final.FirstMinuteFraction(0.8) - want.FirstMinute.Fraction); d > 1e-9 {
+		t.Errorf("first minute: ingest %v vs batch %v", final.FirstMinuteFraction(0.8), want.FirstMinute.Fraction)
+	}
+	// The mid-stream HTTP headline was taken after all conns closed, so it
+	// must already match (every stream finalised by then).
+	if d := math.Abs(live.BackgroundFraction - want.BackgroundFraction); d > 0.01*want.BackgroundFraction {
+		t.Errorf("live headline background fraction: %v vs batch %v", live.BackgroundFraction, want.BackgroundFraction)
+	}
+	if live.Records != sent {
+		t.Errorf("live headline records = %d, sent %d", live.Records, sent)
+	}
+}
+
+// TestGracefulDrain severs connections mid-stream via Shutdown and checks
+// the drained headline equals a clean run over exactly the records the
+// server accepted per device.
+func TestGracefulDrain(t *testing.T) {
+	cfg := synthgen.Small(3, 2)
+	dts := synthgen.GenerateInMemory(cfg)
+
+	s := startServer(t, Config{Shards: 2, QueueDepth: 8, BatchSize: 16})
+	addr := s.Addr().String()
+
+	// Stream slowly from each device and never close: the shutdown arrives
+	// mid-stream.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, dt := range dts {
+		wg.Add(1)
+		go func(dt *trace.DeviceTrace) {
+			defer wg.Done()
+			c, err := Dial(addr, dt.Device, dt.Start, 5*time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := range dt.Records {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.Send(&dt.Records[i]); err != nil {
+					return // connection severed by shutdown
+				}
+				if i%64 == 0 {
+					if err := c.Flush(); err != nil {
+						return
+					}
+				}
+			}
+		}(dt)
+	}
+
+	// Let some traffic land, then pull the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.counters.records.Load() < 500 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if s.counters.records.Load() == 0 {
+		t.Fatal("no records accepted before shutdown")
+	}
+
+	// Clean-run reference: feed exactly the accepted per-device prefixes.
+	want := analysis.NewStreamResult("fleet")
+	for _, dt := range dts {
+		n := s.DeviceRecords(dt.Device)
+		acc := analysis.NewStreamAccumulator(dt.Device, batchOpts())
+		for i := int64(0); i < n; i++ {
+			acc.Feed(&dt.Records[i])
+		}
+		want.Merge(acc.Finish())
+	}
+
+	if d := math.Abs(final.Ledger.Total - want.Ledger.Total); d > 1e-6*(1+want.Ledger.Total) {
+		t.Errorf("drained total energy %v, clean run %v", final.Ledger.Total, want.Ledger.Total)
+	}
+	if final.Ledger.BackgroundFraction() != 0 || want.Ledger.BackgroundFraction() != 0 {
+		df := math.Abs(final.Ledger.BackgroundFraction() - want.Ledger.BackgroundFraction())
+		if df > 1e-9 {
+			t.Errorf("drained bg fraction %v, clean run %v",
+				final.Ledger.BackgroundFraction(), want.Ledger.BackgroundFraction())
+		}
+	}
+	if final.OffBytes != want.OffBytes || final.OnBytes != want.OnBytes {
+		t.Errorf("drained screen split %d/%d, clean run %d/%d",
+			final.OffBytes, final.OnBytes, want.OffBytes, want.OnBytes)
+	}
+	// Snapshot after shutdown serves the drained final.
+	if snap := s.Snapshot(); math.Abs(snap.Ledger.Total-final.Ledger.Total) > 1e-9 {
+		t.Errorf("post-shutdown snapshot total %v != final %v", snap.Ledger.Total, final.Ledger.Total)
+	}
+}
+
+// TestCRCRejection sends a corrupted frame between good ones: the server
+// must count it per device and keep the connection and the good records.
+func TestCRCRejection(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, QueueDepth: 4, BatchSize: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHello(conn, "dev-x", 0); err != nil {
+		t.Fatal(err)
+	}
+	enc := trace.NewRecordEncoder(0)
+	recs := sampleRecords()
+	for i := range recs {
+		body, err := enc.Encode(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := appendFrame(nil, body)
+		if i == 1 {
+			frame[len(frame)-1] ^= 0xff // corrupt the CRC
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.counters.crcErrors.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.counters.crcErrors.Load(); got != 1 {
+		t.Fatalf("crc errors = %d, want 1", got)
+	}
+	for s.counters.records.Load() < int64(len(recs)-1) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.counters.records.Load(); got != int64(len(recs)-1) {
+		t.Fatalf("records = %d, want %d", got, len(recs)-1)
+	}
+	dev := s.devices.snapshot()["dev-x"]
+	if dev.CRCErrors != 1 {
+		t.Fatalf("per-device crc errors = %+v", dev)
+	}
+}

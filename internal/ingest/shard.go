@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/trace"
+)
+
+// ring is a consistent-hash ring mapping device IDs to shards. Virtual
+// nodes smooth the distribution; with the shard count fixed for a server's
+// lifetime the ring is equivalent to a modulo, but keeping the placement
+// function consistent means a future resharding (growing the pool, moving
+// devices between processes) relocates only ~1/n of devices.
+type ring struct {
+	hashes []uint64
+	shards []int
+}
+
+const vnodesPerShard = 64
+
+func newRing(shards int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, shards*vnodesPerShard),
+		shards: make([]int, 0, shards*vnodesPerShard),
+	}
+	type point struct {
+		h uint64
+		s int
+	}
+	pts := make([]point, 0, shards*vnodesPerShard)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			pts = append(pts, point{hash64("shard-" + strconv.Itoa(s) + "-" + strconv.Itoa(v)), s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.shards = append(r.shards, p.s)
+	}
+	return r
+}
+
+// shard returns the shard index owning device.
+func (r *ring) shard(device string) int {
+	h := hash64(device)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// recordBatch is a chunk of decoded records for one device, with payloads
+// copied out of the connection's frame buffer so they survive the channel
+// crossing.
+type recordBatch struct {
+	device string
+	recs   []trace.Record
+}
+
+// shardReq is one message on a shard's queue. Exactly one field is set.
+type shardReq struct {
+	batch       *recordBatch
+	closeDevice string                            // finalize this device's stream
+	query       chan<- *analysis.StreamResult     // snapshot-merge request
+}
+
+// shard owns a disjoint subset of devices. All state is confined to the
+// shard goroutine; the bounded channel is both the hand-off and the
+// backpressure mechanism (a full queue blocks the connection handler,
+// which in turn stops reading and lets TCP flow control push back on the
+// device).
+type shard struct {
+	id   int
+	ch   chan shardReq
+	opts energy.Options
+
+	// Goroutine-confined state.
+	live    map[string]*analysis.StreamAccumulator
+	retired *analysis.StreamResult
+
+	done chan struct{}
+}
+
+func newShard(id, queueDepth int, opts energy.Options) *shard {
+	return &shard{
+		id:      id,
+		ch:      make(chan shardReq, queueDepth),
+		opts:    opts,
+		live:    map[string]*analysis.StreamAccumulator{},
+		retired: analysis.NewStreamResult("fleet"),
+		done:    make(chan struct{}),
+	}
+}
+
+// run is the shard worker loop. It exits when the channel is closed, after
+// draining everything still queued and finalising every live device — the
+// graceful-shutdown guarantee that no accepted record is dropped.
+func (s *shard) run() {
+	defer close(s.done)
+	for req := range s.ch {
+		switch {
+		case req.batch != nil:
+			acc := s.live[req.batch.device]
+			if acc == nil {
+				acc = analysis.NewStreamAccumulator(req.batch.device, s.opts)
+				s.live[req.batch.device] = acc
+			}
+			for i := range req.batch.recs {
+				acc.Feed(&req.batch.recs[i])
+			}
+		case req.closeDevice != "":
+			if acc := s.live[req.closeDevice]; acc != nil {
+				s.retired.Merge(acc.Finish())
+				delete(s.live, req.closeDevice)
+			}
+		case req.query != nil:
+			req.query <- s.snapshot()
+		}
+	}
+	for dev, acc := range s.live {
+		s.retired.Merge(acc.Finish())
+		delete(s.live, dev)
+	}
+}
+
+// snapshot merges the retired aggregate with a Snapshot of every live
+// device stream.
+func (s *shard) snapshot() *analysis.StreamResult {
+	agg := s.retired.Clone()
+	for _, acc := range s.live {
+		agg.Merge(acc.Snapshot())
+	}
+	return agg
+}
+
+// depth reports the current queue occupancy (an observability gauge; racy
+// by nature, exact enough for monitoring).
+func (s *shard) depth() int { return len(s.ch) }

@@ -1,0 +1,63 @@
+package trace
+
+// Per-record wire codec. The ingest protocol (internal/ingest) ships METR
+// records as individual frames over TCP rather than as a METR file, so the
+// record encoding — type byte plus varint-packed, delta-timestamped body,
+// byte-identical to the region a METR file CRC covers — is exposed here as
+// a stateful encoder/decoder pair. Framing (length prefix, CRC) is the
+// transport's concern.
+
+// RecordEncoder encodes records into self-contained frame bodies. Like the
+// file Writer, timestamps are delta-encoded against the previously encoded
+// record, so one encoder corresponds to one ordered stream.
+type RecordEncoder struct {
+	last    Timestamp
+	scratch []byte
+}
+
+// NewRecordEncoder returns an encoder whose first record's timestamp is
+// delta-encoded against start (use the trace start, as in the file header).
+func NewRecordEncoder(start Timestamp) *RecordEncoder {
+	return &RecordEncoder{last: start, scratch: make([]byte, 0, 2048)}
+}
+
+// Encode returns the frame body for r: the type byte followed by the
+// varint-packed record body. The returned slice is reused by the next call.
+func (e *RecordEncoder) Encode(r *Record) ([]byte, error) {
+	b := append(e.scratch[:0], byte(r.Type))
+	b, err := appendBody(b, r, e.last)
+	if err != nil {
+		return nil, err
+	}
+	e.scratch = b
+	e.last = r.TS
+	return b, nil
+}
+
+// RecordDecoder decodes frame bodies produced by RecordEncoder. One decoder
+// corresponds to one stream: the timestamp delta chain advances only on
+// successful decodes, so a rejected frame shifts no state.
+type RecordDecoder struct {
+	last Timestamp
+	rec  Record
+}
+
+// NewRecordDecoder returns a decoder with the timestamp chain anchored at
+// start (the value the peer's RecordEncoder was created with).
+func NewRecordDecoder(start Timestamp) *RecordDecoder {
+	return &RecordDecoder{last: start}
+}
+
+// Decode parses one frame body. The returned Record (and any Payload it
+// carries, which aliases frame) is only valid until the next call.
+func (d *RecordDecoder) Decode(frame []byte) (*Record, error) {
+	if len(frame) == 0 {
+		return nil, ErrTruncated
+	}
+	ts, err := decodeBody(RecordType(frame[0]), frame[1:], d.last, &d.rec)
+	if err != nil {
+		return nil, err
+	}
+	d.last = ts
+	return &d.rec, nil
+}

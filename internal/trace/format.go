@@ -104,14 +104,11 @@ func NewCompressedWriter(w io.Writer, device string, start Timestamp) (*Writer, 
 	return tw, nil
 }
 
-// Write encodes one record. It returns the first error encountered and is a
-// no-op afterwards.
-func (w *Writer) Write(r *Record) error {
-	if w.err != nil {
-		return w.err
-	}
-	b := w.scratch[:0]
-	b = binary.AppendVarint(b, int64(r.TS-w.lastTS))
+// appendBody appends the varint-packed body of r to b, with the timestamp
+// delta-encoded against last. It is the single encoding routine shared by
+// the file Writer and the wire-protocol RecordEncoder.
+func appendBody(b []byte, r *Record, last Timestamp) ([]byte, error) {
+	b = binary.AppendVarint(b, int64(r.TS-last))
 	switch r.Type {
 	case RecAppName:
 		b = binary.AppendUvarint(b, uint64(r.App))
@@ -135,7 +132,113 @@ func (w *Writer) Write(r *Record) error {
 			b = append(b, 0)
 		}
 	default:
-		return fmt.Errorf("trace: cannot write record type %v", r.Type)
+		return nil, fmt.Errorf("trace: cannot write record type %v", r.Type)
+	}
+	return b, nil
+}
+
+// decodeBody parses a record body as produced by appendBody into rec and
+// returns the record's absolute timestamp. Packet payloads alias body.
+func decodeBody(typ RecordType, body []byte, last Timestamp, rec *Record) (Timestamp, error) {
+	*rec = Record{Type: typ}
+	delta, n := binary.Varint(body)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	body = body[n:]
+	ts := last + Timestamp(delta)
+	rec.TS = ts
+
+	readUvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, false
+		}
+		body = body[n:]
+		return v, true
+	}
+	readByte := func() (byte, bool) {
+		if len(body) == 0 {
+			return 0, false
+		}
+		b := body[0]
+		body = body[1:]
+		return b, true
+	}
+
+	switch typ {
+	case RecAppName:
+		app, ok := readUvarint()
+		if !ok {
+			return 0, ErrCorrupt
+		}
+		nlen, ok := readUvarint()
+		if !ok || uint64(len(body)) < nlen {
+			return 0, ErrCorrupt
+		}
+		rec.App = uint32(app)
+		rec.AppName = string(body[:nlen])
+	case RecPacket:
+		app, ok := readUvarint()
+		if !ok {
+			return 0, ErrCorrupt
+		}
+		rec.App = uint32(app)
+		d, ok1 := readByte()
+		nw, ok2 := readByte()
+		st, ok3 := readByte()
+		if !ok1 || !ok2 || !ok3 {
+			return 0, ErrCorrupt
+		}
+		rec.Dir, rec.Net, rec.State = Direction(d), Network(nw), ProcState(st)
+		plen, ok := readUvarint()
+		if !ok || uint64(len(body)) < plen {
+			return 0, ErrCorrupt
+		}
+		rec.Payload = body[:plen]
+	case RecProcState:
+		app, ok := readUvarint()
+		if !ok {
+			return 0, ErrCorrupt
+		}
+		st, ok2 := readByte()
+		if !ok2 {
+			return 0, ErrCorrupt
+		}
+		rec.App = uint32(app)
+		rec.State = ProcState(st)
+	case RecUIEvent:
+		app, ok := readUvarint()
+		if !ok {
+			return 0, ErrCorrupt
+		}
+		k, ok2 := readByte()
+		if !ok2 {
+			return 0, ErrCorrupt
+		}
+		rec.App = uint32(app)
+		rec.UIKind = UIEventKind(k)
+	case RecScreen:
+		on, ok := readByte()
+		if !ok {
+			return 0, ErrCorrupt
+		}
+		rec.ScreenOn = on != 0
+	default:
+		return 0, ErrCorrupt
+	}
+	return ts, nil
+}
+
+// Write encodes one record. It returns the first error encountered and is a
+// no-op afterwards.
+func (w *Writer) Write(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	b, err := appendBody(w.scratch[:0], r, w.lastTS)
+	if err != nil {
+		return err
 	}
 	w.scratch = b // keep grown capacity
 
@@ -247,93 +350,10 @@ func (r *Reader) Next() (*Record, error) {
 		return nil, ErrCorrupt
 	}
 
-	rec := &r.rec
-	*rec = Record{Type: RecordType(tb)}
-	delta, n := binary.Varint(body)
-	if n <= 0 {
-		return nil, ErrCorrupt
+	ts, err := decodeBody(RecordType(tb), body, r.lastTS, &r.rec)
+	if err != nil {
+		return nil, err
 	}
-	body = body[n:]
-	r.lastTS += Timestamp(delta)
-	rec.TS = r.lastTS
-
-	readUvarint := func() (uint64, bool) {
-		v, n := binary.Uvarint(body)
-		if n <= 0 {
-			return 0, false
-		}
-		body = body[n:]
-		return v, true
-	}
-	readByte := func() (byte, bool) {
-		if len(body) == 0 {
-			return 0, false
-		}
-		b := body[0]
-		body = body[1:]
-		return b, true
-	}
-
-	switch rec.Type {
-	case RecAppName:
-		app, ok := readUvarint()
-		if !ok {
-			return nil, ErrCorrupt
-		}
-		nlen, ok := readUvarint()
-		if !ok || uint64(len(body)) < nlen {
-			return nil, ErrCorrupt
-		}
-		rec.App = uint32(app)
-		rec.AppName = string(body[:nlen])
-	case RecPacket:
-		app, ok := readUvarint()
-		if !ok {
-			return nil, ErrCorrupt
-		}
-		rec.App = uint32(app)
-		d, ok1 := readByte()
-		nw, ok2 := readByte()
-		st, ok3 := readByte()
-		if !ok1 || !ok2 || !ok3 {
-			return nil, ErrCorrupt
-		}
-		rec.Dir, rec.Net, rec.State = Direction(d), Network(nw), ProcState(st)
-		plen, ok := readUvarint()
-		if !ok || uint64(len(body)) < plen {
-			return nil, ErrCorrupt
-		}
-		rec.Payload = body[:plen]
-	case RecProcState:
-		app, ok := readUvarint()
-		if !ok {
-			return nil, ErrCorrupt
-		}
-		st, ok2 := readByte()
-		if !ok2 {
-			return nil, ErrCorrupt
-		}
-		rec.App = uint32(app)
-		rec.State = ProcState(st)
-	case RecUIEvent:
-		app, ok := readUvarint()
-		if !ok {
-			return nil, ErrCorrupt
-		}
-		k, ok2 := readByte()
-		if !ok2 {
-			return nil, ErrCorrupt
-		}
-		rec.App = uint32(app)
-		rec.UIKind = UIEventKind(k)
-	case RecScreen:
-		on, ok := readByte()
-		if !ok {
-			return nil, ErrCorrupt
-		}
-		rec.ScreenOn = on != 0
-	default:
-		return nil, ErrCorrupt
-	}
-	return rec, nil
+	r.lastTS = ts
+	return &r.rec, nil
 }
