@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race smoke fuzz bench clean
+.PHONY: ci vet build test race smoke fuzz fuzz-smoke bench clean
 
-ci: vet build race smoke
+ci: vet build race fuzz-smoke smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,19 +23,26 @@ race:
 	$(GO) test -race ./...
 
 # End-to-end load smoke: 200 synthetic devices stream one trace-day each
-# into a local ingestd; fleetsim exits non-zero on any dropped or rejected
-# record, and ingestd must drain gracefully on SIGTERM.
+# into a local ingestd — once clean, once through the fault injector;
+# fleetsim exits non-zero on any dropped or rejected record, and ingestd
+# must drain gracefully on SIGTERM both times.
 smoke: build
 	./scripts/smoke.sh
 
 # Short runs of every fuzz target (trace reader, pcap reader, packet
-# parser, ingest frame decoder).
+# parser, ingest frame decoder, checkpoint decoder).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/pcapio/
 	$(GO) test -run=NONE -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/netparse/
 	$(GO) test -run=NONE -fuzz=FuzzFrameDecoder -fuzztime=$(FUZZTIME) ./internal/ingest/
+	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecoder -fuzztime=$(FUZZTIME) ./internal/ingest/checkpoint/
+
+# The ci gate fuzzes the most network-exposed decoder briefly; run `make
+# fuzz` for the full set.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzFrameDecoder -fuzztime=10s ./internal/ingest/
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

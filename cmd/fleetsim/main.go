@@ -1,15 +1,18 @@
 // Command fleetsim is the fleet load generator: it synthesises N device
 // traces (the same generator the batch study uses) and streams them to an
-// ingestd concurrently, optionally time-compressed, then reports achieved
-// throughput. With -admin it cross-checks the server's counters against
-// what was sent and exits non-zero on any dropped or rejected record —
-// the repo's end-to-end load benchmark.
+// ingestd through resumable sessions, optionally time-compressed and
+// optionally through a fault injector (drops, corruption, latency, partial
+// writes), then reports achieved throughput and recovery behaviour. With
+// -admin it cross-checks the server's per-device counters against what was
+// sent and exits non-zero on any discrepancy — the repo's end-to-end load
+// and fault benchmark.
 //
 // Usage:
 //
 //	fleetsim -addr localhost:9009 -devices 200 -days 1
 //	fleetsim -addr localhost:9009 -admin http://localhost:9010 -devices 200
 //	fleetsim -devices 50 -speedup 86400   # one trace-day per wall-second
+//	fleetsim -chaos-drop 0.05 -chaos-corrupt 0.01 -admin http://localhost:9010
 package main
 
 import (
@@ -19,10 +22,12 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"netenergy/internal/chaos"
 	"netenergy/internal/ingest"
 	"netenergy/internal/synthgen"
 	"netenergy/internal/trace"
@@ -36,7 +41,14 @@ func main() {
 		days    = flag.Int("days", 1, "trace days per device")
 		seed    = flag.Uint64("seed", 20151028, "generator seed")
 		speedup = flag.Float64("speedup", 0, "time-compression factor: trace-seconds per wall-second (0: unpaced, as fast as possible)")
-		timeout = flag.Duration("connect-timeout", 10*time.Second, "dial retry budget (lets fleetsim start before ingestd binds)")
+		timeout = flag.Duration("connect-timeout", 10*time.Second, "per-attempt dial budget (sessions retry with backoff)")
+		deadlin = flag.Duration("deadline", 2*time.Minute, "per-device session budget including retries (0: unlimited)")
+
+		chaosDrop    = flag.Float64("chaos-drop", 0, "per-write probability of dropping the connection")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "per-write probability of flipping one bit")
+		chaosPartial = flag.Float64("chaos-partial", 0, "per-write probability of splitting the write")
+		chaosLatency = flag.Duration("chaos-latency", 0, "max injected per-write latency")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault schedule seed")
 	)
 	flag.Parse()
 
@@ -45,7 +57,21 @@ func main() {
 	cfg.Days = *days
 	cfg.Seed = *seed
 
-	var sentRecords, sentBytes, failed atomic.Int64
+	chaosOn := *chaosDrop > 0 || *chaosCorrupt > 0 || *chaosPartial > 0 || *chaosLatency > 0
+	var injector *chaos.Injector
+	if chaosOn {
+		injector = chaos.New(chaos.Config{
+			DropRate:    *chaosDrop,
+			CorruptRate: *chaosCorrupt,
+			PartialRate: *chaosPartial,
+			MaxLatency:  *chaosLatency,
+			Seed:        *chaosSeed,
+		})
+	}
+
+	var sentRecords, sentBytes, conns, resumed, retrans, failed atomic.Int64
+	perDevice := make(map[string]int64, *devices)
+	var perDeviceMu sync.Mutex
 	gen := make(chan struct{}, runtime.GOMAXPROCS(0)) // bound concurrent generation
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -56,73 +82,81 @@ func main() {
 			gen <- struct{}{}
 			dt := synthgen.GenerateDevice(cfg, i)
 			<-gen
-			if err := streamDevice(*addr, dt, *speedup, *timeout); err != nil {
+			st, err := streamDevice(*addr, dt, *speedup, *timeout, *deadlin, injector)
+			conns.Add(int64(st.Conns))
+			resumed.Add(int64(st.Resumed))
+			retrans.Add(st.Retransmitted)
+			sentBytes.Add(st.Bytes)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "fleetsim: %s: %v\n", dt.Device, err)
 				failed.Add(1)
 				return
 			}
-			sentRecords.Add(int64(len(dt.Records)))
-			var bytes int64
-			for j := range dt.Records {
-				bytes += int64(len(dt.Records[j].Payload))
-			}
-			sentBytes.Add(bytes)
+			sentRecords.Add(st.Records)
+			perDeviceMu.Lock()
+			perDevice[dt.Device] = st.Records
+			perDeviceMu.Unlock()
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	recs := sentRecords.Load()
-	fmt.Printf("fleetsim: %d devices x %d days: %d records in %.2fs (%.0f records/s, %.2f MB payload)\n",
+	fmt.Printf("fleetsim: %d devices x %d days: %d records in %.2fs (%.0f records/s, %.2f MB on the wire)\n",
 		*devices, *days, recs, wall.Seconds(), float64(recs)/wall.Seconds(),
 		float64(sentBytes.Load())/1e6)
+	if chaosOn {
+		drops, corr, parts, delays := injector.Stats()
+		fmt.Printf("fleetsim: chaos injected %d drops, %d corruptions, %d partial writes, %d delays; sessions used %d conns, %d resumes, %d retransmitted records\n",
+			drops, corr, parts, delays, conns.Load(), resumed.Load(), retrans.Load())
+	}
 	if failed.Load() > 0 {
 		fmt.Fprintf(os.Stderr, "fleetsim: %d device streams failed\n", failed.Load())
 		os.Exit(1)
 	}
 
 	if *admin != "" {
-		if err := crossCheck(*admin, recs); err != nil {
+		if err := crossCheck(*admin, recs, perDevice, chaosOn); err != nil {
 			fmt.Fprintln(os.Stderr, "fleetsim:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// streamDevice sends one device trace, pacing by the time-compression
-// factor when one is set.
-func streamDevice(addr string, dt *trace.DeviceTrace, speedup float64, timeout time.Duration) error {
-	c, err := ingest.Dial(addr, dt.Device, dt.Start, timeout)
-	if err != nil {
-		return err
+// streamDevice delivers one device trace through a resumable session,
+// pacing by the time-compression factor when one is set.
+func streamDevice(addr string, dt *trace.DeviceTrace, speedup float64, timeout, deadline time.Duration, injector *chaos.Injector) (ingest.SessionStats, error) {
+	cfg := ingest.SessionConfig{
+		Addr:           addr,
+		Device:         dt.Device,
+		Start:          dt.Start,
+		ConnectTimeout: timeout,
+		Deadline:       deadline,
 	}
-	wallStart := time.Now()
-	for i := range dt.Records {
-		if speedup > 0 {
+	if injector != nil {
+		cfg.WrapConn = injector.Wrap
+	}
+	if speedup > 0 {
+		wallStart := time.Now()
+		cfg.Pace = func(i int) time.Duration {
 			due := wallStart.Add(time.Duration(dt.Records[i].TS.Sub(dt.Start) / speedup * float64(time.Second)))
-			if ahead := time.Until(due); ahead > 5*time.Millisecond {
-				if err := c.Flush(); err != nil {
-					return err
-				}
-				time.Sleep(ahead)
-			}
-		}
-		if err := c.Send(&dt.Records[i]); err != nil {
-			return err
+			return time.Until(due)
 		}
 	}
-	return c.Close()
+	return ingest.StreamTrace(cfg, dt.Records)
 }
 
 // crossCheck fetches the server's counters and live headline and verifies
-// nothing sent was dropped or rejected. The server may still be draining
-// socket buffers when the last connection closes, so the record counter is
-// polled until it settles.
-func crossCheck(admin string, sent int64) error {
+// every record every session believes was acked is accounted for — in
+// aggregate and per device. The server may still be flushing shard queues
+// when the last connection closes, so the record counter is polled until it
+// settles. Under chaos, protocol-error counters are expected to be nonzero
+// (that is the point); what must still hold is zero lost records.
+func crossCheck(admin string, sent int64, perDevice map[string]int64, chaosOn bool) error {
 	var st ingest.Stats
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		if err := getJSON(admin+"/stats", &st); err != nil {
+		if err := getJSON(admin+"/stats?devices=1", &st); err != nil {
 			return err
 		}
 		if st.Records >= sent || time.Now().After(deadline) {
@@ -134,18 +168,42 @@ func crossCheck(admin string, sent int64) error {
 	if err := getJSON(admin+"/headline", &h); err != nil {
 		return err
 	}
-	fmt.Printf("server: %d records accepted, %d crc errors, %d decode errors, shard depths %v\n",
-		st.Records, st.CRCErrors, st.DecodeErrors, st.ShardDepths)
+	fmt.Printf("server: %d records accepted, %d duplicates dropped, %d resumes, %d severs, %d crc errors, %d decode errors, shard depths %v\n",
+		st.Records, st.Duplicates, st.Resumes, st.Severs, st.CRCErrors, st.DecodeErrors, st.ShardDepths)
+	if st.Checkpoint != nil {
+		fmt.Printf("server: checkpoint generation %d (%.1fs old, %d bytes, %d errors)\n",
+			st.Checkpoint.Generation, st.Checkpoint.AgeSec, st.Checkpoint.Bytes, st.Checkpoint.Errors)
+	}
 	fmt.Printf("live headline: %.0f J, background fraction %.3f, first-minute %.3f, screen-off bytes %.1f%%\n",
 		h.TotalEnergyJ, h.BackgroundFraction, h.FirstMinuteFraction, 100*h.ScreenOffByteShare)
-	if dropped := sent - st.Records; dropped != 0 {
+
+	// Per-device reconciliation: log every delta so a failure names the
+	// device and the exact record count on each side.
+	var mismatched []string
+	for dev, want := range perDevice {
+		got, ok := st.PerDevice[dev]
+		switch {
+		case !ok:
+			mismatched = append(mismatched, dev)
+			fmt.Fprintf(os.Stderr, "fleetsim: device %s: sent %d records, server has no trace of it\n", dev, want)
+		case got.Records != want:
+			mismatched = append(mismatched, dev)
+			fmt.Fprintf(os.Stderr, "fleetsim: device %s: sent %d records, server accepted %d (delta %+d)\n",
+				dev, want, got.Records, got.Records-want)
+		}
+	}
+	sort.Strings(mismatched)
+	if len(mismatched) > 0 {
+		return fmt.Errorf("record cross-check failed for %d device(s): %v", len(mismatched), mismatched)
+	}
+	if dropped := sent - st.Records; dropped > 0 {
 		return fmt.Errorf("dropped records: sent %d, server accepted %d (diff %d)", sent, st.Records, dropped)
 	}
-	if st.CRCErrors != 0 || st.DecodeErrors != 0 || st.FrameErrors != 0 {
+	if !chaosOn && (st.CRCErrors != 0 || st.DecodeErrors != 0 || st.FrameErrors != 0) {
 		return fmt.Errorf("server rejected frames: %d crc, %d decode, %d frame errors",
 			st.CRCErrors, st.DecodeErrors, st.FrameErrors)
 	}
-	fmt.Println("fleetsim: zero dropped records")
+	fmt.Println("fleetsim: zero lost records")
 	return nil
 }
 

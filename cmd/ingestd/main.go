@@ -6,8 +6,15 @@
 // Usage:
 //
 //	ingestd -listen :9009 -admin :9010
+//	ingestd -checkpoint-dir /var/lib/ingestd   # crash-safe: resumes on restart
 //	curl http://localhost:9010/headline   # live fleet headline
 //	curl http://localhost:9010/stats      # counters, rates, queue depths
+//
+// With -checkpoint-dir the daemon periodically persists every device
+// stream's analysis state and sequence number; after a crash (SIGKILL,
+// OOM, power loss) the next start replays the latest valid checkpoint and
+// clients resume mid-stream, retransmitting at most one checkpoint
+// interval of records.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // severs device connections, flushes every shard queue, finalises all
@@ -35,16 +42,25 @@ func main() {
 		batch   = flag.Int("batch", 128, "records per shard hand-off batch")
 		timeout = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe checkpoints (empty: durability off)")
+		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "checkpoint cadence (max progress lost to a crash)")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-device connection admissions per second (0: unlimited)")
+		rateBurst    = flag.Int("rate-burst", 3, "per-device admission token-bucket depth")
 	)
 	flag.Parse()
 
 	srv := ingest.NewServer(ingest.Config{
-		Addr:        *listen,
-		AdminAddr:   *admin,
-		Shards:      *shards,
-		QueueDepth:  *queue,
-		BatchSize:   *batch,
-		ReadTimeout: *timeout,
+		Addr:               *listen,
+		AdminAddr:          *admin,
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		BatchSize:          *batch,
+		ReadTimeout:        *timeout,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "ingestd:", err)
@@ -55,6 +71,15 @@ func main() {
 		fmt.Printf(", admin on http://%s", a)
 	}
 	fmt.Printf(" (%d shards)\n", *shards)
+	if *ckptDir != "" {
+		st := srv.Stats(false)
+		if st.Checkpoint != nil && st.Checkpoint.Generation > 0 {
+			fmt.Printf("ingestd: recovered checkpoint generation %d from %s (%d records replayed into %d devices)\n",
+				st.Checkpoint.Generation, *ckptDir, st.Records, st.Devices)
+		} else {
+			fmt.Printf("ingestd: checkpointing to %s every %s\n", *ckptDir, *ckptInterval)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,143 @@
+// Package chaos wraps net.Conn with deterministic fault injection — byte
+// corruption, connection drops, added latency, and partial writes — so the
+// ingest pipeline's recovery machinery (CRC sever, resume, retransmit,
+// checkpoint replay) can be exercised under load instead of trusted on
+// faith.
+//
+// Faults are injected on the WRITE side of the wrapped connection: the
+// wrapper corrupts what the local side sends, which the remote peer then
+// has to detect. That placement matches the threat model (a lossy network
+// between collector and server) and keeps injection deterministic per
+// connection: a seeded source decides every fault, so a failing run can be
+// replayed exactly.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config sets fault probabilities and magnitudes. The zero value injects
+// nothing.
+type Config struct {
+	// DropRate is the per-write probability of killing the connection
+	// (simulates a mid-stream network partition).
+	DropRate float64
+	// CorruptRate is the per-write probability of flipping one bit in the
+	// written bytes (simulates on-path corruption; the receiver's CRC must
+	// catch it).
+	CorruptRate float64
+	// PartialRate is the per-write probability of splitting the write into
+	// two separate TCP pushes (simulates fragmentation/short writes; must
+	// be invisible to a correct reader).
+	PartialRate float64
+	// MaxLatency, when positive, sleeps a uniform random duration up to
+	// this before each write (simulates jittery last-mile links).
+	MaxLatency time.Duration
+	// Seed fixes the fault schedule; 0 derives a schedule from the order
+	// connections are wrapped (still deterministic within one Injector).
+	Seed int64
+}
+
+// Injector hands out wrapped connections with per-connection seeded fault
+// schedules. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu sync.Mutex
+	n  int64
+
+	// Counters for reporting what was actually injected.
+	drops, corruptions, partials, delays int64
+}
+
+// New builds an Injector.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg}
+}
+
+// Wrap returns conn with fault injection applied to writes. Each wrapped
+// connection gets its own rand stream derived from Seed and the wrap
+// ordinal, so concurrent sessions do not contend on one source and a rerun
+// with the same seed and connection order replays the same faults.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	in.mu.Lock()
+	ordinal := in.n
+	in.n++
+	in.mu.Unlock()
+	seed := in.cfg.Seed
+	if seed == 0 {
+		seed = 0x7f4a7c15
+	}
+	return &faultConn{
+		Conn: conn,
+		in:   in,
+		rng:  rand.New(rand.NewSource(seed ^ (ordinal+1)*0x2545f4914f6cdd1d)),
+	}
+}
+
+// Stats reports how many faults of each kind have been injected.
+func (in *Injector) Stats() (drops, corruptions, partials, delays int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.drops, in.corruptions, in.partials, in.delays
+}
+
+func (in *Injector) count(c *int64) {
+	in.mu.Lock()
+	*c++
+	in.mu.Unlock()
+}
+
+// faultConn implements the write-side faults. Reads pass through: the
+// server's acks are left intact so the tests exercise data-path recovery,
+// not ack loss (a lost ack is indistinguishable from a dropped conn, which
+// DropRate already covers).
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	rng  *rand.Rand
+	dead bool
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	cfg := &c.in.cfg
+	if c.dead {
+		return 0, net.ErrClosed
+	}
+	if cfg.MaxLatency > 0 {
+		d := time.Duration(c.rng.Int63n(int64(cfg.MaxLatency)))
+		if d > 0 {
+			c.in.count(&c.in.delays)
+			time.Sleep(d)
+		}
+	}
+	if cfg.DropRate > 0 && c.rng.Float64() < cfg.DropRate {
+		c.in.count(&c.in.drops)
+		c.dead = true
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if cfg.CorruptRate > 0 && len(b) > 0 && c.rng.Float64() < cfg.CorruptRate {
+		c.in.count(&c.in.corruptions)
+		// Corrupt a copy: the caller's buffer (e.g. a bufio.Writer's
+		// internals) must not be altered under it.
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		cp[c.rng.Intn(len(cp))] ^= 1 << c.rng.Intn(8)
+		b = cp
+	}
+	if cfg.PartialRate > 0 && len(b) > 1 && c.rng.Float64() < cfg.PartialRate {
+		c.in.count(&c.in.partials)
+		cut := 1 + c.rng.Intn(len(b)-1)
+		n1, err := c.Conn.Write(b[:cut])
+		if err != nil {
+			return n1, err
+		}
+		n2, err := c.Conn.Write(b[cut:])
+		return n1 + n2, err
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeConns builds a connected TCP pair over loopback (net.Pipe has no
+// buffering, which deadlocks write-side tests).
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var (
+		wg   sync.WaitGroup
+		serr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, serr = ln.Accept()
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestZeroConfigTransparent: a zero-config injector must be a no-op pipe.
+func TestZeroConfigTransparent(t *testing.T) {
+	client, server := pipeConns(t)
+	c := New(Config{}).Wrap(client)
+	msg := bytes.Repeat([]byte("abcdefgh"), 100)
+	go func() {
+		c.Write(msg) //nolint:errcheck
+		c.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("bytes altered: got %d bytes", len(got))
+	}
+}
+
+// TestCorruptionAltersBytes: with CorruptRate=1 every write must differ in
+// exactly one bit, and the caller's buffer must stay pristine.
+func TestCorruptionAltersBytes(t *testing.T) {
+	client, server := pipeConns(t)
+	in := New(Config{CorruptRate: 1, Seed: 7})
+	c := in.Wrap(client)
+	msg := bytes.Repeat([]byte{0x00}, 64)
+	orig := bytes.Clone(msg)
+	go func() {
+		c.Write(msg) //nolint:errcheck
+		c.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("caller buffer mutated")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			for b := 0; b < 8; b++ {
+				if (got[i]^orig[i])>>b&1 == 1 {
+					diff++
+				}
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flips = %d, want exactly 1", diff)
+	}
+	if _, corr, _, _ := in.Stats(); corr != 1 {
+		t.Fatalf("corruption counter = %d", corr)
+	}
+}
+
+// TestDropKillsConn: DropRate=1 must fail the first write and close the
+// underlying connection.
+func TestDropKillsConn(t *testing.T) {
+	client, server := pipeConns(t)
+	in := New(Config{DropRate: 1, Seed: 3})
+	c := in.Wrap(client)
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded through a dropped conn")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("second write succeeded after drop")
+	}
+	server.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if _, err := server.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("server read = %v, want EOF", err)
+	}
+	if drops, _, _, _ := in.Stats(); drops != 1 {
+		t.Fatalf("drop counter = %d", drops)
+	}
+}
+
+// TestPartialWritePreservesBytes: splitting writes must be invisible to a
+// stream reader.
+func TestPartialWritePreservesBytes(t *testing.T) {
+	client, server := pipeConns(t)
+	in := New(Config{PartialRate: 1, Seed: 11})
+	c := in.Wrap(client)
+	msg := bytes.Repeat([]byte("0123456789"), 50)
+	go func() {
+		for off := 0; off < len(msg); off += 100 {
+			c.Write(msg[off : off+100]) //nolint:errcheck
+		}
+		c.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("partial writes reordered or lost bytes")
+	}
+	if _, _, parts, _ := in.Stats(); parts != 5 {
+		t.Fatalf("partial counter = %d, want 5", parts)
+	}
+}
+
+// TestDeterministicSchedule: same seed, same wrap order, same faults.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (drops int64) {
+		in := New(Config{DropRate: 0.3, Seed: 42})
+		for i := 0; i < 20; i++ {
+			client, _ := pipeConns(t)
+			c := in.Wrap(client)
+			for j := 0; j < 10; j++ {
+				if _, err := c.Write([]byte("payload")); err != nil {
+					break
+				}
+			}
+		}
+		d, _, _, _ := in.Stats()
+		return d
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("schedules differ or empty: %d vs %d", a, b)
+	}
+}

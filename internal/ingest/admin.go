@@ -74,9 +74,12 @@ func (s *Server) Headline() LiveHeadline {
 
 // adminMux serves the observability surface:
 //
-//	GET /healthz  -> 200 "ok"
-//	GET /stats    -> Stats JSON (add ?devices=1 for per-device counters)
-//	GET /headline -> LiveHeadline JSON
+//	GET  /healthz           -> 200 "ok"
+//	GET  /stats             -> Stats JSON (add ?devices=1 for per-device counters)
+//	GET  /headline          -> LiveHeadline JSON
+//	GET  /device?id=<dev>   -> DeviceStats JSON (400 without id, 404 unknown)
+//	POST /checkpoint        -> force a checkpoint now (405 on GET, 503 when
+//	                           durability is off or the server is draining)
 func (s *Server) adminMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -87,6 +90,30 @@ func (s *Server) adminMux() http.Handler {
 	})
 	mux.HandleFunc("/headline", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Headline())
+	})
+	mux.HandleFunc("/device", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		d := s.devices.lookup(id)
+		if d == nil {
+			http.Error(w, "unknown device", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, d.snapshot())
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.SaveCheckpoint(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, s.Stats(false).Checkpoint)
 	})
 	return mux
 }

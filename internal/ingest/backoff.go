@@ -1,0 +1,58 @@
+package ingest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces capped exponential delays with jitter for reconnect
+// loops. The zero value is usable (defaults below); not concurrency-safe.
+//
+// The jitter matters in a fleet: after a server restart every client
+// reconnects at once, and synchronized retries re-create the thundering
+// herd on every subsequent attempt. Multiplying each delay by a random
+// factor in [0.5, 1.0) decorrelates them within a couple of rounds.
+type Backoff struct {
+	// Base is the first delay (default 50ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 5s).
+	Max time.Duration
+	// Rand supplies jitter; nil uses the global source. Tests inject a
+	// seeded source for determinism.
+	Rand *rand.Rand
+
+	attempt int
+}
+
+const (
+	defaultBackoffBase = 50 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+// Next returns the delay to sleep before the upcoming attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	d := base << b.attempt
+	if d > max || d < base { // d < base catches shift overflow
+		d = max
+	} else {
+		b.attempt++
+	}
+	var f float64
+	if b.Rand != nil {
+		f = b.Rand.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	return time.Duration(float64(d) * (0.5 + f/2))
+}
+
+// Reset restarts the schedule after a successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,365 @@
+// Package checkpoint implements the ingest daemon's crash-safe durability
+// layer: periodic snapshots of every shard's analysis state and per-device
+// record sequence numbers, written as atomically-renamed, CRC-protected
+// generation files.
+//
+// The failure model is fail-stop (SIGKILL, OOM, power loss) at any byte
+// boundary. The guarantees:
+//
+//   - A checkpoint file is either fully valid or detectably invalid: the
+//     payload is covered by a CRC32 and an explicit length, so torn writes
+//     and bit rot are caught at load time, never half-applied.
+//   - Writes are atomic at the filesystem level: payloads go to a temp file
+//     in the same directory, are fsynced, and are renamed into place.
+//   - The two most recent generations are retained. A corrupt or torn
+//     newest generation falls back to the previous one, so a crash *during*
+//     a checkpoint write costs at most one checkpoint interval of progress.
+//   - Generation numbers are monotonic across restarts (the store scans the
+//     directory on open), so a recovered daemon never overwrites history it
+//     might still need.
+//
+// The store is deliberately ignorant of what the payload means: device
+// entries carry opaque accumulator-state blobs (internal/analysis encodes
+// and validates them), so this package has no dependency on the analysis
+// types and the container format can be fuzzed in isolation.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Container format:
+//
+//	file    := magic crc32le payloadLen:uvarint payload
+//	payload := version:byte nDevices:uvarint device* hasRetired:byte [retiredBlob]
+//	device  := devLen:uvarint dev:bytes seq:uvarint hasAcc:byte [accLen:uvarint acc:bytes]
+//	blob    := len:uvarint bytes
+var fileMagic = []byte("NECKPT1\n")
+
+const (
+	payloadVersion = 1
+	// MaxPayload caps a checkpoint payload (1 GiB); a length field beyond it
+	// means the header cannot be trusted.
+	MaxPayload = 1 << 30
+	// maxDevices caps the device-entry count a decoder will allocate for.
+	maxDevices = 1 << 22
+	// maxDeviceID matches the ingest wire protocol's device-ID cap.
+	maxDeviceID = 4096
+	// keepGenerations is how many recent checkpoint files are retained.
+	keepGenerations = 2
+)
+
+// Decode/load errors.
+var (
+	// ErrCorrupt means a checkpoint file failed its CRC or structural
+	// validation — fall back to an older generation.
+	ErrCorrupt = errors.New("checkpoint: corrupt file")
+	// ErrTorn means the file ended before the declared payload length — a
+	// write was interrupted mid-stream.
+	ErrTorn = errors.New("checkpoint: torn write")
+)
+
+// DeviceState is one device's durable state: how many records the server
+// has incorporated (the resume/dedup sequence number) and, for devices with
+// an in-flight stream, the serialized analysis accumulator. Acc is nil for
+// devices whose stream has been finalized (their contribution lives in the
+// retired aggregate).
+type DeviceState struct {
+	Device string
+	Seq    int64
+	Acc    []byte
+}
+
+// Snapshot is one checkpoint's logical content.
+type Snapshot struct {
+	Devices []DeviceState
+	// Retired is the serialized merged StreamResult of every finalized
+	// device stream (nil when no device has finished yet).
+	Retired []byte
+}
+
+// Encode serializes a snapshot payload (without the file header).
+func Encode(s *Snapshot) []byte {
+	n := 64
+	for i := range s.Devices {
+		n += len(s.Devices[i].Device) + len(s.Devices[i].Acc) + 16
+	}
+	b := make([]byte, 0, n+len(s.Retired))
+	b = append(b, payloadVersion)
+	b = binary.AppendUvarint(b, uint64(len(s.Devices)))
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		b = binary.AppendUvarint(b, uint64(len(d.Device)))
+		b = append(b, d.Device...)
+		b = binary.AppendUvarint(b, uint64(d.Seq))
+		if d.Acc == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
+			b = binary.AppendUvarint(b, uint64(len(d.Acc)))
+			b = append(b, d.Acc...)
+		}
+	}
+	if s.Retired == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(s.Retired)))
+		b = append(b, s.Retired...)
+	}
+	return b
+}
+
+// Decode parses a snapshot payload. It validates structure and bounds; the
+// opaque blobs are returned as-is for the caller to validate.
+func Decode(b []byte) (*Snapshot, error) {
+	cur := b
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(cur)
+		if n <= 0 {
+			return 0, false
+		}
+		cur = cur[n:]
+		return v, true
+	}
+	take := func(n uint64) ([]byte, bool) {
+		if uint64(len(cur)) < n {
+			return nil, false
+		}
+		out := cur[:n]
+		cur = cur[n:]
+		return out, true
+	}
+
+	if len(cur) < 1 || cur[0] != payloadVersion {
+		return nil, ErrCorrupt
+	}
+	cur = cur[1:]
+	nDev, ok := uvarint()
+	if !ok || nDev > maxDevices {
+		return nil, ErrCorrupt
+	}
+	s := &Snapshot{}
+	for i := uint64(0); i < nDev; i++ {
+		dlen, ok := uvarint()
+		if !ok || dlen == 0 || dlen > maxDeviceID {
+			return nil, ErrCorrupt
+		}
+		dev, ok := take(dlen)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		seq, ok := uvarint()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		d := DeviceState{Device: string(dev), Seq: int64(seq)}
+		flag, ok := take(1)
+		if !ok || flag[0] > 1 {
+			return nil, ErrCorrupt
+		}
+		if flag[0] == 1 {
+			alen, ok := uvarint()
+			if !ok || alen > MaxPayload {
+				return nil, ErrCorrupt
+			}
+			acc, ok := take(alen)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			d.Acc = acc
+		}
+		s.Devices = append(s.Devices, d)
+	}
+	flag, ok := take(1)
+	if !ok || flag[0] > 1 {
+		return nil, ErrCorrupt
+	}
+	if flag[0] == 1 {
+		rlen, ok := uvarint()
+		if !ok || rlen > MaxPayload {
+			return nil, ErrCorrupt
+		}
+		ret, ok := take(rlen)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		s.Retired = ret
+	}
+	if len(cur) != 0 {
+		return nil, ErrCorrupt
+	}
+	return s, nil
+}
+
+// Store writes and loads generation files in one directory.
+type Store struct {
+	dir string
+	gen uint64 // highest generation seen or written
+}
+
+// Open prepares a checkpoint store in dir, creating it if needed, and scans
+// existing generation files so new writes continue the sequence.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir}
+	for _, g := range s.generations() {
+		if g > s.gen {
+			s.gen = g
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Generation returns the highest generation seen or written so far.
+func (s *Store) Generation() uint64 { return s.gen }
+
+func genPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ck-%08d.ck", gen))
+}
+
+// generations lists existing generation numbers, ascending.
+func (s *Store) generations() []uint64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, e := range ents {
+		var g uint64
+		if n, err := fmt.Sscanf(e.Name(), "ck-%d.ck", &g); n == 1 && err == nil &&
+			e.Name() == fmt.Sprintf("ck-%08d.ck", g) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// Save atomically writes snap as the next generation and prunes old files.
+// It returns the path and generation written. The sequence is: temp file in
+// the same directory, write header+payload, fsync, rename, fsync directory
+// — a crash at any point leaves either the previous generation set intact
+// or the new file fully in place.
+func (s *Store) Save(snap *Snapshot) (path string, gen uint64, err error) {
+	payload := Encode(snap)
+	if len(payload) > MaxPayload {
+		return "", 0, fmt.Errorf("checkpoint: payload too large: %d", len(payload))
+	}
+	hdr := append([]byte(nil), fileMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload))
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+
+	gen = s.gen + 1
+	path = genPath(s.dir, gen)
+	tmp, err := os.CreateTemp(s.dir, "ck-*.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return "", 0, err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return "", 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", 0, err
+	}
+	syncDir(s.dir)
+	s.gen = gen
+
+	// Prune: keep the newest keepGenerations files.
+	gens := s.generations()
+	for i := 0; i+keepGenerations < len(gens); i++ {
+		os.Remove(genPath(s.dir, gens[i])) //nolint:errcheck // best effort
+	}
+	return path, gen, nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory; rename already atomic
+		d.Close()
+	}
+}
+
+// LoadFile reads and validates one checkpoint file.
+func LoadFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFile(b)
+}
+
+func decodeFile(b []byte) (*Snapshot, error) {
+	if len(b) < len(fileMagic)+4 {
+		return nil, ErrTorn
+	}
+	for i := range fileMagic {
+		if b[i] != fileMagic[i] {
+			return nil, ErrCorrupt
+		}
+	}
+	b = b[len(fileMagic):]
+	wantCRC := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	plen, n := binary.Uvarint(b)
+	if n <= 0 || plen > MaxPayload {
+		return nil, ErrCorrupt
+	}
+	b = b[n:]
+	if uint64(len(b)) < plen {
+		return nil, ErrTorn
+	}
+	if uint64(len(b)) > plen {
+		return nil, ErrCorrupt
+	}
+	payload := b[:plen]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrCorrupt
+	}
+	return Decode(payload)
+}
+
+// LoadLatest returns the newest generation that passes both the container
+// checks and the caller's validate function (nil to skip). Invalid or torn
+// generations are skipped — this is the fall-back-on-corruption path. It
+// returns (nil, 0, nil) when no valid checkpoint exists.
+func (s *Store) LoadLatest(validate func(*Snapshot) error) (*Snapshot, uint64, error) {
+	gens := s.generations()
+	for i := len(gens) - 1; i >= 0; i-- {
+		snap, err := LoadFile(genPath(s.dir, gens[i]))
+		if err != nil {
+			continue
+		}
+		if validate != nil {
+			if err := validate(snap); err != nil {
+				continue
+			}
+		}
+		return snap, gens[i], nil
+	}
+	return nil, 0, nil
+}

@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Devices: []DeviceState{
+			{Device: "u000", Seq: 1234, Acc: []byte{1, 2, 3, 4}},
+			{Device: "u001", Seq: 99, Acc: nil}, // retired: seq only
+			{Device: "u002", Seq: 0, Acc: []byte{}},
+		},
+		Retired: []byte{9, 8, 7},
+	}
+}
+
+// TestEncodeDecodeRoundtrip: payload codec reproduces the snapshot.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode normalizes empty non-nil Acc to present-but-empty; compare
+	// semantically.
+	if len(got.Devices) != len(want.Devices) {
+		t.Fatalf("devices = %d, want %d", len(got.Devices), len(want.Devices))
+	}
+	for i := range want.Devices {
+		w, g := want.Devices[i], got.Devices[i]
+		if g.Device != w.Device || g.Seq != w.Seq || !bytes.Equal(g.Acc, w.Acc) ||
+			(g.Acc == nil) != (w.Acc == nil) {
+			t.Errorf("device %d: got %+v want %+v", i, g, w)
+		}
+	}
+	if !bytes.Equal(got.Retired, want.Retired) {
+		t.Errorf("retired mismatch")
+	}
+
+	empty := &Snapshot{}
+	got, err = Decode(Encode(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Devices) != 0 || got.Retired != nil {
+		t.Errorf("empty snapshot roundtrip: %+v", got)
+	}
+}
+
+// TestSaveLoadGenerations: saves are atomic renames with monotonic
+// generations, old generations are pruned to two, and the sequence
+// continues across a reopen (restart).
+func TestSaveLoadGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		snap := &Snapshot{Devices: []DeviceState{{Device: "d", Seq: int64(i)}}}
+		_, gen, err := st.Save(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != uint64(i) {
+			t.Fatalf("gen = %d, want %d", gen, i)
+		}
+	}
+	if gens := st.generations(); len(gens) != keepGenerations {
+		t.Fatalf("retained %d generations, want %d", len(gens), keepGenerations)
+	}
+
+	snap, gen, err := st.LoadLatest(nil)
+	if err != nil || snap == nil {
+		t.Fatalf("LoadLatest: %v %v", snap, err)
+	}
+	if gen != 5 || snap.Devices[0].Seq != 5 {
+		t.Fatalf("loaded gen %d seq %d", gen, snap.Devices[0].Seq)
+	}
+
+	// Reopen (simulated restart): generation counter must continue, not
+	// restart at 1 and overwrite history.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err := st2.Save(&Snapshot{}); err != nil || gen != 6 {
+		t.Fatalf("post-reopen gen = %d (%v), want 6", gen, err)
+	}
+}
+
+// TestCorruptFallsBack: a flipped byte in the newest generation must fall
+// back to the previous one; same for a torn (truncated) write.
+func TestCorruptFallsBack(t *testing.T) {
+	for _, mode := range []string{"flip", "truncate", "garbage"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := st.Save(&Snapshot{Devices: []DeviceState{{Device: "d", Seq: 1}}}); err != nil {
+				t.Fatal(err)
+			}
+			p2, _, err := st.Save(&Snapshot{Devices: []DeviceState{{Device: "d", Seq: 2}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			b, err := os.ReadFile(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "flip":
+				b[len(b)-1] ^= 0xff
+			case "truncate":
+				b = b[:len(b)/2]
+			case "garbage":
+				b = []byte("not a checkpoint at all")
+			}
+			if err := os.WriteFile(p2, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			snap, gen, err := st.LoadLatest(nil)
+			if err != nil || snap == nil {
+				t.Fatalf("LoadLatest after corruption: %v %v", snap, err)
+			}
+			if gen != 1 || snap.Devices[0].Seq != 1 {
+				t.Fatalf("fell back to gen %d seq %d, want gen 1 seq 1", gen, snap.Devices[0].Seq)
+			}
+		})
+	}
+}
+
+// TestValidateRejection: LoadLatest consults the caller's validator and
+// falls back when it rejects the newest snapshot.
+func TestValidateRejection(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	st.Save(&Snapshot{Devices: []DeviceState{{Device: "ok", Seq: 1}}})    //nolint:errcheck
+	st.Save(&Snapshot{Devices: []DeviceState{{Device: "bad", Seq: 2}}})   //nolint:errcheck
+	snap, gen, err := st.LoadLatest(func(s *Snapshot) error {
+		if s.Devices[0].Device == "bad" {
+			return ErrCorrupt
+		}
+		return nil
+	})
+	if err != nil || snap == nil || gen != 1 {
+		t.Fatalf("validator fallback failed: gen=%d snap=%v err=%v", gen, snap, err)
+	}
+}
+
+// TestNoCheckpoint: an empty directory loads cleanly as "no state".
+func TestNoCheckpoint(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, gen, err := st.LoadLatest(nil)
+	if snap != nil || gen != 0 || err != nil {
+		t.Fatalf("expected empty load, got %v %d %v", snap, gen, err)
+	}
+}
+
+// TestDecodeRejects: malformed payloads error instead of panicking or
+// over-allocating.
+func TestDecodeRejects(t *testing.T) {
+	valid := Encode(sampleSnapshot())
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},                 // bad version
+		valid[:1],              // header only
+		valid[:len(valid)/2],   // truncated mid-device
+		append(bytes.Clone(valid), 0x00), // trailing bytes
+	}
+	// Huge claimed device count must not allocate.
+	huge := []byte{payloadVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	cases = append(cases, huge)
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: accepted malformed payload", i)
+		}
+	}
+	if !reflect.DeepEqual(mustDecode(t, valid), mustDecode(t, valid)) {
+		t.Error("decode not deterministic")
+	}
+}
+
+func mustDecode(t *testing.T, b []byte) *Snapshot {
+	t.Helper()
+	s, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

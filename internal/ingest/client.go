@@ -2,55 +2,97 @@ package ingest
 
 import (
 	"bufio"
-	"io"
+	"fmt"
 	"net"
 	"time"
 
 	"netenergy/internal/trace"
 )
 
-// Client streams one device's records to an ingest server. It is the
-// device-side half of the wire protocol, used by cmd/fleetsim and tests.
-// Not safe for concurrent use.
+// ackTimeout bounds how long a client waits for the server's handshake or
+// FIN acknowledgement before declaring the connection dead.
+const ackTimeout = 30 * time.Second
+
+// Client streams one device's records to an ingest server over a single
+// connection. It is the device-side half of the wire protocol, used by
+// cmd/fleetsim and tests. Not safe for concurrent use.
+//
+// A Client is one connection, not one session: when the connection dies the
+// Client is dead, and the caller reconnects and resumes from the server's
+// acknowledged sequence number. Session (session.go) wraps that loop.
 type Client struct {
-	conn  io.WriteCloser
+	conn  net.Conn
 	bw    *bufio.Writer
+	br    *bufio.Reader
 	enc   *trace.RecordEncoder
 	frame []byte
+	seq   int64
 
-	// Records and Bytes count what has been handed to Send: the
-	// "records sent" side of the drop accounting.
+	// ResumeSeq is the sequence number the server acknowledged at the
+	// handshake: the seq of the first record it expects on this connection.
+	// On a fresh stream it is 0; after a reconnect it tells the caller how
+	// far the server really got, which may be behind what was written.
+	ResumeSeq int64
+
+	// Records and Bytes count what has been handed to Send on this
+	// connection (including retransmitted records).
 	Records int64
 	Bytes   int64
 }
 
-// Dial connects to an ingest server and performs the hello for the given
-// device stream. It retries the TCP connect until timeout elapses, so a
-// load generator can start before the server finishes binding.
+// Dial connects to an ingest server and performs the handshake for the
+// given device stream. It retries the TCP connect with jittered exponential
+// backoff until timeout elapses, so a load generator can start before the
+// server finishes binding. Handshake rejections (ErrThrottled, ErrDraining)
+// are returned immediately — the caller owns that retry policy.
 func Dial(addr, device string, start trace.Timestamp, timeout time.Duration) (*Client, error) {
 	deadline := time.Now().Add(timeout)
+	var bo Backoff
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
-			return NewClient(conn, device, start)
+			return NewClient(conn, device, start, 0)
 		}
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(bo.Next())
 	}
 }
 
-// NewClient writes the hello on an established connection and returns the
-// Client. The connection is owned by the Client from here on.
-func NewClient(conn io.WriteCloser, device string, start trace.Timestamp) (*Client, error) {
+// NewClient performs the hello/ack handshake on an established connection
+// and returns the Client. lastSeq is the client's belief of how many
+// records the server has accepted (a hint; the server's ack is
+// authoritative and lands in ResumeSeq). The connection is owned by the
+// Client from here on and is closed on handshake failure.
+func NewClient(conn net.Conn, device string, start trace.Timestamp, lastSeq int64) (*Client, error) {
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	if err := writeHello(bw, device, start); err != nil {
+	br := bufio.NewReaderSize(conn, 512)
+	if err := writeHello(bw, device, start, lastSeq); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &Client{conn: conn, bw: bw, enc: trace.NewRecordEncoder(start)}, nil
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(ackTimeout)) //nolint:errcheck
+	resume, err := readAck(br)
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{
+		conn: conn, bw: bw, br: br,
+		enc:       trace.NewRecordEncoder(start),
+		seq:       resume,
+		ResumeSeq: resume,
+	}, nil
 }
+
+// Seq returns the sequence number the next Send will carry.
+func (c *Client) Seq() int64 { return c.seq }
 
 // Send frames and buffers one record.
 func (c *Client) Send(r *trace.Record) error {
@@ -58,10 +100,11 @@ func (c *Client) Send(r *trace.Record) error {
 	if err != nil {
 		return err
 	}
-	c.frame = appendFrame(c.frame[:0], body)
+	c.frame = appendFrame(c.frame[:0], c.seq, body)
 	if _, err := c.bw.Write(c.frame); err != nil {
 		return err
 	}
+	c.seq++
 	c.Records++
 	c.Bytes += int64(len(c.frame))
 	return nil
@@ -70,13 +113,33 @@ func (c *Client) Send(r *trace.Record) error {
 // Flush pushes buffered frames to the connection.
 func (c *Client) Flush() error { return c.bw.Flush() }
 
-// Close flushes and closes the connection; the server finalises the device
-// stream (radio tail, idle baseline) when it sees the clean end of stream.
+// Close ends the stream cleanly: it sends the FIN frame, waits for the
+// server's acknowledgement that every record (and the finalization) has
+// been applied, and closes the connection. A nil return therefore means
+// server-acknowledged delivery of the whole stream, not merely "bytes
+// written to a socket".
 func (c *Client) Close() error {
-	ferr := c.bw.Flush()
+	c.frame = appendFrame(c.frame[:0], c.seq, []byte{finByte})
+	if _, err := c.bw.Write(c.frame); err != nil {
+		c.conn.Close()
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.conn.Close()
+		return err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(ackTimeout)) //nolint:errcheck
+	final, err := readAck(c.br)
 	cerr := c.conn.Close()
-	if ferr != nil {
-		return ferr
+	if err != nil {
+		return fmt.Errorf("ingest: fin ack: %w", err)
+	}
+	if final != c.seq {
+		return fmt.Errorf("ingest: fin ack seq %d, want %d", final, c.seq)
 	}
 	return cerr
 }
+
+// CloseAbort drops the connection without a FIN: the server keeps the
+// device stream live so a later connection can resume it.
+func (c *Client) CloseAbort() error { return c.conn.Close() }

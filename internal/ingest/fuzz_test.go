@@ -15,10 +15,11 @@ import (
 // must yield clean errors — never a panic or an allocation beyond the
 // frame cap.
 func FuzzFrameDecoder(f *testing.F) {
-	// Seed: a valid hello plus a few well-formed frames.
+	// Seed: a valid hello plus a few well-formed frames and a FIN.
 	var buf bytes.Buffer
-	writeHello(&buf, "dev", 1000) //nolint:errcheck
+	writeHello(&buf, "dev", 1000, 0) //nolint:errcheck
 	enc := trace.NewRecordEncoder(1000)
+	seq := int64(0)
 	for _, r := range []trace.Record{
 		{Type: trace.RecAppName, TS: 1000, App: 0, AppName: "com.a"},
 		{Type: trace.RecPacket, TS: 2000, App: 0, Dir: trace.DirUp,
@@ -26,30 +27,36 @@ func FuzzFrameDecoder(f *testing.F) {
 		{Type: trace.RecScreen, TS: 3000, ScreenOn: true},
 	} {
 		body, _ := enc.Encode(&r)
-		buf.Write(appendFrame(nil, body))
+		buf.Write(appendFrame(nil, seq, body))
+		seq++
 	}
+	buf.Write(appendFrame(nil, seq, []byte{finByte}))
 	f.Add(buf.Bytes())
-	f.Add([]byte("FLTS1\n"))
+	f.Add([]byte("FLTS2\n"))
+	f.Add([]byte("FLTS1\n")) // old protocol version: must be a clean hello error
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
-		_, start, err := readHello(br)
+		_, start, lastSeq, err := readHello(br)
 		if err != nil {
 			return
+		}
+		if lastSeq < 0 {
+			t.Fatalf("negative lastSeq from hello: %d", lastSeq)
 		}
 		dec := trace.NewRecordDecoder(start)
 		fr := newFrameReader(br)
 		for i := 0; i < 10000; i++ {
-			body, err := fr.next()
+			_, body, err := fr.next()
 			switch {
 			case err == nil:
-			case errors.Is(err, ErrFrameCRC):
-				continue
 			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrFrameCRC),
 				errors.Is(err, ErrFrameTruncated),
 				errors.Is(err, ErrFrameTooBig):
+				// All of these sever the connection in the server.
 				return
 			default:
 				t.Fatalf("unexpected error class: %v", err)
@@ -57,9 +64,13 @@ func FuzzFrameDecoder(f *testing.F) {
 			if len(body) > MaxFrame {
 				t.Fatalf("oversized frame body accepted: %d", len(body))
 			}
+			if isFin(body) {
+				return
+			}
 			rec, err := dec.Decode(body)
 			if err != nil {
-				continue // counted as a decode error by the server
+				// A decode error severs the connection in the server.
+				return
 			}
 			if rec.Type == trace.RecPacket && len(rec.Payload) > MaxFrame {
 				t.Fatalf("oversized payload decoded: %d", len(rec.Payload))

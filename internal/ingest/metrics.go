@@ -7,7 +7,9 @@ import (
 )
 
 // counters are the server-wide monotonic totals, updated lock-free from
-// every connection handler.
+// every connection handler (and, for accepted-record counts, from the
+// shard workers, which own dedup and therefore own the truth about what
+// was accepted).
 type counters struct {
 	connsTotal   atomic.Int64
 	connsActive  atomic.Int64
@@ -18,6 +20,19 @@ type counters struct {
 	decodeErrors atomic.Int64
 	frameErrors  atomic.Int64
 	helloErrors  atomic.Int64
+
+	// Fault-tolerance counters.
+	duplicates     atomic.Int64 // replayed records dropped by dedup
+	resumes        atomic.Int64 // handshakes that resumed prior progress
+	throttled      atomic.Int64 // handshakes refused by rate limiting
+	severs         atomic.Int64 // connections severed on CRC/decode/gap
+	recordsSkipped atomic.Int64 // poison records skipped past
+
+	// Checkpoint health (written by the checkpoint loop).
+	ckptGen      atomic.Uint64
+	ckptBytes    atomic.Int64
+	ckptErrors   atomic.Int64
+	ckptUnixNano atomic.Int64 // time of last successful save
 }
 
 // DeviceStats are the per-device counters the admin endpoint exposes; the
@@ -28,11 +43,41 @@ type DeviceStats struct {
 	CRCErrors    int64 `json:"crc_errors"`
 	DecodeErrors int64 `json:"decode_errors"`
 	Conns        int64 `json:"conns"`
+	Resumes      int64 `json:"resumes"`
 }
 
-// deviceCounters is the live (atomic) form of DeviceStats.
+// deviceCounters is the live (atomic) form of DeviceStats, plus the
+// per-device admission bucket and poison-record tracker.
 type deviceCounters struct {
-	records, bytes, crcErrors, decodeErrors, conns atomic.Int64
+	records, bytes, crcErrors, decodeErrors, conns, resumes atomic.Int64
+
+	bucket tokenBucket
+
+	// poisonSeq/poisonCount track consecutive decode failures at the same
+	// head-of-line sequence number across reconnects; at poisonThreshold
+	// the server skips the record rather than wedge the stream. poisonSeq
+	// stores seq+1 so the zero value means "none".
+	poisonSeq   atomic.Int64
+	poisonCount atomic.Int64
+}
+
+// poisonThreshold is how many consecutive reconnects may fail to decode the
+// same record before the server skips it.
+const poisonThreshold = 3
+
+// notePoison records a decode failure at seq and returns how many
+// consecutive failures that sequence has now accumulated.
+func (d *deviceCounters) notePoison(seq int64) int64 {
+	if d.poisonSeq.Swap(seq+1) == seq+1 {
+		return d.poisonCount.Add(1)
+	}
+	d.poisonCount.Store(1)
+	return 1
+}
+
+func (d *deviceCounters) clearPoison() {
+	d.poisonSeq.Store(0)
+	d.poisonCount.Store(0)
 }
 
 func (d *deviceCounters) snapshot() DeviceStats {
@@ -42,7 +87,44 @@ func (d *deviceCounters) snapshot() DeviceStats {
 		CRCErrors:    d.crcErrors.Load(),
 		DecodeErrors: d.decodeErrors.Load(),
 		Conns:        d.conns.Load(),
+		Resumes:      d.resumes.Load(),
 	}
+}
+
+// tokenBucket is a standard refill-on-demand token bucket, used to rate
+// limit per-device connection admissions. Shedding at the handshake (with
+// an explicit retry-after) is deterministic degradation: the client knows
+// it was refused and when to return, instead of discovering mid-stream
+// that the server is drowning.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// take consumes one token, refilling at rate tokens/sec up to burst. When
+// empty it returns false and how long until a token is available.
+func (b *tokenBucket) take(rate, burst float64, now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else {
+		b.tokens += rate * now.Sub(b.last).Seconds()
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
 }
 
 // deviceRegistry interns per-device counters across reconnects.
@@ -71,6 +153,14 @@ func (r *deviceRegistry) get(device string) *deviceCounters {
 	return d
 }
 
+// lookup returns the counters for a device without creating them — the
+// admin read path, which must not invent devices out of typos.
+func (r *deviceRegistry) lookup(device string) *deviceCounters {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.devs[device]
+}
+
 func (r *deviceRegistry) snapshot() map[string]DeviceStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -85,6 +175,14 @@ func (r *deviceRegistry) len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.devs)
+}
+
+// CheckpointStats is the durability block of the admin /stats document.
+type CheckpointStats struct {
+	Generation uint64  `json:"generation"`
+	AgeSec     float64 `json:"age_sec"`
+	Bytes      int64   `json:"bytes"`
+	Errors     int64   `json:"errors"`
 }
 
 // Stats is the admin /stats document.
@@ -102,6 +200,17 @@ type Stats struct {
 	HelloErrors   int64   `json:"hello_errors"`
 	RecordsPerSec float64 `json:"records_per_sec"`
 	BytesPerSec   float64 `json:"bytes_per_sec"`
+
+	// Fault-tolerance surface: how the stream is degrading and recovering.
+	Duplicates     int64 `json:"duplicates"`
+	Resumes        int64 `json:"resumes"`
+	Throttled      int64 `json:"throttled"`
+	Severs         int64 `json:"severs"`
+	RecordsSkipped int64 `json:"records_skipped"`
+
+	// Checkpoint is present when durability is enabled.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+
 	// ShardDepths is the instantaneous queue occupancy per shard — the
 	// backpressure gauge.
 	ShardDepths []int `json:"shard_depths"`

@@ -5,27 +5,50 @@
 // paper's headline statistics are queryable in real time over an HTTP admin
 // endpoint. cmd/fleetsim is the matching load generator.
 //
-// Wire protocol (one TCP connection per device stream):
+// Wire protocol v2 (one TCP connection per device stream), designed around
+// fault tolerance: every record has an explicit per-device sequence number,
+// the server acknowledges a resume point at connection setup, and a failed
+// connection is resumed — not restarted — so crashes, drops and corruption
+// cost retransmission, never data loss or double counting.
 //
-//	hello := "FLTS1\n" deviceLen:uvarint device:bytes start:varint(µs)
-//	frame := bodyLen:uvarint body:bytes crc:uint32le
-//	body  := type:byte record-body            (trace.RecordEncoder)
+//	hello    := "FLTS2\n" deviceLen:uvarint device:bytes start:varint(µs)
+//	            lastSeq:uvarint crc:uint32le
+//	            crc covers everything from the magic through lastSeq: a bit
+//	            flip in the handshake must be refused, not register a
+//	            phantom device whose records double-count in the fleet
+//	helloAck := status:byte arg:uvarint
+//	            status 0 (ok):        arg = resumeSeq, the seq of the first
+//	                                  record the server expects on this conn
+//	            status 1 (throttled): arg = retry-after in milliseconds
+//	            status 2 (draining):  arg = 0; server is shutting down
+//	frame    := seq:uvarint bodyLen:uvarint body:bytes crc:uint32le
+//	            crc covers the seq and bodyLen varints and the body
+//	body     := type:byte record-body     (trace.RecordEncoder), or the
+//	            single byte 0x00: end-of-stream (FIN) — the server finalizes
+//	            the device stream and acks with status 0 / final seq
 //
 // The frame body is byte-identical to the CRC-covered region of a METR file
 // record, and record timestamps are delta-encoded per connection exactly as
 // in a METR file — a device stream is a METR trace re-framed for the wire.
-// The explicit length prefix is what lets the server drop an individual
-// CRC-corrupted frame and keep the connection, where a file reader has to
-// abort: framing survives body corruption, only a corrupted length prefix
-// kills the connection.
+//
+// A CRC or record-decode failure severs the connection: the timestamp delta
+// chain is broken past the bad frame, so the only sound recovery is for the
+// client to reconnect and resume from the server's acknowledged sequence
+// number, which retransmits the damaged record. (v1 kept the connection and
+// skipped the frame, silently shifting every later timestamp by the lost
+// delta — recoverability now comes from resume, not from tolerating gaps.)
+// Sequence numbers make replay after reconnect idempotent: the shard that
+// owns the device drops any record below its per-device high-water mark.
 package ingest
 
 import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"netenergy/internal/trace"
 )
@@ -37,14 +60,37 @@ var (
 	// ErrFrameTooBig means a frame declared a body larger than MaxFrame;
 	// the length prefix cannot be trusted, so the connection is fatal.
 	ErrFrameTooBig = errors.New("ingest: frame exceeds size limit")
-	// ErrFrameCRC means one frame's CRC check failed. The stream remains
-	// framed; the caller counts the error and continues.
+	// ErrFrameCRC means a frame's CRC check failed. The record inside is
+	// lost and the timestamp chain with it: the connection must be severed
+	// and the client resumes from the server's last acknowledged sequence.
 	ErrFrameCRC = errors.New("ingest: frame crc mismatch")
 	// ErrFrameTruncated means the stream ended inside a frame.
 	ErrFrameTruncated = errors.New("ingest: truncated frame")
+	// ErrBadAck means the server's hello acknowledgement was malformed.
+	ErrBadAck = errors.New("ingest: bad hello ack")
+	// ErrDraining is returned to a client whose connection was refused
+	// because the server is shutting down.
+	ErrDraining = errors.New("ingest: server draining")
 )
 
-var helloMagic = []byte("FLTS1\n")
+// ErrThrottled is returned to a client the server refused for exceeding its
+// per-device rate limit; RetryAfter is the server's suggested backoff.
+type ErrThrottled struct {
+	RetryAfter time.Duration
+}
+
+func (e *ErrThrottled) Error() string {
+	return fmt.Sprintf("ingest: throttled, retry after %s", e.RetryAfter)
+}
+
+var helloMagic = []byte("FLTS2\n")
+
+// Hello-ack status codes.
+const (
+	ackOK        = 0
+	ackThrottled = 1
+	ackDraining  = 2
+)
 
 const (
 	// MaxFrame caps a frame body; matches the METR file record cap.
@@ -53,90 +99,184 @@ const (
 	maxDeviceID = 4096
 )
 
-// writeHello writes the connection preamble.
-func writeHello(w io.Writer, device string, start trace.Timestamp) error {
+// finByte is the reserved record-type byte (trace.RecInvalid) whose
+// single-byte frame body marks a clean end of stream.
+const finByte = 0x00
+
+// isFin reports whether a frame body is the end-of-stream marker.
+func isFin(body []byte) bool { return len(body) == 1 && body[0] == finByte }
+
+// writeHello writes the connection preamble. lastSeq is the sequence number
+// of the next record the client would send — how many records it believes
+// the server has already accepted (0 on a fresh stream).
+func writeHello(w io.Writer, device string, start trace.Timestamp, lastSeq int64) error {
 	b := append([]byte(nil), helloMagic...)
 	b = binary.AppendUvarint(b, uint64(len(device)))
 	b = append(b, device...)
 	b = binary.AppendVarint(b, int64(start))
+	b = binary.AppendUvarint(b, uint64(lastSeq))
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(b))
+	b = append(b, crcb[:]...)
 	_, err := w.Write(b)
 	return err
 }
 
-// readHello parses the connection preamble.
-func readHello(r *bufio.Reader) (device string, start trace.Timestamp, err error) {
+// readUvarintInto reads a uvarint while appending its raw bytes to *raw.
+func readUvarintInto(r *bufio.Reader, raw *[]byte) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		*raw = append(*raw, c)
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, errors.New("uvarint overflow")
+			}
+			return v | uint64(c)<<shift, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, errors.New("uvarint overflow")
+}
+
+// readHello parses and CRC-verifies the connection preamble. Unlike frame
+// errors, a bad hello never identifies a device — it is counted globally
+// and the connection dropped without an ack.
+func readHello(r *bufio.Reader) (device string, start trace.Timestamp, lastSeq int64, err error) {
+	raw := make([]byte, 0, 64)
 	var m [6]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return "", 0, ErrBadHello
+		return "", 0, 0, ErrBadHello
 	}
 	for i := range m {
 		if m[i] != helloMagic[i] {
-			return "", 0, ErrBadHello
+			return "", 0, 0, ErrBadHello
 		}
 	}
-	dlen, err := binary.ReadUvarint(r)
+	raw = append(raw, m[:]...)
+	dlen, err := readUvarintInto(r, &raw)
 	if err != nil || dlen == 0 || dlen > maxDeviceID {
-		return "", 0, ErrBadHello
+		return "", 0, 0, ErrBadHello
 	}
 	dev := make([]byte, dlen)
 	if _, err := io.ReadFull(r, dev); err != nil {
-		return "", 0, ErrBadHello
+		return "", 0, 0, ErrBadHello
 	}
-	s, err := binary.ReadVarint(r)
+	raw = append(raw, dev...)
+	su, err := readUvarintInto(r, &raw)
 	if err != nil {
-		return "", 0, ErrBadHello
+		return "", 0, 0, ErrBadHello
 	}
-	return string(dev), trace.Timestamp(s), nil
+	s := int64(su>>1) ^ -int64(su&1) // zigzag decode (binary.AppendVarint)
+	seq, err := readUvarintInto(r, &raw)
+	if err != nil {
+		return "", 0, 0, ErrBadHello
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r, crcb[:]); err != nil {
+		return "", 0, 0, ErrBadHello
+	}
+	if binary.LittleEndian.Uint32(crcb[:]) != crc32.ChecksumIEEE(raw) {
+		return "", 0, 0, ErrBadHello
+	}
+	return string(dev), trace.Timestamp(s), int64(seq), nil
 }
 
-// appendFrame appends one framed body (length prefix, body, CRC) to dst.
-func appendFrame(dst, body []byte) []byte {
+// writeAck writes a hello (or FIN) acknowledgement.
+func writeAck(w io.Writer, status byte, arg uint64) error {
+	b := []byte{status}
+	b = binary.AppendUvarint(b, arg)
+	_, err := w.Write(b)
+	return err
+}
+
+// readAck parses an acknowledgement and maps non-OK statuses to errors.
+func readAck(r *bufio.Reader) (arg int64, err error) {
+	status, err := r.ReadByte()
+	if err != nil {
+		return 0, ErrBadAck
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, ErrBadAck
+	}
+	switch status {
+	case ackOK:
+		return int64(v), nil
+	case ackThrottled:
+		return 0, &ErrThrottled{RetryAfter: time.Duration(v) * time.Millisecond}
+	case ackDraining:
+		return 0, ErrDraining
+	default:
+		return 0, ErrBadAck
+	}
+}
+
+// appendFrame appends one framed body (sequence number, length prefix,
+// body, CRC over all three) to dst.
+func appendFrame(dst []byte, seq int64, body []byte) []byte {
+	head := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(seq))
 	dst = binary.AppendUvarint(dst, uint64(len(body)))
 	dst = append(dst, body...)
 	var crcb [4]byte
-	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(dst[head:]))
 	return append(dst, crcb[:]...)
 }
 
 // frameReader reads frames from a buffered stream, reusing one body buffer.
 type frameReader struct {
-	r   *bufio.Reader
-	buf []byte
+	r    *bufio.Reader
+	buf  []byte
+	head []byte
 }
 
 func newFrameReader(r *bufio.Reader) *frameReader {
 	return &frameReader{r: r, buf: make([]byte, 0, 2048)}
 }
 
-// next returns the next frame body, valid until the following call. A clean
-// end of stream is io.EOF. ErrFrameCRC is recoverable (the frame was fully
-// consumed); every other error is fatal for the connection. The body buffer
-// grows to the actual bytes read, never to an attacker-claimed length
-// beyond MaxFrame.
-func (f *frameReader) next() ([]byte, error) {
-	blen, err := binary.ReadUvarint(f.r)
+// next returns the next frame's sequence number and body; the body is valid
+// until the following call. A clean end of stream is io.EOF. ErrFrameCRC
+// means the frame (and the timestamp chain) cannot be trusted — the caller
+// must sever the connection and rely on resume. The body buffer grows to
+// the actual bytes read, never to an attacker-claimed length beyond
+// MaxFrame.
+func (f *frameReader) next() (seq int64, body []byte, err error) {
+	f.head = f.head[:0]
+	s, err := readUvarintInto(f.r, &f.head)
 	if err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return 0, nil, io.EOF
 		}
-		return nil, ErrFrameTruncated
+		return 0, nil, ErrFrameTruncated
+	}
+	blen, err := readUvarintInto(f.r, &f.head)
+	if err != nil {
+		return 0, nil, ErrFrameTruncated
 	}
 	if blen > MaxFrame {
-		return nil, ErrFrameTooBig
+		return 0, nil, ErrFrameTooBig
 	}
 	if cap(f.buf) < int(blen) {
 		f.buf = make([]byte, blen)
 	}
-	body := f.buf[:blen]
+	body = f.buf[:blen]
 	if _, err := io.ReadFull(f.r, body); err != nil {
-		return nil, ErrFrameTruncated
+		return 0, nil, ErrFrameTruncated
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(f.r, crcb[:]); err != nil {
-		return nil, ErrFrameTruncated
+		return 0, nil, ErrFrameTruncated
 	}
-	if binary.LittleEndian.Uint32(crcb[:]) != crc32.ChecksumIEEE(body) {
-		return nil, ErrFrameCRC
+	crc := crc32.ChecksumIEEE(f.head)
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	if binary.LittleEndian.Uint32(crcb[:]) != crc {
+		return 0, nil, ErrFrameCRC
 	}
-	return body, nil
+	return int64(s), body, nil
 }

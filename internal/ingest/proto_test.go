@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"testing"
+	"time"
 
 	"netenergy/internal/trace"
 )
@@ -26,7 +27,7 @@ func sampleRecords() []trace.Record {
 // frame reader and record decoder directly.
 func TestProtoRoundtrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeHello(&buf, "u07", 500); err != nil {
+	if err := writeHello(&buf, "u07", 500, 42); err != nil {
 		t.Fatal(err)
 	}
 	enc := trace.NewRecordEncoder(500)
@@ -36,23 +37,30 @@ func TestProtoRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		buf.Write(appendFrame(nil, body))
+		buf.Write(appendFrame(nil, int64(42+i), body))
 	}
+	buf.Write(appendFrame(nil, int64(42+len(recs)), []byte{finByte}))
 
 	br := bufio.NewReader(&buf)
-	device, start, err := readHello(br)
+	device, start, lastSeq, err := readHello(br)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if device != "u07" || start != 500 {
-		t.Fatalf("hello = %q/%d", device, start)
+	if device != "u07" || start != 500 || lastSeq != 42 {
+		t.Fatalf("hello = %q/%d/%d", device, start, lastSeq)
 	}
 	dec := trace.NewRecordDecoder(start)
 	fr := newFrameReader(br)
 	for i := range recs {
-		body, err := fr.next()
+		seq, body, err := fr.next()
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != int64(42+i) {
+			t.Fatalf("frame %d: seq = %d, want %d", i, seq, 42+i)
+		}
+		if isFin(body) {
+			t.Fatalf("frame %d misread as FIN", i)
 		}
 		got, err := dec.Decode(body)
 		if err != nil {
@@ -65,55 +73,122 @@ func TestProtoRoundtrip(t *testing.T) {
 			t.Errorf("record %d: got %v want %v", i, got, want)
 		}
 	}
-	if _, err := fr.next(); err != io.EOF {
+	seq, body, err := fr.next()
+	if err != nil || !isFin(body) || seq != int64(42+len(recs)) {
+		t.Fatalf("FIN frame: seq=%d body=%v err=%v", seq, body, err)
+	}
+	if _, _, err := fr.next(); err != io.EOF {
 		t.Fatalf("want EOF, got %v", err)
 	}
 }
 
-// TestFrameCRCRecoverable corrupts one frame body: the reader must flag
-// exactly that frame and resume on the next.
-func TestFrameCRCRecoverable(t *testing.T) {
+// TestHelloCRCDetected flips one bit anywhere in the hello — including
+// inside the device identifier — and requires the reader to refuse it: a
+// corrupted handshake must never register a phantom device.
+func TestHelloCRCDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, "u07", 500, 42); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if dev, start, seq, err := readHello(bufio.NewReader(bytes.NewReader(good))); err != nil || dev != "u07" || start != 500 || seq != 42 {
+		t.Fatalf("clean hello: %q/%d/%d %v", dev, start, seq, err)
+	}
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[i] ^= 1 << bit
+			if _, _, _, err := readHello(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+	// Truncated hello (CRC trailer missing).
+	if _, _, _, err := readHello(bufio.NewReader(bytes.NewReader(good[:len(good)-2]))); !errors.Is(err, ErrBadHello) {
+		t.Fatalf("truncated hello: %v", err)
+	}
+}
+
+// TestAckRoundtrip covers the three hello-ack statuses and a malformed ack.
+func TestAckRoundtrip(t *testing.T) {
+	roundtrip := func(status byte, arg uint64) (int64, error) {
+		var buf bytes.Buffer
+		if err := writeAck(&buf, status, arg); err != nil {
+			t.Fatal(err)
+		}
+		return readAck(bufio.NewReader(&buf))
+	}
+
+	if seq, err := roundtrip(ackOK, 1234); err != nil || seq != 1234 {
+		t.Fatalf("ok ack: %d %v", seq, err)
+	}
+	_, err := roundtrip(ackThrottled, 250)
+	var thr *ErrThrottled
+	if !errors.As(err, &thr) || thr.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("throttled ack: %v", err)
+	}
+	if _, err := roundtrip(ackDraining, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining ack: %v", err)
+	}
+	if _, err := roundtrip(0x7f, 0); !errors.Is(err, ErrBadAck) {
+		t.Fatalf("unknown status: %v", err)
+	}
+	if _, err := readAck(bufio.NewReader(bytes.NewReader(nil))); !errors.Is(err, ErrBadAck) {
+		t.Fatalf("empty ack: %v", err)
+	}
+}
+
+// TestFrameCRCDetected corrupts one frame: the reader must flag it with
+// ErrFrameCRC so the server severs the connection. Corrupting the seq
+// varint (which v1's CRC did not cover) must also be detected.
+func TestFrameCRCDetected(t *testing.T) {
 	enc := trace.NewRecordEncoder(0)
 	recs := sampleRecords()
-	var buf bytes.Buffer
 	var frames [][]byte
 	for i := range recs {
 		body, err := enc.Encode(&recs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
-		frames = append(frames, appendFrame(nil, body))
-	}
-	// Corrupt a body byte of the second frame (not its length prefix).
-	frames[1][2] ^= 0xff
-	for _, f := range frames {
-		buf.Write(f)
+		frames = append(frames, appendFrame(nil, int64(i), body))
 	}
 
-	fr := newFrameReader(bufio.NewReader(&buf))
-	if _, err := fr.next(); err != nil {
-		t.Fatalf("frame 0: %v", err)
-	}
-	if _, err := fr.next(); !errors.Is(err, ErrFrameCRC) {
-		t.Fatalf("frame 1: want ErrFrameCRC, got %v", err)
-	}
-	if _, err := fr.next(); err != nil {
-		t.Fatalf("frame 2 after CRC error: %v", err)
-	}
-	if _, err := fr.next(); err != nil {
-		t.Fatalf("frame 3 after CRC error: %v", err)
-	}
-	if _, err := fr.next(); err != io.EOF {
-		t.Fatalf("want EOF, got %v", err)
+	for _, tc := range []struct {
+		name string
+		mut  func([][]byte)
+	}{
+		{"body byte", func(f [][]byte) { f[1][3] ^= 0xff }},
+		{"seq varint", func(f [][]byte) { f[1][0] ^= 0x01 }},
+		{"crc byte", func(f [][]byte) { f[1][len(f[1])-1] ^= 0xff }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := make([][]byte, len(frames))
+			for i := range frames {
+				mutated[i] = bytes.Clone(frames[i])
+			}
+			tc.mut(mutated)
+			var buf bytes.Buffer
+			for _, f := range mutated {
+				buf.Write(f)
+			}
+			fr := newFrameReader(bufio.NewReader(&buf))
+			if _, _, err := fr.next(); err != nil {
+				t.Fatalf("frame 0: %v", err)
+			}
+			if _, _, err := fr.next(); !errors.Is(err, ErrFrameCRC) {
+				t.Fatalf("frame 1: want ErrFrameCRC, got %v", err)
+			}
+		})
 	}
 }
 
 // TestFrameSizeLimit: a huge claimed length must fail fast, not allocate.
 func TestFrameSizeLimit(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // uvarint ~2^34
+	buf.WriteByte(0x00) // seq 0
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // length uvarint ~2^34
 	fr := newFrameReader(bufio.NewReader(&buf))
-	if _, err := fr.next(); !errors.Is(err, ErrFrameTooBig) {
+	if _, _, err := fr.next(); !errors.Is(err, ErrFrameTooBig) {
 		t.Fatalf("want ErrFrameTooBig, got %v", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/energy"
+	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/trace"
 )
 
@@ -31,8 +32,28 @@ type Config struct {
 	// before handing off to a shard (default: 128).
 	BatchSize int
 	// ReadTimeout is the per-frame read deadline (default: 60s). A device
-	// that goes silent longer is disconnected and finalised.
+	// that goes silent longer is disconnected; its stream stays live for
+	// resume.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds handshake/FIN acknowledgement writes (default: 10s).
+	WriteTimeout time.Duration
+
+	// CheckpointDir enables crash-safe durability: shard state is
+	// persisted there periodically and replayed on the next Start. Empty
+	// disables checkpointing (the pre-durability behaviour).
+	CheckpointDir string
+	// CheckpointInterval is the persistence cadence (default: 10s). A
+	// crash loses at most this much progress — clients retransmit it.
+	CheckpointInterval time.Duration
+
+	// RateLimit, when positive, caps per-device connection admissions to
+	// this many per second (token bucket of RateBurst). Excess handshakes
+	// are refused with an explicit throttle ack and retry-after — load is
+	// shed deterministically at the cheapest point, before any decoding.
+	RateLimit float64
+	// RateBurst is the token-bucket depth (default: 3 when RateLimit > 0).
+	RateBurst int
+
 	// Opts is the energy accounting configuration (default:
 	// energy.DefaultOptions with KeepPackets off).
 	Opts energy.Options
@@ -51,6 +72,15 @@ func (c Config) withDefaults() Config {
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 60 * time.Second
 	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 10 * time.Second
+	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = 3
+	}
 	if c.Opts.Radio.Name == "" {
 		c.Opts = energy.DefaultOptions()
 		c.Opts.KeepPackets = false
@@ -59,7 +89,8 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the fleet-ingest daemon: a TCP accept loop, per-connection
-// frame decoders, and a consistent-hash sharded pool of analysis workers.
+// frame decoders, and a consistent-hash sharded pool of analysis workers,
+// optionally checkpointed to disk for crash recovery.
 type Server struct {
 	cfg   Config
 	ring  *ring
@@ -74,13 +105,19 @@ type Server struct {
 	rates    rateTracker
 	started  time.Time
 
+	ckpt     *checkpoint.Store
+	ckptMu   sync.Mutex // serializes Save calls (ticker vs admin POST)
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
+
 	mu       sync.RWMutex // guards conns, drain, chClosed, final
 	conns    map[net.Conn]struct{}
 	drain    bool
 	chClosed bool
 	final    *analysis.StreamResult
-	handler sync.WaitGroup
-	accept  sync.WaitGroup
+	handler  sync.WaitGroup
+	accept   sync.WaitGroup
 }
 
 // NewServer builds a Server; Start brings up the listeners.
@@ -93,15 +130,35 @@ func NewServer(cfg Config) *Server {
 		conns:   map[net.Conn]struct{}{},
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts))
+		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, &s.counters, s.devices))
 	}
 	return s
 }
 
-// Start binds the listeners and launches the shard workers, the accept
-// loop and (if configured) the admin endpoint. It returns once the server
-// is accepting.
+// Start binds the listeners, recovers from the latest valid checkpoint if
+// durability is enabled, and launches the shard workers, the accept loop,
+// the checkpoint loop and (if configured) the admin endpoint. It returns
+// once the server is accepting.
 func (s *Server) Start() error {
+	if s.cfg.CheckpointDir != "" {
+		st, err := checkpoint.Open(s.cfg.CheckpointDir)
+		if err != nil {
+			return fmt.Errorf("ingest: open checkpoint dir: %w", err)
+		}
+		s.ckpt = st
+		snap, gen, err := st.LoadLatest(s.validateSnapshot)
+		if err != nil {
+			return fmt.Errorf("ingest: load checkpoint: %w", err)
+		}
+		if snap != nil {
+			if err := s.restore(snap); err != nil {
+				return fmt.Errorf("ingest: restore checkpoint gen %d: %w", gen, err)
+			}
+			s.counters.ckptGen.Store(gen)
+			s.counters.ckptUnixNano.Store(time.Now().UnixNano())
+		}
+	}
+
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
@@ -121,8 +178,67 @@ func (s *Server) Start() error {
 	for _, sh := range s.shard {
 		go sh.run()
 	}
+	if s.ckpt != nil {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	s.accept.Add(1)
 	go s.acceptLoop()
+	return nil
+}
+
+// validateSnapshot deep-decodes every opaque blob in a candidate checkpoint
+// so a structurally-valid file with undecodable analysis state falls back
+// to the previous generation instead of poisoning recovery.
+func (s *Server) validateSnapshot(snap *checkpoint.Snapshot) error {
+	for i := range snap.Devices {
+		d := &snap.Devices[i]
+		if d.Seq < 0 {
+			return fmt.Errorf("device %q: negative seq", d.Device)
+		}
+		if d.Acc != nil {
+			if _, err := analysis.RestoreStreamAccumulator(d.Acc, s.cfg.Opts); err != nil {
+				return fmt.Errorf("device %q: %w", d.Device, err)
+			}
+		}
+	}
+	if snap.Retired != nil {
+		if _, err := analysis.DecodeStreamResult(snap.Retired); err != nil {
+			return fmt.Errorf("retired aggregate: %w", err)
+		}
+	}
+	return nil
+}
+
+// restore rebuilds shard state from a checkpoint. It runs before the shard
+// workers start, so it may touch shard maps directly. Devices are placed by
+// THIS server's ring — the shard count may differ from the process that
+// wrote the checkpoint — and the retired aggregate (placement-irrelevant:
+// it is only ever merged) goes to shard 0. Counters are seeded from the
+// sequence numbers so the observability surface survives the restart.
+func (s *Server) restore(snap *checkpoint.Snapshot) error {
+	for i := range snap.Devices {
+		d := &snap.Devices[i]
+		sh := s.shard[s.ring.shard(d.Device)]
+		sh.seqs[d.Device] = d.Seq
+		if d.Acc != nil {
+			acc, err := analysis.RestoreStreamAccumulator(d.Acc, s.cfg.Opts)
+			if err != nil {
+				return err
+			}
+			sh.live[d.Device] = acc
+		}
+		s.counters.records.Add(d.Seq)
+		s.devices.get(d.Device).records.Add(d.Seq)
+	}
+	if snap.Retired != nil {
+		res, err := analysis.DecodeStreamResult(snap.Retired)
+		if err != nil {
+			return err
+		}
+		s.shard[0].retired.Merge(res)
+	}
 	return nil
 }
 
@@ -165,11 +281,21 @@ func (s *Server) forgetConn(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// handleConn owns one device connection: hello, then the frame loop. Every
-// decoded record is copied into the current batch; batches are enqueued to
-// the device's shard; the partial batch and the device-close marker are
-// flushed when the connection ends for any reason, so everything the
-// handler accepted reaches the analyzer.
+// writeAckTimed writes an acknowledgement under the write deadline.
+func (s *Server) writeAckTimed(conn net.Conn, status byte, arg uint64) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+	err := writeAck(conn, status, arg)
+	conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	return err
+}
+
+// handleConn owns one device connection: hello, admission (drain and rate
+// checks), resume handshake, then the frame loop. The handler only accepts
+// contiguous in-order frames; duplicates below the resume point are decoded
+// (to keep the timestamp chain intact) and dropped, and any unrecoverable
+// framing or decode failure severs the connection — the client reconnects
+// and resumes from the shard's acknowledged sequence, so severing never
+// loses accepted data.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -180,63 +306,144 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 1<<16)
 	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	device, start, err := readHello(br)
+	device, start, helloSeq, err := readHello(br)
 	if err != nil {
 		s.counters.helloErrors.Add(1)
 		return
 	}
 	dev := s.devices.get(device)
-	dev.conns.Add(1)
 
+	// Admission: shed load before paying for any decoding.
+	if s.cfg.RateLimit > 0 {
+		if ok, retry := dev.bucket.take(s.cfg.RateLimit, float64(s.cfg.RateBurst), time.Now()); !ok {
+			s.counters.throttled.Add(1)
+			s.writeAckTimed(conn, ackThrottled, uint64(retry.Milliseconds())+1) //nolint:errcheck
+			return
+		}
+	}
+
+	// Resume handshake: ask the owning shard for the device's accepted
+	// count; the ack tells the client where to (re)start. The enqueue is
+	// guarded like Snapshot's: Shutdown closes shard channels only under
+	// the write lock, after handlers exit.
 	sh := s.shard[s.ring.shard(device)]
+	seqc := make(chan int64, 1)
+	s.mu.RLock()
+	if s.drain {
+		s.mu.RUnlock()
+		s.writeAckTimed(conn, ackDraining, 0) //nolint:errcheck
+		return
+	}
+	sh.ch <- shardReq{seq: &seqReq{device: device, reply: seqc}}
+	s.mu.RUnlock()
+	next := <-seqc
+	if err := s.writeAckTimed(conn, ackOK, uint64(next)); err != nil {
+		return
+	}
+	dev.conns.Add(1)
+	if next > 0 || helloSeq > 0 {
+		s.counters.resumes.Add(1)
+		dev.resumes.Add(1)
+	}
+
 	dec := trace.NewRecordDecoder(start)
 	fr := newFrameReader(br)
 	batch := make([]trace.Record, 0, s.cfg.BatchSize)
+	batchFirst := next
 
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		sh.ch <- shardReq{batch: &recordBatch{device: device, recs: batch}}
+		sh.ch <- shardReq{batch: &recordBatch{device: device, firstSeq: batchFirst, recs: batch}}
 		batch = make([]trace.Record, 0, s.cfg.BatchSize)
 	}
-	defer func() {
-		flush()
-		sh.ch <- shardReq{closeDevice: device}
-	}()
+	defer flush()
+
+	sever := func() {
+		s.counters.severs.Add(1)
+	}
 
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		body, err := fr.next()
+		seq, body, err := fr.next()
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrFrameCRC):
+			// The frame is lost and the timestamp delta chain with it:
+			// nothing after this point on this connection can be trusted.
 			s.counters.crcErrors.Add(1)
 			dev.crcErrors.Add(1)
-			continue
+			sever()
+			return
 		case errors.Is(err, io.EOF):
+			// Connection dropped without a FIN: keep the stream live so a
+			// reconnect resumes it. (Shutdown finalizes live streams.)
 			return
 		default:
-			// Truncated/oversized frame or a closed socket: the framing
-			// cannot be trusted past this point.
 			s.counters.frameErrors.Add(1)
+			sever()
 			return
 		}
 		s.counters.frames.Add(1)
+
+		if isFin(body) {
+			if seq != next {
+				// A FIN with the wrong sequence means records are missing
+				// (or stale): sever, the client resumes and retries.
+				s.counters.frameErrors.Add(1)
+				sever()
+				return
+			}
+			flush()
+			finc := make(chan int64, 1)
+			sh.ch <- shardReq{fin: &finReq{device: device, reply: finc}}
+			final := <-finc
+			s.writeAckTimed(conn, ackOK, uint64(final)) //nolint:errcheck
+			return
+		}
+		if seq > next {
+			// A gap: the client skipped ahead. Accepting would corrupt
+			// positional dedup; sever and let resume renegotiate.
+			s.counters.frameErrors.Add(1)
+			sever()
+			return
+		}
+
 		rec, err := dec.Decode(body)
 		if err != nil {
 			s.counters.decodeErrors.Add(1)
 			dev.decodeErrors.Add(1)
+			if seq == next && dev.notePoison(seq) >= poisonThreshold {
+				// The same head-of-line record failed on poisonThreshold
+				// consecutive connections: skip it or the stream wedges
+				// in a reconnect loop forever.
+				flush()
+				sh.ch <- shardReq{skip: &skipReq{device: device, seq: seq}}
+				dev.clearPoison()
+			}
+			sever()
+			return
+		}
+		if seq < next {
+			// Replay below the resume point (a stale or overly cautious
+			// client): decoded to advance the chain, then dropped here —
+			// and dropped again positionally at the shard if it races.
+			s.counters.duplicates.Add(1)
 			continue
 		}
+		dev.clearPoison()
+
 		cp := *rec
 		if len(rec.Payload) > 0 {
 			cp.Payload = append([]byte(nil), rec.Payload...)
 		}
+		if len(batch) == 0 {
+			batchFirst = seq
+		}
 		batch = append(batch, cp)
-		s.counters.records.Add(1)
+		next++
 		s.counters.bytes.Add(int64(len(body)))
-		dev.records.Add(1)
 		dev.bytes.Add(int64(len(body)))
 		if len(batch) >= s.cfg.BatchSize {
 			flush()
@@ -284,25 +491,117 @@ func (s *Server) Snapshot() *analysis.StreamResult {
 	return agg
 }
 
+// checkpointLoop persists shard state every CheckpointInterval until
+// stopped.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.SaveCheckpoint() //nolint:errcheck // counted in ckptErrors
+		case <-s.ckptStop:
+			return
+		}
+	}
+}
+
+// stopCheckpointLoop halts periodic checkpointing and waits for any
+// in-flight save to finish. Idempotent; no-op when durability is off.
+func (s *Server) stopCheckpointLoop() {
+	if s.ckptStop == nil {
+		return
+	}
+	s.ckptOnce.Do(func() { close(s.ckptStop) })
+	<-s.ckptDone
+}
+
+// SaveCheckpoint collects every shard's durable state and writes one
+// checkpoint generation. It is safe to call concurrently with ingest (the
+// shards serialize their own state between batches) and is a no-op while
+// draining or when durability is disabled.
+func (s *Server) SaveCheckpoint() error {
+	if s.ckpt == nil {
+		return errors.New("ingest: checkpointing disabled")
+	}
+	s.mu.RLock()
+	if s.drain {
+		s.mu.RUnlock()
+		return errors.New("ingest: draining")
+	}
+	replies := make([]chan shardCkpt, len(s.shard))
+	for i, sh := range s.shard {
+		c := make(chan shardCkpt, 1)
+		replies[i] = c
+		sh.ch <- shardReq{ckpt: c}
+	}
+	s.mu.RUnlock()
+
+	var snap checkpoint.Snapshot
+	retired := analysis.NewStreamResult("fleet")
+	for _, c := range replies {
+		ck := <-c
+		snap.Devices = append(snap.Devices, ck.devices...)
+		retired.Merge(ck.retired)
+	}
+	snap.Retired = retired.AppendBinary(nil)
+	return s.writeCheckpoint(&snap)
+}
+
+func (s *Server) writeCheckpoint(snap *checkpoint.Snapshot) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	_, gen, err := s.ckpt.Save(snap)
+	if err != nil {
+		s.counters.ckptErrors.Add(1)
+		return err
+	}
+	s.counters.ckptGen.Store(gen)
+	s.counters.ckptUnixNano.Store(time.Now().UnixNano())
+	var size int64
+	for i := range snap.Devices {
+		size += int64(len(snap.Devices[i].Acc) + len(snap.Devices[i].Device) + 16)
+	}
+	s.counters.ckptBytes.Store(size + int64(len(snap.Retired)))
+	return nil
+}
+
 // Stats assembles the observability snapshot.
 func (s *Server) Stats(perDevice bool) Stats {
 	now := time.Now()
 	records, bytes := s.counters.records.Load(), s.counters.bytes.Load()
 	rps, bps := s.rates.rates(records, bytes, now)
 	st := Stats{
-		UptimeSec:    now.Sub(s.started).Seconds(),
-		ConnsActive:  s.counters.connsActive.Load(),
-		ConnsTotal:   s.counters.connsTotal.Load(),
-		Devices:      s.devices.len(),
-		Frames:       s.counters.frames.Load(),
-		Records:      records,
-		Bytes:        bytes,
-		CRCErrors:    s.counters.crcErrors.Load(),
-		DecodeErrors: s.counters.decodeErrors.Load(),
-		FrameErrors:  s.counters.frameErrors.Load(),
-		HelloErrors:  s.counters.helloErrors.Load(),
-		RecordsPerSec: rps,
-		BytesPerSec:   bps,
+		UptimeSec:      now.Sub(s.started).Seconds(),
+		ConnsActive:    s.counters.connsActive.Load(),
+		ConnsTotal:     s.counters.connsTotal.Load(),
+		Devices:        s.devices.len(),
+		Frames:         s.counters.frames.Load(),
+		Records:        records,
+		Bytes:          bytes,
+		CRCErrors:      s.counters.crcErrors.Load(),
+		DecodeErrors:   s.counters.decodeErrors.Load(),
+		FrameErrors:    s.counters.frameErrors.Load(),
+		HelloErrors:    s.counters.helloErrors.Load(),
+		RecordsPerSec:  rps,
+		BytesPerSec:    bps,
+		Duplicates:     s.counters.duplicates.Load(),
+		Resumes:        s.counters.resumes.Load(),
+		Throttled:      s.counters.throttled.Load(),
+		Severs:         s.counters.severs.Load(),
+		RecordsSkipped: s.counters.recordsSkipped.Load(),
+	}
+	if s.ckpt != nil {
+		ck := &CheckpointStats{
+			Generation: s.counters.ckptGen.Load(),
+			Bytes:      s.counters.ckptBytes.Load(),
+			Errors:     s.counters.ckptErrors.Load(),
+		}
+		if last := s.counters.ckptUnixNano.Load(); last > 0 {
+			ck.AgeSec = now.Sub(time.Unix(0, last)).Seconds()
+		}
+		st.Checkpoint = ck
 	}
 	for _, sh := range s.shard {
 		st.ShardDepths = append(st.ShardDepths, sh.depth())
@@ -316,15 +615,21 @@ func (s *Server) Stats(perDevice bool) Stats {
 // DeviceRecords returns the number of records accepted for one device —
 // the server-side acknowledgement count a drained headline corresponds to.
 func (s *Server) DeviceRecords(device string) int64 {
-	return s.devices.get(device).records.Load()
+	if d := s.devices.lookup(device); d != nil {
+		return d.records.Load()
+	}
+	return 0
 }
 
-// Shutdown drains the server: stop accepting, sever every connection (the
-// handlers flush their partial batches and device-close markers on the way
+// Shutdown drains the server: stop checkpointing, stop accepting, sever
+// every connection (the handlers flush their partial batches on the way
 // out), close the shard queues and wait for them to drain and finalise all
 // live streams. The returned StreamResult is the final fleet aggregate over
-// every record the server accepted; it remains available via Snapshot.
+// every record the server accepted; it remains available via Snapshot. With
+// durability enabled a final checkpoint is written so a subsequent Start
+// sees the fully-finalized state.
 func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
+	s.stopCheckpointLoop()
 	s.mu.Lock()
 	if s.drain {
 		final := s.final
@@ -352,6 +657,7 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 	}
 	s.mu.Unlock()
 	agg := analysis.NewStreamResult("fleet")
+	var snap checkpoint.Snapshot
 	for _, sh := range s.shard {
 		select {
 		case <-sh.done:
@@ -359,16 +665,62 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 			return nil, ctx.Err()
 		}
 		agg.Merge(sh.retired)
+		// The worker has exited; its maps are safe to read. Every device
+		// is finalized now, so the checkpoint carries bare seqs.
+		if s.ckpt != nil {
+			for dev, seq := range sh.seqs {
+				snap.Devices = append(snap.Devices, checkpoint.DeviceState{Device: dev, Seq: seq})
+			}
+		}
 	}
 
 	s.mu.Lock()
 	s.final = agg
 	s.mu.Unlock()
 
+	if s.ckpt != nil {
+		snap.Retired = agg.AppendBinary(nil)
+		s.writeCheckpoint(&snap) //nolint:errcheck // counted in ckptErrors
+	}
 	if s.admin != nil {
 		s.admin.Shutdown(ctx) //nolint:errcheck // best effort
 	}
 	return agg.Clone(), nil
+}
+
+// Kill simulates a crash for recovery testing: it stops the server abruptly
+// without finalizing streams, publishing a result, or writing a final
+// checkpoint. Whatever the periodic checkpoint loop last persisted is all a
+// subsequent Start will see — exactly the fail-stop model. (In-process
+// goroutines are still joined so tests under -race stay clean; the data
+// loss is real, the goroutine leak is not.)
+func (s *Server) Kill() {
+	s.stopCheckpointLoop()
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		return
+	}
+	s.drain = true
+	s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.accept.Wait()
+	s.handler.Wait()
+	s.mu.Lock()
+	s.chClosed = true
+	for _, sh := range s.shard {
+		close(sh.ch)
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shard {
+		<-sh.done
+	}
+	if s.admin != nil {
+		s.admin.Close() //nolint:errcheck // crash simulation
+	}
 }
 
 // waitCtx waits on a WaitGroup, bounded by the context.

@@ -7,6 +7,7 @@ import (
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/energy"
+	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/trace"
 )
 
@@ -63,17 +64,53 @@ func hash64(s string) uint64 {
 
 // recordBatch is a chunk of decoded records for one device, with payloads
 // copied out of the connection's frame buffer so they survive the channel
-// crossing.
+// crossing. recs[i] carries sequence number firstSeq+i — the handler only
+// batches contiguous accepted frames.
 type recordBatch struct {
+	device   string
+	firstSeq int64
+	recs     []trace.Record
+}
+
+// finReq asks the shard to finalize a device stream; the reply is the
+// device's accepted-record count, which the handler echoes to the client
+// as the FIN acknowledgement.
+type finReq struct {
 	device string
-	recs   []trace.Record
+	reply  chan<- int64
+}
+
+// seqReq asks for a device's resume point (its accepted-record count); sent
+// during the handshake so the ack can tell the client where to resume.
+type seqReq struct {
+	device string
+	reply  chan<- int64
+}
+
+// skipReq advances a device's sequence past a poison record — one that
+// repeatedly fails to decode — so the stream is not wedged forever. The
+// record is lost (and counted), which is the explicit, bounded alternative
+// to an unbounded reconnect loop.
+type skipReq struct {
+	device string
+	seq    int64
+}
+
+// shardCkpt is one shard's contribution to a checkpoint: the durable state
+// of every device it owns plus a clone of its retired aggregate.
+type shardCkpt struct {
+	devices []checkpoint.DeviceState
+	retired *analysis.StreamResult
 }
 
 // shardReq is one message on a shard's queue. Exactly one field is set.
 type shardReq struct {
-	batch       *recordBatch
-	closeDevice string                            // finalize this device's stream
-	query       chan<- *analysis.StreamResult     // snapshot-merge request
+	batch *recordBatch
+	fin   *finReq
+	seq   *seqReq
+	skip  *skipReq
+	query chan<- *analysis.StreamResult // snapshot-merge request
+	ckpt  chan<- shardCkpt
 }
 
 // shard owns a disjoint subset of devices. All state is confined to the
@@ -86,21 +123,32 @@ type shard struct {
 	ch   chan shardReq
 	opts energy.Options
 
-	// Goroutine-confined state.
+	counters *counters
+	reg      *deviceRegistry
+
+	// Goroutine-confined state. seqs is the per-device accepted-record
+	// high-water mark: the authoritative dedup/resume point, retained even
+	// after a device finalizes so a replayed FIN or late duplicate stays
+	// idempotent. It is only written here (and during single-threaded
+	// checkpoint restore, before the worker starts).
 	live    map[string]*analysis.StreamAccumulator
+	seqs    map[string]int64
 	retired *analysis.StreamResult
 
 	done chan struct{}
 }
 
-func newShard(id, queueDepth int, opts energy.Options) *shard {
+func newShard(id, queueDepth int, opts energy.Options, c *counters, reg *deviceRegistry) *shard {
 	return &shard{
-		id:      id,
-		ch:      make(chan shardReq, queueDepth),
-		opts:    opts,
-		live:    map[string]*analysis.StreamAccumulator{},
-		retired: analysis.NewStreamResult("fleet"),
-		done:    make(chan struct{}),
+		id:       id,
+		ch:       make(chan shardReq, queueDepth),
+		opts:     opts,
+		counters: c,
+		reg:      reg,
+		live:     map[string]*analysis.StreamAccumulator{},
+		seqs:     map[string]int64{},
+		retired:  analysis.NewStreamResult("fleet"),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -112,27 +160,60 @@ func (s *shard) run() {
 	for req := range s.ch {
 		switch {
 		case req.batch != nil:
-			acc := s.live[req.batch.device]
-			if acc == nil {
-				acc = analysis.NewStreamAccumulator(req.batch.device, s.opts)
-				s.live[req.batch.device] = acc
-			}
-			for i := range req.batch.recs {
-				acc.Feed(&req.batch.recs[i])
-			}
-		case req.closeDevice != "":
-			if acc := s.live[req.closeDevice]; acc != nil {
+			s.feed(req.batch)
+		case req.fin != nil:
+			if acc := s.live[req.fin.device]; acc != nil {
 				s.retired.Merge(acc.Finish())
-				delete(s.live, req.closeDevice)
+				delete(s.live, req.fin.device)
+			}
+			req.fin.reply <- s.seqs[req.fin.device]
+		case req.seq != nil:
+			req.seq.reply <- s.seqs[req.seq.device]
+		case req.skip != nil:
+			if s.seqs[req.skip.device] == req.skip.seq {
+				s.seqs[req.skip.device] = req.skip.seq + 1
+				s.counters.recordsSkipped.Add(1)
 			}
 		case req.query != nil:
 			req.query <- s.snapshot()
+		case req.ckpt != nil:
+			req.ckpt <- s.checkpoint()
 		}
 	}
 	for dev, acc := range s.live {
 		s.retired.Merge(acc.Finish())
 		delete(s.live, dev)
 	}
+}
+
+// feed applies a batch positionally: a record is accepted only when its
+// sequence number equals the device's high-water mark. Anything below is a
+// replay from a resumed or stale connection (dropped, counted); anything
+// above would be a gap the handler should have severed on and is dropped
+// the same way. First connection to deliver a given seq wins — duplicates
+// can never double-count energy.
+func (s *shard) feed(b *recordBatch) {
+	exp := s.seqs[b.device]
+	var acc *analysis.StreamAccumulator
+	dev := s.reg.get(b.device)
+	for i := range b.recs {
+		seq := b.firstSeq + int64(i)
+		if seq != exp {
+			s.counters.duplicates.Add(1)
+			continue
+		}
+		if acc == nil {
+			if acc = s.live[b.device]; acc == nil {
+				acc = analysis.NewStreamAccumulator(b.device, s.opts)
+				s.live[b.device] = acc
+			}
+		}
+		acc.Feed(&b.recs[i])
+		exp++
+		s.counters.records.Add(1)
+		dev.records.Add(1)
+	}
+	s.seqs[b.device] = exp
 }
 
 // snapshot merges the retired aggregate with a Snapshot of every live
@@ -143,6 +224,24 @@ func (s *shard) snapshot() *analysis.StreamResult {
 		agg.Merge(acc.Snapshot())
 	}
 	return agg
+}
+
+// checkpoint serializes the shard's durable state: live accumulators with
+// their sequence numbers, bare sequence numbers for finalized devices, and
+// a clone of the retired aggregate (the server merges and encodes those).
+func (s *shard) checkpoint() shardCkpt {
+	ck := shardCkpt{retired: s.retired.Clone()}
+	for dev, acc := range s.live {
+		ck.devices = append(ck.devices, checkpoint.DeviceState{
+			Device: dev, Seq: s.seqs[dev], Acc: acc.AppendState(nil),
+		})
+	}
+	for dev, seq := range s.seqs {
+		if s.live[dev] == nil {
+			ck.devices = append(ck.devices, checkpoint.DeviceState{Device: dev, Seq: seq})
+		}
+	}
+	return ck
 }
 
 // depth reports the current queue occupancy (an observability gauge; racy

@@ -87,6 +87,30 @@ func (a *Accountant) OnPacket(t float64, n int, d Dir) Charges {
 	return c
 }
 
+// AccountantState is the serializable position of the radio state machine,
+// captured by SaveState and reinstalled by RestoreState. It exists so a
+// streaming analyzer can checkpoint mid-stream and resume in a new process
+// with bit-identical accounting: the four fields are the Accountant's
+// complete mutable state.
+type AccountantState struct {
+	Started bool
+	State   State
+	LastEnd float64
+	Total   float64
+}
+
+// SaveState captures the accountant's mutable state.
+func (a *Accountant) SaveState() AccountantState {
+	return AccountantState{Started: a.started, State: a.state, LastEnd: a.lastEnd, Total: a.total}
+}
+
+// RestoreState reinstalls a state captured by SaveState. The accountant must
+// have been built with the same Params as the one the state came from;
+// subsequent OnPacket calls then charge exactly as the original would have.
+func (a *Accountant) RestoreState(s AccountantState) {
+	a.started, a.state, a.lastEnd, a.total = s.Started, s.State, s.LastEnd, s.Total
+}
+
 // Finish closes the stream: the radio rides its final tail to completion
 // and demotes to idle. The returned energy (J) belongs to the last packet
 // observed. Calling Finish on a stream with no packets returns 0.

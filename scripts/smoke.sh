@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# End-to-end ingest smoke test: stream a 200-device synthetic fleet into a
-# local ingestd and require zero dropped records, then check the daemon
-# drains cleanly on SIGTERM. Run via `make smoke` (needs ./bin built).
+# End-to-end ingest smoke test, two phases:
+#   1. clean: stream a 200-device synthetic fleet into a local ingestd and
+#      require zero dropped records and a clean SIGTERM drain;
+#   2. chaos: same fleet against a FRESH server (the devices restart their
+#      streams from sequence 0) through the fault injector — drops and bit
+#      corruption on the wire — and require the sever/resume/dedup loop to
+#      still deliver every record exactly once.
+# Run via `make smoke` (needs ./bin built).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,22 +15,32 @@ ADMIN=${SMOKE_ADMIN:-127.0.0.1:19910}
 DEVICES=${SMOKE_DEVICES:-200}
 DAYS=${SMOKE_DAYS:-1}
 
-./bin/ingestd -listen "$ADDR" -admin "$ADMIN" &
-pid=$!
-cleanup() { kill "$pid" 2>/dev/null || true; }
+pid=
+cleanup() { [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; }
 trap cleanup EXIT
 
-# fleetsim retries the dial for up to 10s, so no readiness poll is needed.
-# It exits non-zero if the server's accepted-record count, CRC or decode
-# error counters disagree with what was sent.
-./bin/fleetsim -addr "$ADDR" -admin "http://$ADMIN" \
-  -devices "$DEVICES" -days "$DAYS" -seed 7
+run_phase() { # name, extra fleetsim flags...
+  local name=$1
+  shift
+  ./bin/ingestd -listen "$ADDR" -admin "$ADMIN" &
+  pid=$!
+  # fleetsim retries the dial with backoff, so no readiness poll is
+  # needed. It exits non-zero if the server's accepted-record counters
+  # disagree per device with what was acked client-side.
+  ./bin/fleetsim -addr "$ADDR" -admin "http://$ADMIN" \
+    -devices "$DEVICES" -days "$DAYS" -seed 7 "$@"
 
-# Graceful drain: SIGTERM must flush shard state and exit zero.
-kill -TERM "$pid"
-if ! wait "$pid"; then
-  echo "smoke: ingestd did not drain cleanly" >&2
-  exit 1
-fi
+  # Graceful drain: SIGTERM must flush shard state and exit zero.
+  kill -TERM "$pid"
+  if ! wait "$pid"; then
+    echo "smoke: ingestd did not drain cleanly ($name phase)" >&2
+    exit 1
+  fi
+  pid=
+  echo "smoke: $name phase ok"
+}
+
+run_phase clean
+run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
 trap - EXIT
 echo "smoke: ok"
