@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race smoke fuzz fuzz-smoke bench clean
+.PHONY: ci vet build test race cover smoke fuzz fuzz-smoke bench clean
 
-ci: vet build race fuzz-smoke smoke
+ci: vet build race cover fuzz-smoke smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Statement-coverage gate: the total must not fall below the floor in
+# scripts/coverage_floor.txt (set ~3 points under the measured total, so
+# normal churn passes but a PR that deletes tests or lands an untested
+# subsystem fails).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat scripts/coverage_floor.txt); \
+	echo "coverage: $$total% (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 >= f + 0 ? 0 : 1) }' || \
+	  { echo "coverage $$total% is below the $$floor% floor" >&2; exit 1; }
 
 # End-to-end load smoke: 200 synthetic devices stream one trace-day each
 # into a local ingestd — once clean, once through the fault injector;

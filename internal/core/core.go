@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/appmodel"
 	"netenergy/internal/energy"
+	"netenergy/internal/obs"
 	"netenergy/internal/radio"
 	"netenergy/internal/report"
 	"netenergy/internal/synthgen"
@@ -28,10 +30,44 @@ type Study struct {
 	// Networks compares cellular vs WiFi energy for the same fleet (§3's
 	// premise); computed at load time while the raw traces are in hand.
 	Networks analysis.NetworkComparison
+
+	// LoadSeconds is how long generation/loading took (recorded by
+	// Run/OpenParallel, exposed as analyze_load_seconds when instrumented).
+	LoadSeconds float64
+
+	metrics *obs.Registry
+}
+
+// Instrument attaches a metrics registry: every subsequent figure/table
+// evaluation records its wall time into an
+// analyze_stage_seconds{stage="..."} histogram, and the load duration is
+// exposed as the analyze_load_seconds gauge. Nil detaches.
+func (s *Study) Instrument(reg *obs.Registry) {
+	s.metrics = reg
+	if reg != nil {
+		reg.GaugeFunc("analyze_load_seconds", "fleet generation/load wall time",
+			func() float64 { return s.LoadSeconds })
+		reg.GaugeFunc("analyze_devices", "devices in the loaded fleet",
+			func() float64 { return float64(len(s.Devices)) })
+	}
+}
+
+// stage returns a completion callback timing one named evaluation stage.
+// With no registry attached it costs two branches and no allocation beyond
+// the closure.
+func (s *Study) stage(name string) func() {
+	if s.metrics == nil {
+		return func() {}
+	}
+	h := s.metrics.Histogram(`analyze_stage_seconds{stage="`+name+`"}`,
+		"per-stage evaluation wall time", obs.DurationBuckets())
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
 }
 
 // Run generates the configured fleet in memory and loads it.
 func Run(cfg synthgen.Config) (*Study, error) {
+	t0 := time.Now()
 	dts := synthgen.GenerateInMemory(cfg)
 	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
 	if err != nil {
@@ -41,7 +77,8 @@ func Run(cfg synthgen.Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Study{Config: cfg, Devices: devs, Networks: nets}, nil
+	return &Study{Config: cfg, Devices: devs, Networks: nets,
+		LoadSeconds: time.Since(t0).Seconds()}, nil
 }
 
 // Open loads an on-disk fleet previously written by cmd/gentrace.
@@ -55,6 +92,7 @@ func Open(dir string) (*Study, error) { return OpenParallel(dir, 1) }
 // workers <= 1 degrades to the sequential one-trace-in-memory behaviour;
 // higher counts trade peak memory for wall time.
 func OpenParallel(dir string, workers int) (*Study, error) {
+	t0 := time.Now()
 	fleet, err := trace.OpenFleet(dir)
 	if err != nil {
 		return nil, err
@@ -112,6 +150,7 @@ func OpenParallel(dir string, workers int) (*Study, error) {
 		s.Networks.CellularBytes += r.nets.CellularBytes
 		s.Networks.WiFiBytes += r.nets.WiFiBytes
 	}
+	s.LoadSeconds = time.Since(t0).Seconds()
 	return s, nil
 }
 
@@ -149,38 +188,45 @@ var Table2Labels = []string{
 // Headline computes the prose statistics (84% background, first-minute
 // criterion, browser shares).
 func (s *Study) Headline() analysis.Headline {
+	defer s.stage("headline")()
 	return analysis.ComputeHeadline(s.Devices)
 }
 
 // Fig1 computes Figure 1 (apps in users' top-10 lists, >=2 users).
 func (s *Study) Fig1() analysis.TopAppsResult {
+	defer s.stage("fig1")()
 	return analysis.TopApps(s.Devices, 2)
 }
 
 // Fig2 computes Figure 2 (top data and energy consumers).
 func (s *Study) Fig2() analysis.HungryAppsResult {
+	defer s.stage("fig2")()
 	return analysis.HungryApps(s.Devices, 12)
 }
 
 // Fig3 computes Figure 3 (per-state energy for the top-12 apps).
 func (s *Study) Fig3() []analysis.StateBreakdown {
+	defer s.stage("fig3")()
 	return analysis.StateBreakdowns(s.Devices, nil)
 }
 
 // Fig4 computes Figure 4 (Chrome traffic around a background transition).
 func (s *Study) Fig4() (analysis.TimelineResult, bool) {
+	defer s.stage("fig4")()
 	return analysis.Timeline(s.Devices, appmodel.PkgChrome, 300, 900, 10)
 }
 
 // Fig5 computes Figure 5 (persistence of Chrome traffic after
 // backgrounding).
 func (s *Study) Fig5() analysis.PersistenceCDF {
+	defer s.stage("fig5")()
 	return analysis.Persistence(s.Devices, appmodel.PkgChrome)
 }
 
 // Fig6 computes Figure 6 (background bytes vs time since foreground, 10 s
 // bins over 2 hours).
 func (s *Study) Fig6() analysis.SinceForegroundResult {
+	defer s.stage("fig6")()
 	return analysis.SinceForeground(s.Devices, 10, 7200)
 }
 
@@ -188,47 +234,56 @@ func (s *Study) Fig6() analysis.SinceForegroundResult {
 // and categories — the §4.1 validation that leaked traffic includes ad and
 // analytics content.
 func (s *Study) LeakHosts() analysis.HostBreakdownResult {
+	defer s.stage("leak_hosts")()
 	return analysis.HostBreakdown(s.Devices, appmodel.PkgChrome, true)
 }
 
 // ScreenOff computes the screen-off traffic characterisation (extension).
 func (s *Study) ScreenOff() analysis.ScreenOffResult {
+	defer s.stage("screen_off")()
 	return analysis.ScreenOff(s.Devices, 10)
 }
 
 // WeeklyTrend computes the §3.1 longitudinal background-energy view.
 func (s *Study) WeeklyTrend() analysis.WeeklyTrend {
+	defer s.stage("weekly")()
 	return analysis.Weekly(s.Devices)
 }
 
 // DNSOverhead computes the resolver-traffic overhead (extension).
 func (s *Study) DNSOverhead() analysis.DNSResult {
+	defer s.stage("dns")()
 	return analysis.DNS(s.Devices, radio.LTE())
 }
 
 // Batching simulates the §6 batch-your-updates recommendation at the given
 // coalescing factor.
 func (s *Study) Batching(factor int) whatif.BatchResult {
+	defer s.stage("batching")()
 	return whatif.SimulateBatchingFleet(s.Devices, radio.LTE(), factor)
 }
 
 // Retrans computes the TCP retransmission overhead (extension).
 func (s *Study) Retrans() analysis.RetransResult {
+	defer s.stage("retrans")()
 	return analysis.Retransmissions(s.Devices, 10)
 }
 
 // Table1 computes the sixteen case-study rows.
 func (s *Study) Table1() []analysis.CaseStudy {
+	defer s.stage("table1")()
 	return analysis.CaseStudies(s.Devices, Table1Packages, Table1Labels)
 }
 
 // Table2 computes the what-if rows for the paper's six example apps.
 func (s *Study) Table2(killAfterDays int) []whatif.AppResult {
+	defer s.stage("table2")()
 	return whatif.Evaluate(s.Devices, Table2Packages, Table2Labels, killAfterDays)
 }
 
 // Sweep runs the kill-threshold ablation over 1..maxDays.
 func (s *Study) Sweep(maxDays int) []whatif.SweepPoint {
+	defer s.stage("sweep")()
 	return whatif.SweepThresholds(s.Devices, maxDays)
 }
 

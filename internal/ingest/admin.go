@@ -3,8 +3,11 @@ package ingest
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"netenergy/internal/analysis"
+	"netenergy/internal/obs"
 	"netenergy/internal/trace"
 )
 
@@ -75,16 +78,49 @@ func (s *Server) Headline() LiveHeadline {
 // adminMux serves the observability surface:
 //
 //	GET  /healthz           -> 200 "ok"
+//	GET  /metrics           -> Prometheus text exposition of every counter,
+//	                           gauge and histogram (scrape this)
+//	GET  /events            -> recent structured events as JSON
+//	                           (?level=warn&n=50 to filter and trim)
 //	GET  /stats             -> Stats JSON (add ?devices=1 for per-device counters)
 //	GET  /headline          -> LiveHeadline JSON
 //	GET  /device?id=<dev>   -> DeviceStats JSON (400 without id, 404 unknown)
 //	POST /checkpoint        -> force a checkpoint now (405 on GET, 503 when
 //	                           durability is off or the server is draining)
+//	/debug/pprof/*          -> net/http/pprof handlers, only with
+//	                           Config.EnablePprof (ingestd -pprof)
 func (s *Server) adminMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.counters.reg.WriteText(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if n := r.URL.Query().Get("n"); n != "" {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n parameter", http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		min := obs.ParseLevel(r.URL.Query().Get("level"))
+		writeJSON(w, struct {
+			Total  uint64      `json:"total"`
+			Events []obs.Event `json:"events"`
+		}{s.counters.events.Total(), s.counters.events.Recent(max, min)})
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats(r.URL.Query().Get("devices") != ""))
 	})

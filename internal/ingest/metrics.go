@@ -4,35 +4,90 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netenergy/internal/obs"
 )
 
-// counters are the server-wide monotonic totals, updated lock-free from
-// every connection handler (and, for accepted-record counts, from the
-// shard workers, which own dedup and therefore own the truth about what
-// was accepted).
+// counters are the server-wide totals and hot-path distributions, updated
+// lock-free from every connection handler (and, for accepted-record counts,
+// from the shard workers, which own dedup and therefore own the truth about
+// what was accepted). All of them live in an obs.Registry, so the same
+// values back the JSON /stats document, the Prometheus /metrics exposition
+// and fleetsim's exit-time reconciliation — one source of truth, fully
+// synchronized.
 type counters struct {
-	connsTotal   atomic.Int64
-	connsActive  atomic.Int64
-	frames       atomic.Int64
-	records      atomic.Int64
-	bytes        atomic.Int64
-	crcErrors    atomic.Int64
-	decodeErrors atomic.Int64
-	frameErrors  atomic.Int64
-	helloErrors  atomic.Int64
+	reg    *obs.Registry
+	events *obs.EventLog
+
+	connsTotal   *obs.Counter
+	connsActive  *obs.Gauge
+	frames       *obs.Counter
+	records      *obs.Counter
+	bytes        *obs.Counter
+	crcErrors    *obs.Counter
+	decodeErrors *obs.Counter
+	frameErrors  *obs.Counter
+	helloErrors  *obs.Counter
 
 	// Fault-tolerance counters.
-	duplicates     atomic.Int64 // replayed records dropped by dedup
-	resumes        atomic.Int64 // handshakes that resumed prior progress
-	throttled      atomic.Int64 // handshakes refused by rate limiting
-	severs         atomic.Int64 // connections severed on CRC/decode/gap
-	recordsSkipped atomic.Int64 // poison records skipped past
+	duplicates     *obs.Counter // replayed records dropped by dedup
+	resumes        *obs.Counter // handshakes that resumed prior progress
+	throttled      *obs.Counter // handshakes refused by rate limiting
+	severs         *obs.Counter // connections severed on CRC/decode/gap
+	recordsSkipped *obs.Counter // poison records skipped past
 
 	// Checkpoint health (written by the checkpoint loop).
-	ckptGen      atomic.Uint64
-	ckptBytes    atomic.Int64
-	ckptErrors   atomic.Int64
-	ckptUnixNano atomic.Int64 // time of last successful save
+	ckptGen      *obs.Gauge
+	ckptBytes    *obs.Gauge
+	ckptErrors   *obs.Counter
+	ckptUnixNano *obs.Gauge // time of last successful save
+
+	// Hot-path distributions. frameSeconds is the per-frame record-decode
+	// latency; applySeconds is the enqueue→apply latency through a shard
+	// queue (the backpressure signal with a time axis); batchRecords is the
+	// hand-off batch size; ckptSeconds is the checkpoint save duration.
+	frameSeconds *obs.Histogram
+	applySeconds *obs.Histogram
+	batchRecords *obs.Histogram
+	ckptSeconds  *obs.Histogram
+}
+
+// newCounters builds the registry-backed counter set. Every metric name is
+// documented in README.md ("Observability").
+func newCounters() *counters {
+	reg := obs.New()
+	c := &counters{
+		reg:    reg,
+		events: obs.NewEventLog(256),
+
+		connsTotal:   reg.Counter("ingest_conns_total", "device connections accepted"),
+		connsActive:  reg.Gauge("ingest_conns_active", "device connections currently open"),
+		frames:       reg.Counter("ingest_frames_total", "wire frames accepted (CRC-valid)"),
+		records:      reg.Counter("ingest_records_total", "records accepted into shard accumulators"),
+		bytes:        reg.Counter("ingest_bytes_total", "frame body bytes accepted"),
+		crcErrors:    reg.Counter("ingest_crc_errors_total", "frames rejected by CRC"),
+		decodeErrors: reg.Counter("ingest_decode_errors_total", "frame bodies that failed record decode"),
+		frameErrors:  reg.Counter("ingest_frame_errors_total", "framing violations (truncation, gaps, bad FIN)"),
+		helloErrors:  reg.Counter("ingest_hello_errors_total", "connections with an invalid handshake"),
+
+		duplicates:     reg.Counter("ingest_duplicates_total", "replayed records dropped by dedup"),
+		resumes:        reg.Counter("ingest_resumes_total", "handshakes that resumed prior progress"),
+		throttled:      reg.Counter("ingest_throttled_total", "handshakes refused by rate limiting"),
+		severs:         reg.Counter("ingest_severs_total", "connections severed on CRC/decode/gap"),
+		recordsSkipped: reg.Counter("ingest_records_skipped_total", "poison records skipped past"),
+
+		ckptGen:      reg.Gauge("ingest_checkpoint_generation", "latest checkpoint generation written or recovered"),
+		ckptBytes:    reg.Gauge("ingest_checkpoint_bytes", "approximate size of the latest checkpoint"),
+		ckptErrors:   reg.Counter("ingest_checkpoint_errors_total", "failed checkpoint saves"),
+		ckptUnixNano: reg.Gauge("ingest_checkpoint_last_unixnano", "wall time of the last successful checkpoint save"),
+
+		frameSeconds: reg.Histogram("ingest_frame_decode_seconds", "per-frame record decode latency", obs.DurationBuckets()),
+		applySeconds: reg.Histogram("ingest_apply_latency_seconds", "shard enqueue-to-apply latency per batch", obs.DurationBuckets()),
+		batchRecords: reg.Histogram("ingest_batch_records", "records per shard hand-off batch", obs.SizeBuckets()),
+		ckptSeconds:  reg.Histogram("ingest_checkpoint_save_seconds", "checkpoint save duration", obs.DurationBuckets()),
+	}
+	c.events.RegisterEventMetrics(reg, "ingest_events_total", "events logged by level")
+	return c
 }
 
 // DeviceStats are the per-device counters the admin endpoint exposes; the

@@ -8,12 +8,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/energy"
 	"netenergy/internal/ingest/checkpoint"
+	"netenergy/internal/obs"
 	"netenergy/internal/trace"
 )
 
@@ -53,6 +55,11 @@ type Config struct {
 	RateLimit float64
 	// RateBurst is the token-bucket depth (default: 3 when RateLimit > 0).
 	RateBurst int
+
+	// EnablePprof mounts net/http/pprof under the admin server's
+	// /debug/pprof/ prefix. Off by default: profiling endpoints can stall
+	// the process and leak internals, so they are opt-in (ingestd -pprof).
+	EnablePprof bool
 
 	// Opts is the energy accounting configuration (default:
 	// energy.DefaultOptions with KeepPackets off).
@@ -100,7 +107,7 @@ type Server struct {
 	adminLn net.Listener
 	admin   *http.Server
 
-	counters counters
+	counters *counters
 	devices  *deviceRegistry
 	rates    rateTracker
 	started  time.Time
@@ -124,16 +131,40 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		ring:    newRing(cfg.Shards),
-		devices: newDeviceRegistry(),
-		conns:   map[net.Conn]struct{}{},
+		cfg:      cfg,
+		ring:     newRing(cfg.Shards),
+		counters: newCounters(),
+		devices:  newDeviceRegistry(),
+		conns:    map[net.Conn]struct{}{},
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, &s.counters, s.devices))
+		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, s.counters, s.devices))
+	}
+	// Scrape-time gauges over state that already exists elsewhere.
+	reg := s.counters.reg
+	reg.GaugeFunc("ingest_devices", "devices ever seen", func() float64 {
+		return float64(s.devices.len())
+	})
+	reg.GaugeFunc("ingest_uptime_seconds", "seconds since Start", func() float64 {
+		if s.started.IsZero() {
+			return 0
+		}
+		return time.Since(s.started).Seconds()
+	})
+	for i, sh := range s.shard {
+		sh := sh
+		reg.GaugeFunc(fmt.Sprintf("ingest_shard_queue_depth{shard=%q}", strconv.Itoa(i)),
+			"instantaneous shard queue occupancy", func() float64 { return float64(sh.depth()) })
 	}
 	return s
 }
+
+// Metrics returns the server's metric registry — the same values /metrics
+// exposes, for in-process consumers (tests, embedding daemons).
+func (s *Server) Metrics() *obs.Registry { return s.counters.reg }
+
+// Events returns the server's structured event log.
+func (s *Server) Events() *obs.EventLog { return s.counters.events }
 
 // Start binds the listeners, recovers from the latest valid checkpoint if
 // durability is enabled, and launches the shard workers, the accept loop,
@@ -154,8 +185,9 @@ func (s *Server) Start() error {
 			if err := s.restore(snap); err != nil {
 				return fmt.Errorf("ingest: restore checkpoint gen %d: %w", gen, err)
 			}
-			s.counters.ckptGen.Store(gen)
-			s.counters.ckptUnixNano.Store(time.Now().UnixNano())
+			s.counters.ckptGen.Set(int64(gen))
+			s.counters.ckptUnixNano.Set(time.Now().UnixNano())
+			s.counters.events.Logf(obs.LevelInfo, "recovered checkpoint generation %d (%d devices)", gen, len(snap.Devices))
 		}
 	}
 
@@ -309,6 +341,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	device, start, helloSeq, err := readHello(br)
 	if err != nil {
 		s.counters.helloErrors.Add(1)
+		s.counters.events.Logf(obs.LevelWarn, "invalid hello from %s", conn.RemoteAddr())
 		return
 	}
 	dev := s.devices.get(device)
@@ -317,6 +350,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	if s.cfg.RateLimit > 0 {
 		if ok, retry := dev.bucket.take(s.cfg.RateLimit, float64(s.cfg.RateBurst), time.Now()); !ok {
 			s.counters.throttled.Add(1)
+			s.counters.events.Logf(obs.LevelDebug, "throttled %s (retry in %s)", device, retry)
 			s.writeAckTimed(conn, ackThrottled, uint64(retry.Milliseconds())+1) //nolint:errcheck
 			return
 		}
@@ -355,13 +389,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(batch) == 0 {
 			return
 		}
-		sh.ch <- shardReq{batch: &recordBatch{device: device, firstSeq: batchFirst, recs: batch}}
+		sh.ch <- shardReq{batch: &recordBatch{
+			device: device, firstSeq: batchFirst, recs: batch,
+			enqueuedNS: time.Now().UnixNano(),
+		}}
 		batch = make([]trace.Record, 0, s.cfg.BatchSize)
 	}
 	defer flush()
 
-	sever := func() {
+	sever := func(reason string) {
 		s.counters.severs.Add(1)
+		s.counters.events.Logf(obs.LevelWarn, "severed %s: %s", device, reason)
 	}
 
 	for {
@@ -374,7 +412,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			// nothing after this point on this connection can be trusted.
 			s.counters.crcErrors.Add(1)
 			dev.crcErrors.Add(1)
-			sever()
+			sever("frame crc mismatch")
 			return
 		case errors.Is(err, io.EOF):
 			// Connection dropped without a FIN: keep the stream live so a
@@ -382,7 +420,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		default:
 			s.counters.frameErrors.Add(1)
-			sever()
+			sever("framing error: " + err.Error())
 			return
 		}
 		s.counters.frames.Add(1)
@@ -392,7 +430,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				// A FIN with the wrong sequence means records are missing
 				// (or stale): sever, the client resumes and retries.
 				s.counters.frameErrors.Add(1)
-				sever()
+				sever("fin sequence mismatch")
 				return
 			}
 			flush()
@@ -406,11 +444,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			// A gap: the client skipped ahead. Accepting would corrupt
 			// positional dedup; sever and let resume renegotiate.
 			s.counters.frameErrors.Add(1)
-			sever()
+			sever("sequence gap")
 			return
 		}
 
+		t0 := time.Now()
 		rec, err := dec.Decode(body)
+		s.counters.frameSeconds.Observe(time.Since(t0).Seconds())
 		if err != nil {
 			s.counters.decodeErrors.Add(1)
 			dev.decodeErrors.Add(1)
@@ -421,8 +461,9 @@ func (s *Server) handleConn(conn net.Conn) {
 				flush()
 				sh.ch <- shardReq{skip: &skipReq{device: device, seq: seq}}
 				dev.clearPoison()
+				s.counters.events.Logf(obs.LevelError, "poison record skipped: device %s seq %d", device, seq)
 			}
-			sever()
+			sever("record decode failure")
 			return
 		}
 		if seq < next {
@@ -552,18 +593,22 @@ func (s *Server) SaveCheckpoint() error {
 func (s *Server) writeCheckpoint(snap *checkpoint.Snapshot) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	t0 := time.Now()
 	_, gen, err := s.ckpt.Save(snap)
+	s.counters.ckptSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		s.counters.ckptErrors.Add(1)
+		s.counters.events.Logf(obs.LevelError, "checkpoint save failed: %v", err)
 		return err
 	}
-	s.counters.ckptGen.Store(gen)
-	s.counters.ckptUnixNano.Store(time.Now().UnixNano())
+	s.counters.ckptGen.Set(int64(gen))
+	s.counters.ckptUnixNano.Set(time.Now().UnixNano())
 	var size int64
 	for i := range snap.Devices {
 		size += int64(len(snap.Devices[i].Acc) + len(snap.Devices[i].Device) + 16)
 	}
-	s.counters.ckptBytes.Store(size + int64(len(snap.Retired)))
+	s.counters.ckptBytes.Set(size + int64(len(snap.Retired)))
+	s.counters.events.Logf(obs.LevelDebug, "checkpoint generation %d saved (%d devices)", gen, len(snap.Devices))
 	return nil
 }
 
@@ -594,7 +639,7 @@ func (s *Server) Stats(perDevice bool) Stats {
 	}
 	if s.ckpt != nil {
 		ck := &CheckpointStats{
-			Generation: s.counters.ckptGen.Load(),
+			Generation: uint64(s.counters.ckptGen.Load()),
 			Bytes:      s.counters.ckptBytes.Load(),
 			Errors:     s.counters.ckptErrors.Load(),
 		}
@@ -645,6 +690,7 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.counters.events.Logf(obs.LevelInfo, "drain started")
 
 	s.accept.Wait()
 	if err := waitCtx(ctx, &s.handler); err != nil {
@@ -677,6 +723,8 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 	s.mu.Lock()
 	s.final = agg
 	s.mu.Unlock()
+	s.counters.events.Logf(obs.LevelInfo, "drain complete: %d records over %d devices",
+		s.counters.records.Load(), s.devices.len())
 
 	if s.ckpt != nil {
 		snap.Retired = agg.AppendBinary(nil)

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"time"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/energy"
@@ -65,11 +66,13 @@ func hash64(s string) uint64 {
 // recordBatch is a chunk of decoded records for one device, with payloads
 // copied out of the connection's frame buffer so they survive the channel
 // crossing. recs[i] carries sequence number firstSeq+i — the handler only
-// batches contiguous accepted frames.
+// batches contiguous accepted frames. enqueuedNS stamps the hand-off so the
+// shard can report queue latency (the backpressure gauge with a time axis).
 type recordBatch struct {
-	device   string
-	firstSeq int64
-	recs     []trace.Record
+	device     string
+	firstSeq   int64
+	recs       []trace.Record
+	enqueuedNS int64
 }
 
 // finReq asks the shard to finalize a device stream; the reply is the
@@ -193,6 +196,13 @@ func (s *shard) run() {
 // the same way. First connection to deliver a given seq wins — duplicates
 // can never double-count energy.
 func (s *shard) feed(b *recordBatch) {
+	// Per-batch (not per-record) instrumentation: two histogram
+	// observations amortized over up to BatchSize records keeps the apply
+	// path allocation-free and the overhead inside the noise floor.
+	if b.enqueuedNS > 0 {
+		s.counters.applySeconds.Observe(float64(time.Now().UnixNano()-b.enqueuedNS) / 1e9)
+	}
+	s.counters.batchRecords.Observe(float64(len(b.recs)))
 	exp := s.seqs[b.device]
 	var acc *analysis.StreamAccumulator
 	dev := s.reg.get(b.device)

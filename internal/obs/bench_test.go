@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestObserveAllocFree is the zero-allocation instrumentation policy,
+// enforced: counter adds and histogram observations on the hot path must
+// never allocate. (DESIGN.md documents the policy; this test is the gate.)
+func TestObserveAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DurationBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(9) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op", n)
+	}
+	var v float64
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 1e-5 }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("c", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("h", "", DurationBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := New().Histogram("h", "", DurationBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-5
+		for pb.Next() {
+			h.Observe(v)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Level is an event severity.
+type Level uint8
+
+// Severities, in increasing order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	numLevels
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// ParseLevel maps a level name to its Level ("" and unknown names mean
+// LevelDebug: show everything).
+func ParseLevel(s string) Level {
+	switch s {
+	case "info":
+		return LevelInfo
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelDebug
+	}
+}
+
+// MarshalJSON renders the level as its name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON accepts a level name (round-trips MarshalJSON).
+func (l *Level) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*l = ParseLevel(s)
+	return nil
+}
+
+// Event is one structured log entry.
+type Event struct {
+	// Seq is the global, monotonically-increasing event number; gaps in a
+	// Recent listing mean older events were overwritten in the ring.
+	Seq      uint64 `json:"seq"`
+	UnixNano int64  `json:"time_unix_nano"`
+	Level    Level  `json:"level"`
+	Msg      string `json:"msg"`
+}
+
+// EventLog is a bounded in-memory structured log: the newest capacity
+// events are retained in a ring for the admin /events endpoint, and
+// per-level totals are kept forever. Event emission formats a message and
+// takes a mutex — it is for connection- and subsystem-level happenings
+// (severs, checkpoint saves, recoveries), never for per-record paths.
+type EventLog struct {
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64 // total events ever appended
+
+	counts [numLevels]Counter
+}
+
+// NewEventLog returns a log retaining the newest capacity events (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]Event, 0, capacity)}
+}
+
+// Logf appends a formatted event.
+func (l *EventLog) Logf(lv Level, format string, args ...any) {
+	if lv >= numLevels {
+		lv = LevelError
+	}
+	ev := Event{UnixNano: time.Now().UnixNano(), Level: lv, Msg: fmt.Sprintf(format, args...)}
+	l.counts[lv].Inc()
+	l.mu.Lock()
+	ev.Seq = l.seq
+	l.seq++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[int(ev.Seq)%cap(l.ring)] = ev
+	}
+	l.mu.Unlock()
+}
+
+// Count returns how many events of severity lv were ever logged (including
+// ones the ring has since dropped).
+func (l *EventLog) Count(lv Level) int64 {
+	if lv >= numLevels {
+		return 0
+	}
+	return l.counts[lv].Load()
+}
+
+// Total returns the number of events ever logged.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Recent returns up to max of the newest retained events at or above
+// severity min, oldest first. max <= 0 means everything retained.
+func (l *EventLog) Recent(max int, min Level) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.ring)
+	out := make([]Event, 0, n)
+	start := int(l.seq) - n // seq of the oldest retained event
+	for i := 0; i < n; i++ {
+		ev := l.ring[(start+i)%cap(l.ring)]
+		if ev.Level >= min {
+			out = append(out, ev)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// RegisterEventMetrics exposes the log's per-level totals on a registry as
+// `<name>{level="warn"}`-style counters computed at scrape time.
+func (l *EventLog) RegisterEventMetrics(reg *Registry, name, help string) {
+	for lv := LevelDebug; lv < numLevels; lv++ {
+		lv := lv
+		reg.GaugeFunc(fmt.Sprintf("%s{level=%q}", name, lv.String()), help,
+			func() float64 { return float64(l.Count(lv)) })
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSnapshot builds a snapshot over the given bounds with random bucket
+// counts and a sum consistent with "some observations happened".
+func randomSnapshot(rng *rand.Rand, bounds []float64) HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+	for i := range s.Counts {
+		s.Counts[i] = rng.Int63n(1000)
+	}
+	s.Sum = float64(rng.Int63n(1_000_000)) / 16 // exactly representable
+	return s
+}
+
+func cloneSnapshot(s HistogramSnapshot) HistogramSnapshot {
+	c := s
+	c.Counts = append([]int64(nil), s.Counts...)
+	return c
+}
+
+// TestHistogramMergeCommutative: a+b == b+a for randomized snapshots — the
+// property that makes shard-merged fleet histograms independent of shard
+// order.
+func TestHistogramMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(20151028))
+	bounds := DurationBuckets()
+	for trial := 0; trial < 200; trial++ {
+		a := randomSnapshot(rng, bounds)
+		b := randomSnapshot(rng, bounds)
+		ab := cloneSnapshot(a)
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := cloneSnapshot(b)
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab.Counts, ba.Counts) || ab.Sum != ba.Sum {
+			t.Fatalf("trial %d: merge not commutative:\n a+b=%+v\n b+a=%+v", trial, ab, ba)
+		}
+	}
+}
+
+// TestHistogramMergeAssociative: (a+b)+c == a+(b+c). Sums are chosen from a
+// dyadic grid so float addition is exact and the comparison is bit-for-bit.
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := SizeBuckets()
+	for trial := 0; trial < 200; trial++ {
+		a := randomSnapshot(rng, bounds)
+		b := randomSnapshot(rng, bounds)
+		c := randomSnapshot(rng, bounds)
+
+		left := cloneSnapshot(a)
+		if err := left.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+
+		bc := cloneSnapshot(b)
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		right := cloneSnapshot(a)
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(left.Counts, right.Counts) || left.Sum != right.Sum {
+			t.Fatalf("trial %d: merge not associative:\n (a+b)+c=%+v\n a+(b+c)=%+v", trial, left, right)
+		}
+	}
+}
+
+// TestHistogramMergeIdentity: merging an all-zero snapshot changes nothing.
+func TestHistogramMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bounds := []float64{1, 10, 100}
+	a := randomSnapshot(rng, bounds)
+	zero := HistogramSnapshot{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+	got := cloneSnapshot(a)
+	if err := got.Merge(zero); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Counts, a.Counts) || got.Sum != a.Sum {
+		t.Fatalf("identity merge changed the snapshot: %+v vs %+v", got, a)
+	}
+}
+
+// TestHistogramMergeRejectsLayoutMismatch: differing bucket layouts must
+// refuse to merge rather than silently mis-bin.
+func TestHistogramMergeRejectsLayoutMismatch(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: make([]int64, 3)}
+	b := HistogramSnapshot{Bounds: []float64{1, 3}, Counts: make([]int64, 3)}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error on differing bounds")
+	}
+	c := HistogramSnapshot{Bounds: []float64{1}, Counts: make([]int64, 2)}
+	if err := a.Merge(c); err == nil {
+		t.Fatal("expected error on differing bucket count")
+	}
+}
+
+// TestMergeMatchesSingleHistogram: two histograms observing disjoint halves
+// of a value stream, merged, equal one histogram observing the whole stream.
+func TestMergeMatchesSingleHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := DurationBuckets()
+	whole := New().Histogram("w", "", bounds)
+	ha := New().Histogram("a", "", bounds)
+	hb := New().Histogram("b", "", bounds)
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.Float64()*20 - 14) // spans the bucket range
+		whole.Observe(v)
+		if i%2 == 0 {
+			ha.Observe(v)
+		} else {
+			hb.Observe(v)
+		}
+	}
+	merged := ha.Snapshot()
+	if err := merged.Merge(hb.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Snapshot()
+	if !reflect.DeepEqual(merged.Counts, want.Counts) {
+		t.Fatalf("merged counts %v != whole %v", merged.Counts, want.Counts)
+	}
+	if math.Abs(merged.Sum-want.Sum) > 1e-9*math.Abs(want.Sum) {
+		t.Fatalf("merged sum %v != whole %v", merged.Sum, want.Sum)
+	}
+}

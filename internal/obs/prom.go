@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text exposition into a flat map from the
+// sample name (labels included, exactly as printed) to its value. It is the
+// consumer side of WriteText, used by fleetsim to reconcile the server's
+// /metrics scrape against its own sent-record counters, and by tests.
+// Unparseable lines are skipped — a scrape is best-effort input.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the name (which may
+		// contain spaces inside label values) is everything before it.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		name := strings.TrimSpace(line[:i])
+		val, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[name] = val
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Benchmark suite runner: executes the hot-path benchmarks (wire protocol,
+# shard apply, streaming analyzer, checkpoint store, obs primitives, e2e
+# ingest) and records the results as BENCH_<date>.json in the repo root.
+#
+# The apply pair (BenchmarkApplyInstrumented vs BenchmarkApplyBare) is the
+# instrumentation budget check from DESIGN.md: the instrumented shard apply
+# path must stay within 3% of the bare baseline and allocate nothing. Each
+# benchmark runs COUNT times and the fastest run is recorded, which damps
+# scheduler noise on shared machines.
+#
+# Usage: scripts/bench.sh [out.json]
+#   BENCHTIME=2s COUNT=5 scripts/bench.sh   # longer, steadier runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_$(date +%F).json}
+BENCHTIME=${BENCHTIME:-1s}
+COUNT=${COUNT:-3}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench: hot-path packages (benchtime=$BENCHTIME count=$COUNT)" >&2
+go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" -count="$COUNT" \
+  ./internal/obs/ ./internal/ingest/ ./internal/analysis/ | tee "$RAW" >&2
+
+# The apply pair gets extra, longer samples: the overhead being measured
+# (~150ns per 20µs batch) is well under run-to-run scheduler jitter, so the
+# budget check needs many runs and takes the fastest of each.
+APPLY_BENCHTIME=${APPLY_BENCHTIME:-2s}
+APPLY_COUNT=${APPLY_COUNT:-5}
+echo "bench: apply budget pair (benchtime=$APPLY_BENCHTIME count=$APPLY_COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkApply(Instrumented|Bare)$' -benchmem \
+  -benchtime="$APPLY_BENCHTIME" -count="$APPLY_COUNT" ./internal/ingest/ | tee -a "$RAW" >&2
+
+echo "bench: paper-artifact benchmarks (1 iteration each)" >&2
+go test -run '^$' -bench . -benchmem -benchtime=1x . | tee -a "$RAW" >&2
+
+awk -v date="$(date +%F)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+  ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    else if ($(i+1) == "B/op") bop = $i
+    else if ($(i+1) == "allocs/op") aop = $i
+    else if ($(i+1) ~ /\//) { extra_k = $(i+1); extra_v = $i }
+  }
+  if (ns == "") next
+  key = pkg "\t" name
+  if (!(key in best) || ns + 0 < best[key] + 0) {
+    best[key] = ns
+    line = sprintf("    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", pkg, name, ns)
+    if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
+    if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+    if (extra_k != "") line = line sprintf(", \"%s\": %s", extra_k, extra_v)
+    line = line "}"
+    out[key] = line
+    if (!(key in seen)) { order[n++] = key; seen[key] = 1 }
+  }
+  if (name == "BenchmarkApplyInstrumented") instr = best[key]
+  if (name == "BenchmarkApplyBare") bare = best[key]
+}
+END {
+  printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, gover
+  if (bare + 0 > 0) {
+    pct = 100 * (instr - bare) / bare
+    if (pct < 0) pct = 0
+    printf "  \"apply_instrumentation_overhead_pct\": %.2f,\n", pct
+    printf "  \"apply_overhead_budget_pct\": 3.0,\n"
+  }
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < n; i++) printf "%s%s\n", out[order[i]], (i < n - 1 ? "," : "")
+  printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "bench: wrote $OUT" >&2
+
+# Enforce the instrumentation budget recorded above.
+pct=$(awk -F'[:,]' '/apply_instrumentation_overhead_pct/ {print $2}' "$OUT" | tr -d ' ')
+if [ -n "$pct" ]; then
+  awk -v p="$pct" 'BEGIN { exit (p + 0 <= 3.0 ? 0 : 1) }' || {
+    echo "bench: FAIL apply instrumentation overhead ${pct}% exceeds 3% budget" >&2
+    exit 1
+  }
+  echo "bench: apply instrumentation overhead ${pct}% (budget 3%)" >&2
+fi

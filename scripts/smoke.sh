@@ -40,6 +40,13 @@ run_phase() { # name, extra fleetsim flags...
   echo "smoke: $name phase ok"
 }
 
+# Golden end-to-end check: batch and streamed analysis of the fixed-seed
+# fleet must still reproduce testdata/golden.json bit-for-bit (ints) /
+# within 1e-9 (floats). Catches silent drift in the numeric pipeline that
+# the load phases below cannot see.
+go test -run '^TestGolden$' -count=1 .
+echo "smoke: golden phase ok"
+
 run_phase clean
 run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
 trap - EXIT
