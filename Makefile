@@ -1,15 +1,27 @@
-# Tier-1 check for this repo: `make ci` (vet + build + race tests + the
+# Tier-1 check for this repo: `make ci` (lint + build + race tests + the
 # fleetsim -> ingestd smoke run). The plain seed check `go build ./... &&
 # go test ./...` remains a subset of this.
 
 GO ?= go
 
-.PHONY: ci vet build test race cover smoke fuzz fuzz-smoke bench clean
+.PHONY: ci vet lint repolint build test race cover smoke fuzz fuzz-smoke bench clean
 
-ci: vet build race cover fuzz-smoke smoke
+ci: lint build race cover fuzz-smoke smoke
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: plain `go vet` plus the five repolint analyzers
+# (determinism, noalloc, severerr, units, obscopy — see DESIGN.md
+# "Statically enforced invariants") driven through go vet's -vettool
+# protocol, so per-package results are cached in the build cache like any
+# other vet run. `make lint` is a strict superset of `make vet`.
+lint: vet repolint
+	$(GO) vet -vettool=$(abspath bin/repolint) ./...
+
+repolint:
+	@mkdir -p bin
+	$(GO) build -o bin/repolint ./cmd/repolint
 
 build:
 	$(GO) build ./...

@@ -1,7 +1,8 @@
 package analysis
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"netenergy/internal/periodic"
 	"netenergy/internal/radio"
@@ -462,12 +463,15 @@ func BrowserShares(devs []*DeviceData, packages []string) map[string]float64 {
 	return out
 }
 
-// sortedKeys returns map keys sorted for deterministic iteration in reports.
-func sortedKeys[M ~map[string]V, V any](m M) []string {
-	keys := make([]string, 0, len(m))
+// sortedKeys returns m's keys in ascending order. Report and serialization
+// loops iterate maps through it so their output is a pure function of the
+// map's content, never of iteration order.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//repolint:ordered collection order is irrelevant: keys are sorted before return
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	return keys
 }

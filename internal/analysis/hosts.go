@@ -78,7 +78,17 @@ func HostBreakdown(devs []*DeviceData, pkg string, bgOnly bool) HostBreakdownRes
 			}
 		}
 	}
-	for _, hs := range hostAgg {
+	// Fold in sorted host order: ByCategory accumulates floats, and float
+	// addition is order-sensitive in the last bits, so map order here would
+	// leak into the reported per-category energy.
+	hostKeys := make([]string, 0, len(hostAgg))
+	//repolint:ordered collection order is irrelevant: keys are sorted before use
+	for host := range hostAgg {
+		hostKeys = append(hostKeys, host)
+	}
+	sort.Strings(hostKeys)
+	for _, host := range hostKeys {
+		hs := hostAgg[host]
 		res.Hosts = append(res.Hosts, *hs)
 		agg := res.ByCategory[hs.Category]
 		agg.Category = hs.Category

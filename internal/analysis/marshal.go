@@ -168,29 +168,32 @@ func appendLedger(b []byte, l *energy.Ledger) []byte {
 	b = appendF64(b, l.Total)
 	b = appendF64(b, l.IdleEnergy)
 	b = appendUvarint(b, uint64(len(l.ByApp)))
-	for app, e := range l.ByApp {
+	for _, app := range sortedKeys(l.ByApp) {
 		b = appendUvarint(b, uint64(app))
-		b = appendF64(b, e)
+		b = appendF64(b, l.ByApp[app])
 	}
 	b = appendUvarint(b, uint64(len(l.ByState)))
-	for s, e := range l.ByState {
+	for _, s := range sortedKeys(l.ByState) {
 		b = append(b, byte(s))
-		b = appendF64(b, e)
+		b = appendF64(b, l.ByState[s])
 	}
 	b = appendUvarint(b, uint64(len(l.ByAppState)))
-	for app, as := range l.ByAppState {
+	for _, app := range sortedKeys(l.ByAppState) {
+		as := l.ByAppState[app]
 		b = appendUvarint(b, uint64(app))
 		b = appendUvarint(b, uint64(len(as)))
-		for s, e := range as {
+		for _, s := range sortedKeys(as) {
 			b = append(b, byte(s))
-			b = appendF64(b, e)
+			b = appendF64(b, as[s])
 		}
 	}
 	b = appendUvarint(b, uint64(len(l.ByAppDay)))
-	for app, days := range l.ByAppDay {
+	for _, app := range sortedKeys(l.ByAppDay) {
+		days := l.ByAppDay[app]
 		b = appendUvarint(b, uint64(app))
 		b = appendUvarint(b, uint64(len(days)))
-		for day, ds := range days {
+		for _, day := range sortedKeys(days) {
+			ds := days[day]
 			b = appendVarint(b, int64(day))
 			b = appendF64(b, ds.Energy)
 			b = appendF64(b, ds.FgEnergy)
@@ -201,9 +204,9 @@ func appendLedger(b []byte, l *energy.Ledger) []byte {
 		}
 	}
 	b = appendUvarint(b, uint64(len(l.BytesByApp)))
-	for app, n := range l.BytesByApp {
+	for _, app := range sortedKeys(l.BytesByApp) {
 		b = appendUvarint(b, uint64(app))
-		b = appendVarint(b, n)
+		b = appendVarint(b, l.BytesByApp[app])
 	}
 	return b
 }
@@ -268,19 +271,19 @@ func (r *StreamResult) AppendBinary(b []byte) []byte {
 		b = appendF64(b, v)
 	}
 	b = appendUvarint(b, uint64(len(r.BgBytesByApp)))
-	for app, n := range r.BgBytesByApp {
+	for _, app := range sortedKeys(r.BgBytesByApp) {
 		b = appendUvarint(b, uint64(app))
-		b = appendVarint(b, n)
+		b = appendVarint(b, r.BgBytesByApp[app])
 	}
 	b = appendUvarint(b, uint64(len(r.EarlyBytesByApp)))
-	for app, n := range r.EarlyBytesByApp {
+	for _, app := range sortedKeys(r.EarlyBytesByApp) {
 		b = appendUvarint(b, uint64(app))
-		b = appendVarint(b, n)
+		b = appendVarint(b, r.EarlyBytesByApp[app])
 	}
 	b = appendUvarint(b, uint64(len(r.EverForeground)))
-	for app, v := range r.EverForeground {
+	for _, app := range sortedKeys(r.EverForeground) {
 		b = appendUvarint(b, uint64(app))
-		b = appendBool(b, v)
+		b = appendBool(b, r.EverForeground[app])
 	}
 	b = appendVarint(b, r.OffBytes)
 	b = appendVarint(b, r.OnBytes)
@@ -362,14 +365,14 @@ func (a *StreamAccumulator) AppendState(b []byte) []byte {
 	b = append(b, accumulatorVersion)
 	b = a.res.AppendBinary(b)
 	b = appendUvarint(b, uint64(len(a.lastFgEnd)))
-	for app, ts := range a.lastFgEnd {
+	for _, app := range sortedKeys(a.lastFgEnd) {
 		b = appendUvarint(b, uint64(app))
-		b = appendVarint(b, int64(ts))
+		b = appendVarint(b, int64(a.lastFgEnd[app]))
 	}
 	b = appendUvarint(b, uint64(len(a.inFg)))
-	for app, v := range a.inFg {
+	for _, app := range sortedKeys(a.inFg) {
 		b = appendUvarint(b, uint64(app))
-		b = appendBool(b, v)
+		b = appendBool(b, a.inFg[app])
 	}
 	b = appendBool(b, a.screenOn)
 	b = appendUvarint(b, uint64(a.prevApp))

@@ -61,13 +61,13 @@ func (s *Study) stage(name string) func() {
 	}
 	h := s.metrics.Histogram(`analyze_stage_seconds{stage="`+name+`"}`,
 		"per-stage evaluation wall time", obs.DurationBuckets())
-	t0 := time.Now()
-	return func() { h.Observe(time.Since(t0).Seconds()) }
+	t0 := time.Now()                                      //repolint:allow determinism stage timing is telemetry; it feeds -stats-json, never an artifact
+	return func() { h.Observe(time.Since(t0).Seconds()) } //repolint:allow determinism stage timing is telemetry; it feeds -stats-json, never an artifact
 }
 
 // Run generates the configured fleet in memory and loads it.
 func Run(cfg synthgen.Config) (*Study, error) {
-	t0 := time.Now()
+	t0 := time.Now() //repolint:allow determinism load wall-time telemetry for operators; LoadSeconds never reaches a report or golden artifact
 	dts := synthgen.GenerateInMemory(cfg)
 	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
 	if err != nil {
@@ -78,7 +78,7 @@ func Run(cfg synthgen.Config) (*Study, error) {
 		return nil, err
 	}
 	return &Study{Config: cfg, Devices: devs, Networks: nets,
-		LoadSeconds: time.Since(t0).Seconds()}, nil
+		LoadSeconds: time.Since(t0).Seconds()}, nil //repolint:allow determinism load wall-time telemetry for operators; LoadSeconds never reaches a report or golden artifact
 }
 
 // Open loads an on-disk fleet previously written by cmd/gentrace.
@@ -92,7 +92,7 @@ func Open(dir string) (*Study, error) { return OpenParallel(dir, 1) }
 // workers <= 1 degrades to the sequential one-trace-in-memory behaviour;
 // higher counts trade peak memory for wall time.
 func OpenParallel(dir string, workers int) (*Study, error) {
-	t0 := time.Now()
+	t0 := time.Now() //repolint:allow determinism load wall-time telemetry for operators; LoadSeconds never reaches a report or golden artifact
 	fleet, err := trace.OpenFleet(dir)
 	if err != nil {
 		return nil, err
@@ -150,7 +150,7 @@ func OpenParallel(dir string, workers int) (*Study, error) {
 		s.Networks.CellularBytes += r.nets.CellularBytes
 		s.Networks.WiFiBytes += r.nets.WiFiBytes
 	}
-	s.LoadSeconds = time.Since(t0).Seconds()
+	s.LoadSeconds = time.Since(t0).Seconds() //repolint:allow determinism load wall-time telemetry for operators; LoadSeconds never reaches a report or golden artifact
 	return s, nil
 }
 

@@ -144,8 +144,8 @@ func TestCorruptFallsBack(t *testing.T) {
 func TestValidateRejection(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := Open(dir)
-	st.Save(&Snapshot{Devices: []DeviceState{{Device: "ok", Seq: 1}}})    //nolint:errcheck
-	st.Save(&Snapshot{Devices: []DeviceState{{Device: "bad", Seq: 2}}})   //nolint:errcheck
+	st.Save(&Snapshot{Devices: []DeviceState{{Device: "ok", Seq: 1}}})  //nolint:errcheck
+	st.Save(&Snapshot{Devices: []DeviceState{{Device: "bad", Seq: 2}}}) //nolint:errcheck
 	snap, gen, err := st.LoadLatest(func(s *Snapshot) error {
 		if s.Devices[0].Device == "bad" {
 			return ErrCorrupt
@@ -176,9 +176,9 @@ func TestDecodeRejects(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{},
-		{0xff},                 // bad version
-		valid[:1],              // header only
-		valid[:len(valid)/2],   // truncated mid-device
+		{0xff},                           // bad version
+		valid[:1],                        // header only
+		valid[:len(valid)/2],             // truncated mid-device
 		append(bytes.Clone(valid), 0x00), // trailing bytes
 	}
 	// Huge claimed device count must not allocate.

@@ -219,6 +219,8 @@ func readAck(r *bufio.Reader) (arg int64, err error) {
 
 // appendFrame appends one framed body (sequence number, length prefix,
 // body, CRC over all three) to dst.
+//
+//repolint:noalloc
 func appendFrame(dst []byte, seq int64, body []byte) []byte {
 	head := len(dst)
 	dst = binary.AppendUvarint(dst, uint64(seq))
@@ -246,6 +248,8 @@ func newFrameReader(r *bufio.Reader) *frameReader {
 // must sever the connection and rely on resume. The body buffer grows to
 // the actual bytes read, never to an attacker-claimed length beyond
 // MaxFrame.
+//
+//repolint:noalloc
 func (f *frameReader) next() (seq int64, body []byte, err error) {
 	f.head = f.head[:0]
 	s, err := readUvarintInto(f.r, &f.head)

@@ -185,7 +185,7 @@ func TestFrameCRCDetected(t *testing.T) {
 // TestFrameSizeLimit: a huge claimed length must fail fast, not allocate.
 func TestFrameSizeLimit(t *testing.T) {
 	var buf bytes.Buffer
-	buf.WriteByte(0x00) // seq 0
+	buf.WriteByte(0x00)                                   // seq 0
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // length uvarint ~2^34
 	fr := newFrameReader(bufio.NewReader(&buf))
 	if _, _, err := fr.next(); !errors.Is(err, ErrFrameTooBig) {

@@ -195,6 +195,8 @@ func (s *shard) run() {
 // above would be a gap the handler should have severed on and is dropped
 // the same way. First connection to deliver a given seq wins — duplicates
 // can never double-count energy.
+//
+//repolint:noalloc
 func (s *shard) feed(b *recordBatch) {
 	// Per-batch (not per-record) instrumentation: two histogram
 	// observations amortized over up to BatchSize records keeps the apply

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the standalone package loader: it resolves patterns with
+// `go list -deps -export -json`, parses the matched packages' sources, and
+// type-checks them against the compiler's export data — the same inputs
+// `go vet` hands a vettool through its .cfg file, gathered without a
+// dependency on golang.org/x/tools/go/packages.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Match      []string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter type-imports packages from compiler export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// parseOne parses a single file with comments (directives live there).
+func parseOne(fset *token.FileSet, name string) (*ast.File, error) {
+	return parser.ParseFile(fset, name, nil, parser.ParseComments)
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// typeCheck parses and checks one package's files under the given import
+// path, resolving imports through exports.
+func typeCheck(fset *token.FileSet, path, srcDir string, goFiles []string, exports map[string]string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(srcDir, name)
+		}
+		f, err := parseOne(fset, name)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := &types.Config{
+		Importer: exportImporter(fset, exports),
+		Error:    func(error) {}, // collect everything; first error returned below
+	}
+	if goVersion != "" {
+		conf.GoVersion = "go" + strings.TrimPrefix(goVersion, "go")
+	}
+	info := newInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir and returns the
+// matched packages, parsed and type-checked. Dependency packages are
+// imported from export data, not re-checked.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*Package
+	fset := token.NewFileSet()
+	for _, p := range listed {
+		if len(p.Match) == 0 {
+			continue // dependency, not a match for the patterns
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Name == "" || len(p.GoFiles) == 0 {
+			continue
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = p.Module.GoVersion
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, exports, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Run loads the patterns and applies the analyzers to every matched
+// package, returning all surviving diagnostics sorted per package.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		diags, err := CheckPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", pkg.Path, err)
+		}
+		all = append(all, diags...)
+	}
+	return all, fset, nil
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsCopy is the repo-specific copylocks: obs.Counter, obs.Gauge and
+// obs.Histogram wrap atomics, so a value copy silently forks the metric —
+// increments land on the copy and the registry's handle stops moving,
+// which corrupts dashboards without any failing test. Handles must travel
+// as pointers (the obs.Registry constructors already return pointers).
+// Flagged shapes:
+//
+//   - a parameter, result or receiver declared with a bare metric type,
+//   - an assignment or short declaration whose right-hand side is a
+//     metric value (dereferences included; composite literals are
+//     construction, not copies),
+//   - a metric value passed as a call argument or returned.
+//
+// obs.HistogramSnapshot is exempt by design: it is the immutable copy a
+// reader takes. //repolint:allow obscopy suppresses a line with a reason.
+var ObsCopy = &Analyzer{
+	Name: "obscopy",
+	Doc:  "obs metric handles (Counter, Gauge, Histogram) must not be copied by value",
+	Run:  runObsCopy,
+}
+
+const obsPkgPath = "netenergy/internal/obs"
+
+var obsHandleNames = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// metricValueType reports whether t is a bare (non-pointer) obs handle
+// type, returning its name.
+func metricValueType(t types.Type) (string, bool) {
+	named := asNamed(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath || !obsHandleNames[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// asNamed unwraps aliases but NOT pointers: *obs.Counter is the correct
+// way to hold a handle.
+func asNamed(t types.Type) *types.Named {
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func runObsCopy(pass *Pass) error {
+	// The obs package itself may lay out its types (embed an atomic in a
+	// struct, construct values to return as pointers); the copy rule
+	// binds its consumers.
+	if pass.Pkg.Path() == obsPkgPath {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n)
+			case *ast.FuncLit:
+				checkFieldList(pass, n.Type.Params)
+				checkFieldList(pass, n.Type.Results)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopyExpr(pass, rhs, "assignment")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyExpr(pass, v, "assignment")
+				}
+				if n.Type != nil {
+					if name, ok := metricValueType(pass.TypesInfo.TypeOf(n.Type)); ok {
+						pass.Reportf(n.Type.Pos(),
+							"obs.%s declared by value: construct through the obs.Registry and hold a *obs.%s", name, name)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					checkCopyExpr(pass, arg, "call argument")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyExpr(pass, r, "return value")
+				}
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncSig(pass *Pass, fn *ast.FuncDecl) {
+	checkFieldList(pass, fn.Recv)
+	checkFieldList(pass, fn.Type.Params)
+	checkFieldList(pass, fn.Type.Results)
+}
+
+func checkFieldList(pass *Pass, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if name, ok := metricValueType(t); ok {
+			pass.Reportf(field.Type.Pos(),
+				"obs.%s passed by value forks the metric: declare *obs.%s", name, name)
+		}
+	}
+}
+
+// checkCopyExpr flags an expression whose evaluation copies a metric
+// value into the given context. Composite literals and conversions from
+// literals are construction; everything else of bare handle type copies.
+func checkCopyExpr(pass *Pass, e ast.Expr, context string) {
+	e = ast.Unparen(e)
+	if _, ok := e.(*ast.CompositeLit); ok {
+		return
+	}
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		return // taking the address of a literal or variable: no copy
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if name, ok := metricValueType(t); ok {
+		pass.Reportf(e.Pos(),
+			"obs.%s copied by value in %s: increments on the copy are lost; use *obs.%s", name, context, name)
+	}
+}
+
+// checkRangeCopy flags ranging over a container of bare handles: the
+// iteration variable is a fresh copy each step.
+func checkRangeCopy(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	var elem types.Type
+	switch tt := t.Underlying().(type) {
+	case *types.Slice:
+		elem = tt.Elem()
+	case *types.Array:
+		elem = tt.Elem()
+	case *types.Map:
+		elem = tt.Elem()
+	}
+	if elem == nil {
+		return
+	}
+	if name, ok := metricValueType(elem); ok && rng.Value != nil {
+		pass.Reportf(rng.Value.Pos(),
+			"ranging copies obs.%s elements by value; store *obs.%s in the container", name, name)
+	}
+}

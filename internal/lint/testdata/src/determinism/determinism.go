@@ -1,0 +1,67 @@
+// Test fixture for the determinism analyzer, type-checked under the fake
+// import path netenergy/internal/synthgen (in scope).
+package synthgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink []int
+
+// WallClock exercises the time.Now/Since/Until bans.
+func WallClock() {
+	_ = time.Now() // want "time.Now in deterministic package"
+	var t0 time.Time
+	_ = time.Since(t0)  // want "time.Since in deterministic package"
+	_ = time.Until(t0)  // want "time.Until in deterministic package"
+	_ = time.Unix(0, 0) // conversions of fixed instants are fine
+	_ = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// GlobalRand exercises the math/rand rules: package-level draws are
+// banned, explicit seeded sources are fine.
+func GlobalRand() {
+	_ = rand.Int()     // want "global rand.Int in deterministic package"
+	_ = rand.Float64() // want "global rand.Float64 in deterministic package"
+	r := rand.New(rand.NewSource(42))
+	_ = r.Int()     // methods on an explicit *rand.Rand are fine
+	_ = r.Float64() // ditto
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+}
+
+// MapOrder exercises the map-range sink heuristic.
+func MapOrder(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order reaches an append"
+		sink = append(sink, m[k])
+	}
+	for k := range m { // want "map iteration order reaches a channel send"
+		ch <- k
+	}
+	for _, v := range m { // want "map iteration order reaches a EncodeThing call"
+		EncodeThing(v)
+	}
+	// Order-insensitive folds are fine without any annotation.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	inverse := make(map[int]string, len(m))
+	for k, v := range m {
+		inverse[v] = k
+	}
+	//repolint:ordered keys are sorted by the caller before use
+	for k := range m {
+		sink = append(sink, len(k))
+	}
+	_ = total
+}
+
+// Allowed shows the generic allow escape hatch.
+func Allowed() {
+	_ = time.Now() //repolint:allow determinism fixture: timing is test-local telemetry
+}
+
+// EncodeThing stands in for an order-sensitive serializer.
+func EncodeThing(v int) {}

@@ -1,0 +1,21 @@
+// Test fixture for the determinism analyzer, type-checked under the fake
+// import path netenergy/internal/obsworker — NOT one of the deterministic
+// pipeline packages, so wall clocks and global randomness are allowed.
+package obsworker
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink []int
+
+func WallClockIsFine() time.Time { return time.Now() }
+
+func GlobalRandIsFine() int { return rand.Int() }
+
+func MapOrderIsFine(m map[string]int) {
+	for k := range m {
+		sink = append(sink, m[k])
+	}
+}

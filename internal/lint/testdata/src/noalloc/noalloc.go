@@ -1,0 +1,96 @@
+// Test fixture for the noalloc analyzer. Only functions annotated
+// //repolint:noalloc are checked; Unannotated at the bottom proves the
+// same constructs pass elsewhere.
+package nalloc
+
+import "fmt"
+
+var sink []int
+var anySink interface{}
+
+type buf struct{ b []byte }
+
+// Fmt calls into package fmt.
+//
+//repolint:noalloc
+func Fmt(n int) {
+	_ = fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	fmt.Println(n)           // want "fmt.Println allocates"
+}
+
+// Concat builds strings at runtime.
+//
+//repolint:noalloc
+func Concat(name string) string {
+	const prefix = "a" + "b" // constant-folded: fine
+	s := name + "!"          // want "string concatenation allocates"
+	return s + prefix        // want "string concatenation allocates"
+}
+
+// EscapingAppend grows storage that outlives the call.
+//
+//repolint:noalloc
+func EscapingAppend(b *buf, n int) {
+	sink = append(sink, n)     // want "append into escaping destination sink"
+	b.b = append(b.b, byte(n)) // want "append into escaping destination b.b"
+	local := make([]int, 0, 8)
+	local = append(local, n) // growing a local is the amortized pattern: fine
+	_ = local
+}
+
+// ReturnAppend may only continue a caller-owned buffer.
+//
+//repolint:noalloc
+func ReturnAppend(dst []byte, n byte) []byte {
+	return append(dst, n) // the append-style codec idiom: fine
+}
+
+//repolint:noalloc
+func ReturnFreshAppend(n byte) []byte {
+	local := []byte{}
+	return append(local, n) // want "returned append does not continue a caller-owned buffer"
+}
+
+// Boxing converts non-pointer values to interfaces.
+//
+//repolint:noalloc
+func Boxing(n int, p *int) {
+	useAny(n)   // want "non-pointer value boxed into interface argument"
+	useAny(p)   // a pointer fits in the interface word: fine
+	anySink = n // want "non-pointer value boxed into interface on assignment"
+	anySink = p // fine
+	anySink = nil
+}
+
+//repolint:noalloc
+func BoxingReturn(n int) interface{} {
+	return n // want "non-pointer value boxed into interface return"
+}
+
+// Closures that capture variables allocate their context.
+//
+//repolint:noalloc
+func Capture(n int) func() int {
+	grow(func() int { return 42 }) // captures nothing: fine
+	return func() int { return n } // want "closure captures \"n\""
+}
+
+// Allowed shows the per-line escape hatch.
+//
+//repolint:noalloc
+func Allowed(n int) {
+	_ = fmt.Sprintf("%d", n) //repolint:allow noalloc fixture: cold error path, formatting acceptable
+}
+
+// Unannotated is identical to the violations above but carries no
+// annotation, so nothing is reported.
+func Unannotated(name string, n int) string {
+	_ = fmt.Sprintf("%d", n)
+	sink = append(sink, n)
+	useAny(n)
+	return name + "!"
+}
+
+func useAny(v interface{}) {}
+
+func grow(f func() int) {}

@@ -1,0 +1,62 @@
+// Test fixture for the obscopy analyzer: obs metric handles must travel
+// as pointers. HistogramSnapshot is the sanctioned value copy.
+package obscases
+
+import "netenergy/internal/obs"
+
+var declared obs.Counter // want "obs.Counter declared by value"
+
+var fn = func(c obs.Counter) {} // want "obs.Counter passed by value forks the metric"
+
+func byValParam(c obs.Counter) {} // want "obs.Counter passed by value forks the metric"
+
+func byValHist(h obs.Histogram) {} // want "obs.Histogram passed by value forks the metric"
+
+func byValResult(g *obs.Gauge) obs.Gauge { // want "obs.Gauge passed by value forks the metric"
+	return *g // want "obs.Gauge copied by value in return value"
+}
+
+func derefCopy(c *obs.Counter) {
+	v := *c // want "obs.Counter copied by value in assignment"
+	v.Inc()
+}
+
+func take(cs ...interface{}) {}
+
+func callArg(c *obs.Counter) {
+	take(*c) // want "obs.Counter copied by value in call argument"
+	take(c)  // passing the pointer: fine
+}
+
+func rangeCopy(cs []obs.Counter, ps []*obs.Counter) {
+	for _, c := range cs { // want "ranging copies obs.Counter elements by value"
+		c.Load()
+	}
+	for _, p := range ps { // pointer elements: fine
+		p.Inc()
+	}
+}
+
+func pointersAreFine(r *obs.Registry) {
+	c := r.Counter("x", "a counter")
+	c.Inc()
+	g := r.Gauge("y", "a gauge")
+	g.Set(3)
+	h := r.Histogram("z", "a histogram", obs.SizeBuckets())
+	h.Observe(1)
+}
+
+func snapshotIsFine(h *obs.Histogram) obs.HistogramSnapshot {
+	s := h.Snapshot() // HistogramSnapshot is the designed immutable copy
+	return s
+}
+
+func construct() *obs.Counter {
+	c := obs.Counter{} // composite literal is construction, not a copy
+	return &c
+}
+
+func allowed(c *obs.Counter) {
+	v := *c //repolint:allow obscopy fixture: comparing the raw struct in a test helper
+	v.Load()
+}

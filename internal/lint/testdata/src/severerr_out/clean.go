@@ -1,0 +1,29 @@
+// Test fixture for the severerr analyzer, type-checked under the fake
+// import path netenergy/internal/flows — outside the ingest scope, so the
+// same shapes that are violations in severerr/ report nothing here.
+package flows
+
+import (
+	"io"
+	"log"
+)
+
+func decodeRec(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, io.EOF
+	}
+	return int(b[0]), nil
+}
+
+func checkCRC(b []byte) error { return nil }
+
+func use(v int) {}
+
+func OutOfScope(b []byte) {
+	checkCRC(b)
+	v, err := decodeRec(b)
+	if err != nil {
+		log.Printf("decode failed: %v", err)
+	}
+	use(v)
+}

@@ -1,0 +1,43 @@
+// Test fixture for the units analyzer. Quantities get dimensions from the
+// name-suffix table (…Joules, …Watts, …Seconds, …Millis, …Bytes, …Bits) and
+// from the types-anchored radio.Params / radio.TailPhase tables; + - and
+// comparisons between incompatible dimensions are flagged.
+package unitcases
+
+import "netenergy/internal/radio"
+
+func Mixups(p *radio.Params, energyJoules, powerWatts, tSeconds, tMillis float64, nBytes, nBits int) {
+	_ = p.Base + p.PromotionTime                            // want "unit mismatch: p.Base \\+ p.PromotionTime"
+	_ = p.PromotionTime*p.PromotionPower + p.Base           // want "unit mismatch: .*left is J, right is J·s\\^-1"
+	_ = p.Base + p.AlphaUp                                  // want "unit mismatch: p.Base \\+ p.AlphaUp"
+	_ = energyJoules + powerWatts                           // want "unit mismatch: energyJoules \\+ powerWatts"
+	_ = tSeconds > tMillis                                  // want "unit mismatch: tSeconds > tMillis"
+	_ = nBytes + nBits                                      // want "unit mismatch: nBytes \\+ nBits"
+	_ = energyJoules < p.Base                               // want "unit mismatch: energyJoules < p.Base"
+	_ = p.TransferEnergy(1500, radio.Dir(0)) + p.TailTime() // want "unit mismatch: p.TransferEnergy\\(...\\) \\+ p.TailTime\\(...\\)"
+}
+
+func Compatible(p *radio.Params, energyJoules, tSeconds, tMillis float64, nBytes, nBits int) {
+	// Same dimension and scale on both sides: fine.
+	energy := p.PromotionTime * p.PromotionPower
+	_ = energy + p.TailPhases[0].Duration*p.TailPhases[0].Power
+	_ = energy + energyJoules
+	_ = p.AlphaUp + p.AlphaDown
+	// Alpha (watts per Mbps) times a rate (Mbps) is watts again.
+	_ = p.AlphaUp*p.UplinkMbps + p.Base
+	_ = p.TransferEnergy(1500, radio.Dir(0)) + p.PromotionEnergy()
+	// An explicit conversion factor makes the operand unknown, which is the
+	// sanctioned way to convert between scales.
+	_ = tSeconds + tMillis*1e-3
+	_ = float64(nBits)/8 + float64(nBytes)
+}
+
+func Unknowns(x float64, energyJoules float64) {
+	// Untraced operands stay unknown and are never flagged.
+	_ = x + energyJoules
+	_ = x + 3.5
+}
+
+func Allowed(energyJoules, powerWatts float64) {
+	_ = energyJoules + powerWatts //repolint:allow units fixture: deliberate mixed sum feeding a unitless score
+}

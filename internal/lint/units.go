@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Units is a lightweight dimensional-analysis pass over the energy math.
+// The radio model (PAPER §3.1) mixes joules, watts, seconds, bytes and
+// Mbps in one expression tree; transposing two factors still type-checks
+// (everything is float64) and still produces plausible-looking numbers.
+// This analyzer assigns each traced value a dimension vector over
+// {energy, time, data} plus a scale, propagates it through * and /, and
+// flags +, - and comparisons whose operands carry incompatible units —
+// adding joules to watts, or comparing seconds against milliseconds.
+//
+// Values are traced from two sources, both declared in this file:
+//
+//   - a types-anchored table for the fields and methods of
+//     internal/radio.Params, internal/radio.TailPhase and the
+//     internal/energy aggregates;
+//   - a name-suffix table (Joules, Millijoules, Watts, MilliWatts, Watts
+//     per Mbps via the Alpha fields, Seconds, Millis, Mbps, Bytes, Bits,
+//     Energy, Power, Time) applied to numeric identifiers.
+//
+// Anything else — constants, unsuffixed locals — is unknown, and any
+// operation touching an unknown stays unknown. That is deliberate: an
+// explicit conversion factor (`* 1e3`, `* 8`) makes the expression
+// unknown and silences the check, so converting is always expressible.
+// //repolint:allow units suppresses a line with a written reason.
+var Units = &Analyzer{
+	Name: "units",
+	Doc:  "flag +,- and comparisons mixing incompatible energy/time/data units",
+	Run:  runUnits,
+}
+
+// A unit is a dimension vector (exponents of energy, time, data) and a
+// scale factor relative to the base units joule, second, bit.
+type unit struct {
+	known   bool
+	e, t, d int
+	scale   float64
+}
+
+func (u unit) mul(v unit) unit {
+	if !u.known || !v.known {
+		return unit{}
+	}
+	return unit{known: true, e: u.e + v.e, t: u.t + v.t, d: u.d + v.d, scale: u.scale * v.scale}
+}
+
+func (u unit) div(v unit) unit {
+	if !u.known || !v.known {
+		return unit{}
+	}
+	return unit{known: true, e: u.e - v.e, t: u.t - v.t, d: u.d - v.d, scale: u.scale / v.scale}
+}
+
+// compatible reports whether two known units may be added or compared.
+func (u unit) compatible(v unit) bool {
+	return u.e == v.e && u.t == v.t && u.d == v.d && u.scale == v.scale
+}
+
+func (u unit) String() string {
+	if !u.known {
+		return "?"
+	}
+	var parts []string
+	dim := func(name string, exp int) {
+		switch {
+		case exp == 1:
+			parts = append(parts, name)
+		case exp != 0:
+			parts = append(parts, name+"^"+itoa(exp))
+		}
+	}
+	dim("J", u.e)
+	dim("s", u.t)
+	dim("bit", u.d)
+	s := strings.Join(parts, "·")
+	if s == "" {
+		s = "1"
+	}
+	if u.scale != 1 {
+		s += "×" + ftoa(u.scale)
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 1e-3:
+		return "1e-3"
+	case 1e-6:
+		return "1e-6"
+	case 1e6:
+		return "1e6"
+	case 8:
+		return "8"
+	case 0.125:
+		return "1/8"
+	}
+	return "non-unit scale"
+}
+
+// Base units.
+var (
+	joules    = unit{known: true, e: 1, scale: 1}
+	watts     = unit{known: true, e: 1, t: -1, scale: 1}
+	seconds   = unit{known: true, t: 1, scale: 1}
+	mbps      = unit{known: true, d: 1, t: -1, scale: 1e6}
+	bits      = unit{known: true, d: 1, scale: 1}
+	dataBytes = unit{known: true, d: 1, scale: 8}
+	// wattsPerMbps is the dimension of the Alpha rate coefficients.
+	wattsPerMbps = watts.div(mbps)
+)
+
+func milli(u unit) unit { u.scale *= 1e-3; return u }
+
+// unitSuffixes is the declared name-suffix table, checked longest-first.
+// A suffix applies only to identifiers of numeric type (so PayloadBytes
+// []byte is a buffer, not a quantity) and never to time.Duration, whose
+// arithmetic the standard library already keeps honest.
+var unitSuffixes = []struct {
+	suffix string
+	u      unit
+}{
+	{"Millijoules", milli(joules)},
+	{"MilliWatts", milli(watts)},
+	{"Joules", joules},
+	{"Watts", watts},
+	{"Seconds", seconds},
+	{"Millis", milli(seconds)},
+	{"Mbps", mbps},
+	{"Bytes", dataBytes},
+	{"Bits", bits},
+	{"Energy", joules},
+	{"Power", watts},
+	{"Time", seconds},
+}
+
+// unitByName resolves an identifier (or method) name via the suffix table.
+func unitByName(name string) unit {
+	for _, entry := range unitSuffixes {
+		if strings.HasSuffix(name, entry.suffix) {
+			return entry.u
+		}
+		lower := strings.ToLower(entry.suffix)
+		if name == lower || strings.HasSuffix(name, "_"+lower) {
+			return entry.u
+		}
+	}
+	return unit{}
+}
+
+// fieldUnits is the types-anchored table: fields whose unit the suffix
+// rules cannot derive, keyed by "package-path.Type.Field".
+var fieldUnits = map[string]unit{
+	"netenergy/internal/radio.Params.Base":        watts,
+	"netenergy/internal/radio.Params.AlphaUp":     wattsPerMbps,
+	"netenergy/internal/radio.Params.AlphaDown":   wattsPerMbps,
+	"netenergy/internal/radio.TailPhase.Duration": seconds,
+	"netenergy/internal/radio.TailPhase.Power":    watts,
+}
+
+func runUnits(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch b.Op {
+			case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				x := unitOf(pass, b.X)
+				y := unitOf(pass, b.Y)
+				if x.known && y.known && !x.compatible(y) {
+					pass.Reportf(b.OpPos,
+						"unit mismatch: %s %s %s (left is %s, right is %s); convert explicitly or annotate //repolint:allow units",
+						render(b.X), b.Op, render(b.Y), x, y)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitOf derives the unit of an expression, or unknown.
+func unitOf(pass *Pass, e ast.Expr) unit {
+	e = ast.Unparen(e)
+
+	// Constants (literals, folded expressions) are unitless conversion
+	// material: always unknown.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return unit{}
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfObject(pass, e, pass.TypesInfo.ObjectOf(e))
+	case *ast.SelectorExpr:
+		if u, ok := fieldUnit(pass, e); ok {
+			return u
+		}
+		return unitOfObject(pass, e.Sel, pass.TypesInfo.ObjectOf(e.Sel))
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass, e); fn != nil {
+			if u, ok := methodUnit(fn); ok {
+				return u
+			}
+			if numericExpr(pass, e) {
+				return unitByName(fn.Name())
+			}
+		}
+		// A single-argument conversion (float64(x)) preserves the unit.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return unitOf(pass, e.Args[0])
+			}
+		}
+		return unit{}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			return unitOf(pass, e.X).mul(unitOf(pass, e.Y))
+		case token.QUO:
+			return unitOf(pass, e.X).div(unitOf(pass, e.Y))
+		case token.ADD, token.SUB:
+			x := unitOf(pass, e.X)
+			if x.known {
+				y := unitOf(pass, e.Y)
+				if y.known && x.compatible(y) {
+					return x
+				}
+			}
+			return unit{}
+		}
+		return unit{}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(pass, e.X)
+		}
+		return unit{}
+	}
+	return unit{}
+}
+
+// unitOfObject applies the suffix table to a named numeric value.
+func unitOfObject(pass *Pass, id *ast.Ident, obj types.Object) unit {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return unit{}
+	}
+	if !numericType(v.Type()) {
+		return unit{}
+	}
+	return unitByName(id.Name)
+}
+
+// fieldUnit consults the types-anchored table for sel's field.
+func fieldUnit(pass *Pass, sel *ast.SelectorExpr) (unit, bool) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return unit{}, false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return unit{}, false
+	}
+	recv := selection.Recv()
+	named := namedOf(recv)
+	if named == nil {
+		return unit{}, false
+	}
+	key := field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+	u, ok := fieldUnits[key]
+	return u, ok
+}
+
+// methodUnit anchors the radio.Params method results that the suffix
+// table already names correctly; listed here so the anchoring does not
+// depend on spelling alone.
+func methodUnit(fn *types.Func) (unit, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "netenergy/internal/radio" {
+		return unit{}, false
+	}
+	switch fn.Name() {
+	case "TransferEnergy", "PromotionEnergy", "FullTailEnergy", "tailEnergy":
+		return joules, true
+	case "TailTime", "txTime":
+		return seconds, true
+	case "txPower":
+		return watts, true
+	}
+	return unit{}, false
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// numericType reports whether t is a basic numeric type, excluding
+// time.Duration (nanosecond arithmetic is the stdlib's concern).
+func numericType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+			return false
+		}
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}
+
+func numericExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && numericType(t)
+}
+
+// render prints a compact source form of an expression for diagnostics.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.BinaryExpr:
+		return render(e.X) + " " + e.Op.String() + " " + render(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + render(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	default:
+		return "expr"
+	}
+}

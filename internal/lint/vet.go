@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool` side of cmd/repolint: the go
+// command hands the tool a JSON .cfg file describing one compilation unit
+// (sources, import map, export-data files) and expects diagnostics on
+// stderr, a fact file at VetxOutput, and a non-zero exit on findings. The
+// schema and sequencing mirror golang.org/x/tools/go/analysis/unitchecker,
+// which defines the protocol; implementing it here keeps x/tools out of the
+// module while letting `make lint` ride go vet's per-package result cache.
+
+// VetConfig is the compilation-unit description `go vet` writes for a
+// vettool. Field names and JSON shape are fixed by the protocol.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// vetImporter resolves source import paths through the cfg's ImportMap and
+// reads type information from the per-package export-data files.
+func vetImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	compiler := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return compiler.Import(path)
+	})
+}
+
+// RunVet analyzes the single compilation unit described by cfgFile and
+// writes diagnostics to w. It returns the number of diagnostics (the caller
+// maps >0 to exit status 1, which go vet treats as "findings").
+func RunVet(cfgFile string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The protocol requires a fact file even from a tool with no facts:
+	// go vet caches it and feeds it back through PackageVetx. Write it
+	// first so every exit path (including VetxOnly) satisfies the cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: repolint defines no facts, so
+		// there is nothing to compute for downstream packages.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	conf := &types.Config{
+		Importer: vetImporter(fset, cfg),
+		Error:    func(error) {},
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	var files []string
+	files = append(files, cfg.GoFiles...)
+	pkg, err := typeCheckVet(fset, cfg, conf, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := CheckPackage(fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}
+
+// typeCheckVet parses and checks the unit's files with the vet importer.
+func typeCheckVet(fset *token.FileSet, cfg *VetConfig, conf *types.Config, goFiles []string) (*Package, error) {
+	p := &Package{Path: cfg.ImportPath, Fset: fset}
+	for _, name := range goFiles {
+		f, err := parseOne(fset, name)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Info = newInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	p.Types = pkg
+	return p, nil
+}

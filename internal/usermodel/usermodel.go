@@ -150,9 +150,18 @@ func Build(id string, src *rng.Source, profiles []appmodel.Profile, cfg Config) 
 // AllSessions returns every session of the user across apps, sorted by
 // start time — the phone's overall usage timeline (used for screen events).
 func (u *User) AllSessions() []appmodel.Session {
+	// Walk profiles in index order: the sort below is not stable and keys
+	// only on Start, so two sessions starting at the same instant would
+	// otherwise land in map-iteration (run-dependent) order.
+	pis := make([]int, 0, len(u.Sessions))
+	//repolint:ordered collection order is irrelevant: indexes are sorted before use
+	for pi := range u.Sessions {
+		pis = append(pis, pi)
+	}
+	sort.Ints(pis)
 	var out []appmodel.Session
-	for _, ss := range u.Sessions {
-		out = append(out, ss...)
+	for _, pi := range pis {
+		out = append(out, u.Sessions[pi]...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out

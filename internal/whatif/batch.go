@@ -1,6 +1,7 @@
 package whatif
 
 import (
+	"slices"
 	"sort"
 
 	"netenergy/internal/analysis"
@@ -70,7 +71,17 @@ func SimulateBatching(d *analysis.DeviceData, p radio.Params, factor int) BatchR
 		byApp[pkt.App] = append(byApp[pkt.App], appPkt{pkt.TS.Seconds(), pkt.Bytes, dir})
 	}
 	const burstGap = 15.0
-	for _, pkts := range byApp {
+	// Process apps in ascending ID order: the evs sort below keys only on
+	// timestamp, so same-instant packets from different apps would
+	// otherwise be replayed in map-iteration (run-dependent) order.
+	apps := make([]uint32, 0, len(byApp))
+	//repolint:ordered collection order is irrelevant: app IDs are sorted before use
+	for app := range byApp {
+		apps = append(apps, app)
+	}
+	slices.Sort(apps)
+	for _, app := range apps {
+		pkts := byApp[app]
 		// Burst boundaries.
 		var burstStart []int
 		for i := range pkts {

@@ -63,6 +63,7 @@ func appDays(d *analysis.DeviceData, app uint32) (map[int]dayKind, []int) {
 	days := d.Energy.Ledger.ByAppDay[app]
 	kinds := make(map[int]dayKind, len(days))
 	var idx []int
+	//repolint:ordered idx is sorted below and kinds is keyed by day; iteration order cannot reach either output
 	for day, ds := range days {
 		if ds.Packets == 0 {
 			continue
@@ -292,6 +293,7 @@ func IsolationCandidates(devs []*analysis.DeviceData, minIdleDays int, minBgJ fl
 	var out []Candidate
 	for _, d := range devs {
 		devTotal := d.Energy.Ledger.Total
+		//repolint:ordered candidates are fully ordered by the sort below: savings, then the unique (device, app) pair
 		for app, days := range d.Energy.Ledger.ByAppDay {
 			kinds, idx := appDays(d, app)
 			if len(idx) == 0 {

@@ -36,7 +36,20 @@ go test -run '^$' -bench 'BenchmarkApply(Instrumented|Bare)$' -benchmem \
 echo "bench: paper-artifact benchmarks (1 iteration each)" >&2
 go test -run '^$' -bench . -benchmem -benchtime=1x . | tee -a "$RAW" >&2
 
-awk -v date="$(date +%F)" -v gover="$(go version | awk '{print $3}')" '
+# Record the static-analysis suite's wall time alongside the runtime
+# numbers: repolint loads and type-checks the whole module, so an analyzer
+# that goes quadratic shows up here before it starts dragging `make ci`.
+echo "bench: repolint wall time (full module, standalone)" >&2
+mkdir -p bin
+go build -o bin/repolint ./cmd/repolint
+t0=$(date +%s.%N)
+./bin/repolint ./...
+t1=$(date +%s.%N)
+REPOLINT_SECONDS=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+echo "bench: repolint ./... took ${REPOLINT_SECONDS}s" >&2
+
+awk -v date="$(date +%F)" -v gover="$(go version | awk '{print $3}')" \
+    -v repolint_s="$REPOLINT_SECONDS" '
 BEGIN { n = 0 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ {
@@ -66,6 +79,7 @@ BEGIN { n = 0 }
 }
 END {
   printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, gover
+  if (repolint_s != "") printf "  \"repolint_seconds\": %s,\n", repolint_s
   if (bare + 0 > 0) {
     pct = 100 * (instr - bare) / bare
     if (pct < 0) pct = 0
