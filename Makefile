@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint repolint build test race cover smoke fuzz fuzz-smoke bench clean
+.PHONY: ci vet lint repolint build test race cover smoke fuzz fuzz-smoke bench bench-report clean
 
-ci: lint build race cover fuzz-smoke smoke
+ci: lint build race cover fuzz-smoke smoke bench-report
 
 vet:
 	$(GO) vet ./...
@@ -68,8 +68,19 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFrameDecoder -fuzztime=10s ./internal/ingest/
 
+# Full benchmark suite with the regression gate: records BENCH_<date>.json
+# and fails on a >15% regression in the apply pair or decode throughput
+# against the previous run (scripts/bench.sh -no-compare to skip).
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	./scripts/bench.sh
+
+# Quick advisory run for ci: single iterations, output parked in /tmp so
+# throwaway numbers never enter the BENCH_*.json history, and the leading
+# '-' keeps a noisy shared machine from failing the gate.
+bench-report:
+	-BENCHTIME=1x COUNT=1 APPLY_BENCHTIME=1x APPLY_COUNT=1 \
+	  TRACE_BENCHTIME=1x TRACE_COUNT=1 \
+	  ./scripts/bench.sh -no-compare /tmp/netenergy_bench_ci.json
 
 clean:
 	rm -rf bin

@@ -35,6 +35,7 @@ func main() {
 		ndjson   = flag.Bool("ndjson", false, "also write .ndjson sidecars")
 		profiles = flag.String("profiles", "", "JSON file defining the app population (default: built-ins)")
 		compress = flag.Bool("compress", false, "write DEFLATE-compressed traces (auto-detected on read)")
+		format   = flag.String("format", "", "container format: flat, deflate or metr2 (default flat; overrides -compress)")
 		dump     = flag.Bool("dump-profiles", false, "print the built-in case-study profiles as JSON and exit")
 	)
 	flag.Parse()
@@ -52,6 +53,14 @@ func main() {
 	cfg.Days = *days
 	cfg.Seed = *seed
 	cfg.Compress = *compress
+	if *format != "" {
+		f, err := trace.ParseFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gentrace:", err)
+			os.Exit(2)
+		}
+		cfg.Format = f
+	}
 	if *profiles != "" {
 		f, err := os.Open(*profiles)
 		if err != nil {

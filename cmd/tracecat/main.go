@@ -7,6 +7,11 @@
 //	tracecat -trace data/u00.metr -head 20        # first 20 records
 //	tracecat -trace data/u00.metr -app com.sina.weibo -head 50
 //	tracecat -trace data/u00.metr -ndjson > u00.ndjson
+//	tracecat -trace data/u00.metr -convert u00.metr2 -format metr2
+//
+// With -convert, the trace is rewritten into the container named by
+// -format (flat, deflate or metr2); records survive bit-identically, only
+// the container changes.
 package main
 
 import (
@@ -24,7 +29,9 @@ func main() {
 		path   = flag.String("trace", "", "METR trace file (required)")
 		head   = flag.Int("head", 0, "print the first N records")
 		appPkg = flag.String("app", "", "restrict -head output to one app package")
-		ndjson = flag.Bool("ndjson", false, "dump the whole trace as NDJSON to stdout")
+		ndjson  = flag.Bool("ndjson", false, "dump the whole trace as NDJSON to stdout")
+		convert = flag.String("convert", "", "rewrite the trace into this file using -format")
+		format  = flag.String("format", "", "target container for -convert: flat, deflate or metr2")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -37,17 +44,52 @@ func main() {
 		os.Exit(1)
 	}
 	switch {
+	case *convert != "":
+		err = convertTrace(dt, *path, *convert, *format)
 	case *ndjson:
 		err = dt.ExportNDJSON(os.Stdout)
 	case *head > 0:
 		err = printHead(dt, *head, *appPkg)
 	default:
-		err = printStats(dt)
+		err = printStats(dt, *path)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecat:", err)
 		os.Exit(1)
 	}
+}
+
+// convertTrace rewrites dt into dst using the named container format.
+func convertTrace(dt *trace.DeviceTrace, src, dst, formatName string) error {
+	if formatName == "" {
+		return fmt.Errorf("-convert requires -format (flat, deflate or metr2)")
+	}
+	f, err := trace.ParseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := dt.SerializeFormat(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	from, err := trace.DetectFileFormat(src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracecat: %s (%s) -> %s (%s), %d records, %.1f MB\n",
+		src, from, dst, f, len(dt.Records), float64(st.Size())/1e6)
+	return nil
 }
 
 func printHead(dt *trace.DeviceTrace, n int, appPkg string) error {
@@ -78,7 +120,7 @@ func printHead(dt *trace.DeviceTrace, n int, appPkg string) error {
 	return nil
 }
 
-func printStats(dt *trace.DeviceTrace) error {
+func printStats(dt *trace.DeviceTrace, path string) error {
 	counts := map[trace.RecordType]int{}
 	bytesByApp := map[uint32]int64{}
 	pktsByApp := map[uint32]int{}
@@ -99,8 +141,12 @@ func printStats(dt *trace.DeviceTrace) error {
 			totalStored += int64(len(r.Payload))
 		}
 	}
-	fmt.Printf("device %s: %d records over %.1f days (%d apps registered)\n",
-		dt.Device, len(dt.Records), lastTS.Sub(firstTS)/86400, dt.Apps.Len())
+	container := "?"
+	if f, err := trace.DetectFileFormat(path); err == nil {
+		container = f.String()
+	}
+	fmt.Printf("device %s: %d records over %.1f days (%d apps registered, %s container)\n",
+		dt.Device, len(dt.Records), lastTS.Sub(firstTS)/86400, dt.Apps.Len(), container)
 	for _, rt := range []trace.RecordType{trace.RecAppName, trace.RecPacket, trace.RecProcState, trace.RecUIEvent, trace.RecScreen} {
 		fmt.Printf("  %-10s %d\n", rt.String(), counts[rt])
 	}

@@ -16,6 +16,7 @@
 package netenergy_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,6 +31,7 @@ import (
 	"netenergy/internal/core"
 	"netenergy/internal/ingest"
 	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden.json with freshly computed values")
@@ -284,6 +286,65 @@ func TestGolden(t *testing.T) {
 	// The two pipelines must agree with each other, not just with the file.
 	cmp.float("batch-vs-stream total_energy_j", got.Batch.TotalEnergyJ, got.Stream.TotalEnergyJ)
 	cmp.float("batch-vs-stream background_fraction", got.Batch.BackgroundFraction, got.Stream.BackgroundFraction)
+}
+
+// TestGoldenMETR2 routes the same fixed-seed fleet through the blocked
+// METR-2 container on disk: every record must survive the round trip
+// bit-identically, and a Study opened with block-parallel decoding must
+// reproduce the golden batch headline. This pins the new container to the
+// same end-to-end contract as the original flat path.
+func TestGoldenMETR2(t *testing.T) {
+	cfg := synthgen.Small(goldenUsers, goldenDays)
+	cfg.Format = trace.FormatBlocked
+	dir := t.TempDir()
+	fleet, err := synthgen.GenerateFleet(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := synthgen.GenerateInMemory(cfg)
+	if len(fleet.Paths) != len(mem) {
+		t.Fatalf("fleet has %d files, generated %d devices", len(fleet.Paths), len(mem))
+	}
+	for i, path := range fleet.Paths {
+		if f, err := trace.DetectFileFormat(path); err != nil || f != trace.FormatBlocked {
+			t.Fatalf("%s: format %v, err %v", path, f, err)
+		}
+		got, err := trace.ReadFileParallel(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mem[i]
+		if got.Device != want.Device || len(got.Records) != len(want.Records) {
+			t.Fatalf("%s: device %q records %d, want %q %d",
+				path, got.Device, len(got.Records), want.Device, len(want.Records))
+		}
+		for j := range want.Records {
+			a, b := &want.Records[j], &got.Records[j]
+			if a.Type != b.Type || a.TS != b.TS || a.App != b.App || a.Dir != b.Dir ||
+				a.Net != b.Net || a.State != b.State || a.ScreenOn != b.ScreenOn ||
+				a.AppName != b.AppName || !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("%s: record %d differs after METR-2 round trip", path, j)
+			}
+		}
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("no golden file: %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	study, err := core.OpenParallel(dir, 16) // 16 > 5 files: intra-file block parallelism
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := study.Headline()
+	cmp := newGoldenCmp(t)
+	cmp.float("metr2.total_energy_j", h.TotalEnergyJ, want.Batch.TotalEnergyJ)
+	cmp.float("metr2.background_fraction", h.BackgroundFraction, want.Batch.BackgroundFraction)
+	cmp.float("metr2.first_minute_fraction", h.FirstMinute.Fraction, want.Batch.FirstMinuteFraction)
 }
 
 // goldenCmp compares quantities with a relative float tolerance and exact

@@ -90,7 +90,9 @@ func Open(dir string) (*Study, error) { return OpenParallel(dir, 1) }
 // order, so the Study is identical regardless of worker count (modulo
 // float association in the network totals, which are summed in order too).
 // workers <= 1 degrades to the sequential one-trace-in-memory behaviour;
-// higher counts trade peak memory for wall time.
+// higher counts trade peak memory for wall time. When the fleet has fewer
+// files than workers, the surplus is spent inside each file: METR-2
+// containers decode their blocks in parallel (v1 containers just stream).
 func OpenParallel(dir string, workers int) (*Study, error) {
 	t0 := time.Now() //repolint:allow determinism load wall-time telemetry for operators; LoadSeconds never reaches a report or golden artifact
 	fleet, err := trace.OpenFleet(dir)
@@ -100,7 +102,9 @@ func OpenParallel(dir string, workers int) (*Study, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(fleet.Paths) {
+	inner := 1
+	if len(fleet.Paths) > 0 && workers > len(fleet.Paths) {
+		inner = (workers + len(fleet.Paths) - 1) / len(fleet.Paths)
 		workers = len(fleet.Paths)
 	}
 
@@ -118,7 +122,7 @@ func OpenParallel(dir string, workers int) (*Study, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			dt, err := trace.ReadFile(path)
+			dt, err := trace.ReadFileParallel(path, inner)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: reading %s: %w", path, err)
 				return

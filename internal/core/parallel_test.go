@@ -7,13 +7,20 @@ import (
 	"testing"
 
 	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
 )
 
 // genFleetDir writes a small on-disk fleet once per test/benchmark run.
 func genFleetDir(tb testing.TB, users, days int) string {
+	return genFleetDirFormat(tb, users, days, trace.FormatFlat)
+}
+
+func genFleetDirFormat(tb testing.TB, users, days int, f trace.Format) string {
 	tb.Helper()
 	dir := tb.TempDir()
-	if _, err := synthgen.GenerateFleet(synthgen.Small(users, days), dir); err != nil {
+	cfg := synthgen.Small(users, days)
+	cfg.Format = f
+	if _, err := synthgen.GenerateFleet(cfg, dir); err != nil {
 		tb.Fatal(err)
 	}
 	return dir
@@ -50,6 +57,43 @@ func TestOpenParallelMatchesOpen(t *testing.T) {
 	}
 	if math.Abs(seq.Networks.CellularJ-par.Networks.CellularJ) > 1e-9*(1+seq.Networks.CellularJ) {
 		t.Errorf("network totals differ: %v vs %v", seq.Networks.CellularJ, par.Networks.CellularJ)
+	}
+}
+
+// TestOpenParallelBlockedFleet: a fleet stored in the METR-2 blocked
+// container must load identically to the flat one — including when the
+// worker budget exceeds the file count, which turns on intra-file
+// block-parallel decoding.
+func TestOpenParallelBlockedFleet(t *testing.T) {
+	users, days := 3, 2
+	flat := genFleetDir(t, users, days)
+	blocked := genFleetDirFormat(t, users, days, trace.FormatBlocked)
+	ref, err := Open(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 16} { // 16 > 3 files -> inner block parallelism
+		got, err := OpenParallel(blocked, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Devices) != len(ref.Devices) {
+			t.Fatalf("workers=%d: device counts differ: %d vs %d",
+				workers, len(got.Devices), len(ref.Devices))
+		}
+		for i := range ref.Devices {
+			if ref.Devices[i].Device != got.Devices[i].Device {
+				t.Errorf("workers=%d: device order differs at %d", workers, i)
+			}
+			a, b := ref.Devices[i].Energy.Ledger.Total, got.Devices[i].Energy.Ledger.Total
+			if math.Abs(a-b) > 1e-9*(1+a) {
+				t.Errorf("workers=%d: device %s energy differs: %v vs %v",
+					workers, ref.Devices[i].Device, a, b)
+			}
+		}
+		if math.Abs(ref.Networks.CellularJ-got.Networks.CellularJ) > 1e-9*(1+ref.Networks.CellularJ) {
+			t.Errorf("workers=%d: network totals differ", workers)
+		}
 	}
 }
 

@@ -1,7 +1,9 @@
 package ingest
 
 import (
+	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,8 +19,11 @@ type Backoff struct {
 	Base time.Duration
 	// Max caps the exponential growth (default 5s).
 	Max time.Duration
-	// Rand supplies jitter; nil uses the global source. Tests inject a
-	// seeded source for determinism.
+	// Rand supplies jitter; nil lazily installs a per-instance seeded
+	// source on first use (never the global math/rand source, whose
+	// process-wide stream couples every session's jitter and defeats
+	// reproducible schedules). Sessions seed it per device via
+	// SessionRand; tests inject their own for determinism.
 	Rand *rand.Rand
 
 	attempt int
@@ -28,6 +33,19 @@ const (
 	defaultBackoffBase = 50 * time.Millisecond
 	defaultBackoffMax  = 5 * time.Second
 )
+
+// backoffInstances distinguishes the per-instance fallback seeds so that
+// zero-value Backoffs created back-to-back still jitter independently.
+var backoffInstances atomic.Uint64
+
+// SessionRand returns a jitter source seeded from the device name
+// (FNV-1a), giving every device session a stable, reproducible backoff
+// schedule that is decorrelated from every other device's.
+func SessionRand(device string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(device))
+	return rand.New(rand.NewSource(int64(h.Sum64()))) //nolint:gosec
+}
 
 // Next returns the delay to sleep before the upcoming attempt and advances
 // the schedule.
@@ -45,13 +63,11 @@ func (b *Backoff) Next() time.Duration {
 	} else {
 		b.attempt++
 	}
-	var f float64
-	if b.Rand != nil {
-		f = b.Rand.Float64()
-	} else {
-		f = rand.Float64()
+	if b.Rand == nil {
+		seed := backoffInstances.Add(1) * 0x9e3779b97f4a7c15
+		b.Rand = rand.New(rand.NewSource(int64(seed))) //nolint:gosec
 	}
-	return time.Duration(float64(d) * (0.5 + f/2))
+	return time.Duration(float64(d) * (0.5 + b.Rand.Float64()/2))
 }
 
 // Reset restarts the schedule after a successful attempt.

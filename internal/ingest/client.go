@@ -47,7 +47,7 @@ type Client struct {
 // are returned immediately — the caller owns that retry policy.
 func Dial(addr, device string, start trace.Timestamp, timeout time.Duration) (*Client, error) {
 	deadline := time.Now().Add(timeout)
-	var bo Backoff
+	bo := Backoff{Rand: SessionRand(device)}
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {

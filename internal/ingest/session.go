@@ -80,6 +80,9 @@ func StreamTrace(cfg SessionConfig, recs []trace.Record) (SessionStats, error) {
 		deadline = time.Now().Add(cfg.Deadline)
 	}
 	bo := cfg.Backoff
+	if bo.Rand == nil {
+		bo.Rand = SessionRand(cfg.Device)
+	}
 
 	// sentHint is this side's belief of the server's accepted seq, offered
 	// in the hello; the server's ack overrides it.

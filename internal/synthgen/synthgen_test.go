@@ -3,6 +3,7 @@ package synthgen
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"netenergy/internal/appmodel"
@@ -223,6 +224,62 @@ func TestCompressedFleetRoundTrip(t *testing.T) {
 	}
 	if st.Size() >= int64(len(plain)) {
 		t.Errorf("compressed %d bytes >= plain %d", st.Size(), len(plain))
+	}
+}
+
+// TestBlockedFleetRoundTrip: Config.Format routes a fleet into the METR-2
+// blocked container; the traces read back identically to flat generation.
+func TestBlockedFleetRoundTrip(t *testing.T) {
+	cfg := smallCfg()
+	refDir, blkDir := t.TempDir(), t.TempDir()
+	if _, err := GenerateFleet(cfg, refDir); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Format = trace.FormatBlocked
+	if cfg.ContainerFormat() != trace.FormatBlocked {
+		t.Fatalf("ContainerFormat = %v", cfg.ContainerFormat())
+	}
+	fleet, err := GenerateFleet(cfg, blkDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadFile(fleet.Paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, err := trace.DetectFileFormat(fleet.Paths[0]); err != nil || f != trace.FormatBlocked {
+		t.Fatalf("DetectFileFormat = %v, %v", f, err)
+	}
+	want, err := trace.ReadFile(filepath.Join(refDir, filepath.Base(fleet.Paths[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		a, b := &want.Records[i], &got.Records[i]
+		if a.Type != b.Type || a.TS != b.TS || a.App != b.App ||
+			!bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("record %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestContainerFormatLegacyCompress: the legacy Compress switch still
+// selects deflate when Format is unset.
+func TestContainerFormatLegacyCompress(t *testing.T) {
+	var cfg Config
+	if cfg.ContainerFormat() != trace.FormatFlat {
+		t.Errorf("zero config -> %v, want flat", cfg.ContainerFormat())
+	}
+	cfg.Compress = true
+	if cfg.ContainerFormat() != trace.FormatDeflate {
+		t.Errorf("Compress -> %v, want deflate", cfg.ContainerFormat())
+	}
+	cfg.Format = trace.FormatBlocked
+	if cfg.ContainerFormat() != trace.FormatBlocked {
+		t.Errorf("Format overrides Compress: got %v", cfg.ContainerFormat())
 	}
 }
 

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// benchTrace holds one synthetic device trace serialized in every
+// container, written once per benchmark binary. decode_mbps is reported
+// against the flat (uncompressed-container) byte count for every format,
+// so the metric compares decode throughput of the same logical records.
+var benchTrace struct {
+	once      sync.Once
+	recs      []Record
+	dir       string
+	flatBytes int64
+	paths     map[Format]string
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchTrace.once.Do(func() {
+		benchTrace.recs = genRecords(120000) // ~50 MB flat, dozens of blocks
+		dir, err := os.MkdirTemp("", "tracebench")
+		if err != nil {
+			panic(err)
+		}
+		benchTrace.dir = dir
+		benchTrace.paths = make(map[Format]string)
+		dt := &DeviceTrace{Device: "bench-00", Start: 1000, Records: benchTrace.recs}
+		for _, f := range []Format{FormatFlat, FormatDeflate, FormatBlocked} {
+			var buf bytes.Buffer
+			if err := dt.SerializeFormat(&buf, f); err != nil {
+				panic(err)
+			}
+			path := filepath.Join(dir, "u00."+f.String()+".metr")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				panic(err)
+			}
+			benchTrace.paths[f] = path
+			if f == FormatFlat {
+				benchTrace.flatBytes = int64(buf.Len())
+			}
+		}
+	})
+}
+
+// benchDecode runs one full-file decode per iteration and reports
+// decode_mbps: flat-container megabytes decoded per second.
+func benchDecode(b *testing.B, format Format, workers int) {
+	benchSetup(b)
+	path := benchTrace.paths[format]
+	want := len(benchTrace.recs)
+	b.SetBytes(benchTrace.flatBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt, err := ReadFileParallel(path, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dt.Records) != want {
+			b.Fatalf("decoded %d records, want %d", len(dt.Records), want)
+		}
+	}
+	b.StopTimer()
+	mbps := float64(benchTrace.flatBytes) / 1e6 * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(mbps, "decode_mbps")
+}
+
+func BenchmarkDecodeV1Flat(b *testing.B)    { benchDecode(b, FormatFlat, 1) }
+func BenchmarkDecodeV1Deflate(b *testing.B) { benchDecode(b, FormatDeflate, 1) }
+func BenchmarkDecodeMETR2(b *testing.B)     { benchDecode(b, FormatBlocked, 1) }
+func BenchmarkDecodeMETR2Parallel4(b *testing.B) {
+	benchDecode(b, FormatBlocked, 4)
+}
+func BenchmarkDecodeMETR2Parallel8(b *testing.B) {
+	benchDecode(b, FormatBlocked, 8)
+}
+
+func BenchmarkEncodeMETR2(b *testing.B) {
+	benchSetup(b)
+	dt := &DeviceTrace{Device: "bench-00", Start: 1000, Records: benchTrace.recs}
+	b.SetBytes(benchTrace.flatBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewBlockWriter(io.Discard, dt.Device, dt.Start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range dt.Records {
+			if err := w.Write(&dt.Records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

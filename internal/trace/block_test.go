@@ -1,0 +1,342 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"netenergy/internal/rng"
+)
+
+// genRecords builds a deterministic mixed-type record stream big enough to
+// span several blocks (payloads are semi-repetitive so DEFLATE has real
+// work, as in the synthetic fleets).
+func genRecords(n int) []Record {
+	src := rng.New(42)
+	recs := make([]Record, 0, n+4)
+	recs = append(recs,
+		Record{Type: RecAppName, TS: 1000, App: 0, AppName: "com.example.social"},
+		Record{Type: RecAppName, TS: 1000, App: 1, AppName: "com.android.chrome"},
+	)
+	ts := Timestamp(1000)
+	for i := 0; i < n; i++ {
+		ts += Timestamp(src.Intn(200000))
+		switch src.Intn(5) {
+		case 0:
+			recs = append(recs, Record{Type: RecProcState, TS: ts,
+				App: uint32(src.Intn(2)), State: ProcState(1 + src.Intn(5))})
+		case 1:
+			recs = append(recs, Record{Type: RecScreen, TS: ts, ScreenOn: src.Bool(0.5)})
+		case 2:
+			recs = append(recs, Record{Type: RecUIEvent, TS: ts,
+				App: uint32(src.Intn(2)), UIKind: UIEventKind(src.Intn(4))})
+		default:
+			payload := make([]byte, 40+src.Intn(1400))
+			for j := range payload {
+				payload[j] = byte(j % 7)
+			}
+			payload[0] = byte(src.Intn(256))
+			recs = append(recs, Record{Type: RecPacket, TS: ts, App: uint32(src.Intn(2)),
+				Dir: Direction(src.Intn(2)), Net: Network(src.Intn(2)),
+				State: ProcState(1 + src.Intn(5)), Payload: payload})
+		}
+	}
+	return recs
+}
+
+func writeBlocked(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewBlockWriter(&buf, "device-b", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	return buf.Bytes()
+}
+
+func sameRecord(a, b *Record) bool {
+	return a.Type == b.Type && a.TS == b.TS && a.App == b.App &&
+		a.AppName == b.AppName && a.Dir == b.Dir && a.Net == b.Net &&
+		a.State == b.State && a.UIKind == b.UIKind && a.ScreenOn == b.ScreenOn &&
+		bytes.Equal(a.Payload, b.Payload)
+}
+
+func TestBlockedRoundTrip(t *testing.T) {
+	recs := genRecords(5000) // several 256 KiB blocks
+	data := writeBlocked(t, recs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device() != "device-b" || r.Start() != 1000 {
+		t.Fatalf("header: device=%q start=%d", r.Device(), r.Start())
+	}
+	if r.Format() != FormatBlocked {
+		t.Fatalf("format = %v, want %v", r.Format(), FormatBlocked)
+	}
+	for i := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !sameRecord(got, &recs[i]) {
+			t.Fatalf("record %d mismatch:\n got %v\nwant %v", i, got, recs[i])
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBlockedIndex(t *testing.T) {
+	recs := genRecords(5000)
+	data := writeBlocked(t, recs)
+	device, start, blocks, ok, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil || !ok {
+		t.Fatalf("ReadBlockIndex: ok=%v err=%v", ok, err)
+	}
+	if device != "device-b" || start != 1000 {
+		t.Fatalf("header: device=%q start=%d", device, start)
+	}
+	if len(blocks) < 3 {
+		t.Fatalf("expected several blocks, got %d", len(blocks))
+	}
+	total := 0
+	for i, b := range blocks {
+		total += b.Count
+		if b.First > b.Last {
+			t.Errorf("block %d: First %d > Last %d", i, b.First, b.Last)
+		}
+		if b.UncompLen <= 0 || b.CompLen <= 0 {
+			t.Errorf("block %d: degenerate lengths %+v", i, b)
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("index counts %d records, wrote %d", total, len(recs))
+	}
+}
+
+func TestBlockedParallelMatchesSequential(t *testing.T) {
+	recs := genRecords(5000)
+	data := writeBlocked(t, recs)
+	path := filepath.Join(t.TempDir(), "u.metr")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := ReadFileParallel(path, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Device != seq.Device || par.Start != seq.Start {
+			t.Fatalf("workers=%d: header mismatch", workers)
+		}
+		if len(par.Records) != len(seq.Records) {
+			t.Fatalf("workers=%d: %d records vs %d", workers, len(par.Records), len(seq.Records))
+		}
+		for i := range seq.Records {
+			if !sameRecord(&par.Records[i], &seq.Records[i]) {
+				t.Fatalf("workers=%d: record %d differs", workers, i)
+			}
+		}
+		if got, want := par.Apps.Names(), seq.Apps.Names(); len(got) != len(want) {
+			t.Fatalf("workers=%d: app tables differ", workers)
+		}
+	}
+}
+
+func TestBlockedParallelFallsBackOnV1(t *testing.T) {
+	recs := sampleRecords()
+	for _, format := range []Format{FormatFlat, FormatDeflate} {
+		var buf bytes.Buffer
+		dt := &DeviceTrace{Device: "d", Start: 1000, Records: recs}
+		if err := dt.SerializeFormat(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "u.metr")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFileParallel(path, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if len(got.Records) != len(recs) {
+			t.Fatalf("%v: %d records, want %d", format, len(got.Records), len(recs))
+		}
+	}
+}
+
+func TestBlockedTruncatedFooterStreamsAnyway(t *testing.T) {
+	recs := genRecords(3000)
+	data := writeBlocked(t, recs)
+	// Cut off the footer and half the index: the seekable path must decline
+	// (ok=false) and the streaming fallback must still deliver every block.
+	cut := data[:len(data)-footerLen-10]
+	if _, _, _, ok, _ := ReadBlockIndex(bytes.NewReader(cut), int64(len(cut))); ok {
+		t.Fatal("truncated footer accepted")
+	}
+	path := filepath.Join(t.TempDir(), "u.metr")
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ReadFileParallel(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dt.Records) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(dt.Records), len(recs))
+	}
+}
+
+func TestBlockedCorruptionDetected(t *testing.T) {
+	recs := genRecords(800)
+	data := writeBlocked(t, recs)
+	headerLen := len(magicBlocked) + 1 + len("device-b") + 2
+	for pos := headerLen; pos < len(data); pos += 997 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0xff
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		seen := 0
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break // any clean error is acceptable; silence is not
+			}
+			if !sameRecord(rec, &recs[seen]) {
+				// A corrupted block must never decode to wrong records: the
+				// CRC covers the whole payload.
+				t.Fatalf("flip at %d: record %d silently wrong", pos, seen)
+			}
+			seen++
+		}
+	}
+}
+
+func TestBlockedEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewBlockWriter(&buf, "empty", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	_, _, blocks, ok, err := ReadBlockIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil || !ok || len(blocks) != 0 {
+		t.Fatalf("empty index: ok=%v blocks=%d err=%v", ok, len(blocks), err)
+	}
+}
+
+// TestBlockDecodeAllocFree guards the pooled-scratch claim: once the reader
+// is warm, serving records out of a decoded block allocates nothing, and
+// block transitions amortize to well under 1/100 alloc per record.
+func TestBlockDecodeAllocFree(t *testing.T) {
+	recs := genRecords(20000)
+	data := writeBlocked(t, recs)
+	_, _, blocks, ok, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil || !ok || len(blocks) < 2 {
+		t.Fatalf("index: ok=%v blocks=%d err=%v", ok, len(blocks), err)
+	}
+
+	// Serving records out of an already-decoded block must allocate zero:
+	// decode the first block (and consume the two RecAppName records, whose
+	// name strings legitimately allocate), then count mallocs over the rest
+	// of that block.
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 2; i < blocks[0].Count; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	if got := m1.Mallocs - m0.Mallocs; got != 0 {
+		t.Errorf("%d allocs serving %d records from a decoded block, want 0", got, blocks[0].Count-1)
+	}
+
+	// Whole-file amortized budget: block transitions pay for buffer growth
+	// and the stdlib inflater's per-block Huffman tables, nothing scales
+	// with the record count.
+	n := len(recs)
+	allocs := testing.AllocsPerRun(2, func() {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if perRecord := allocs / float64(n); perRecord > 0.25 {
+		t.Errorf("%.4f allocs/record amortized (total %v over %d records)", perRecord, allocs, n)
+	}
+}
+
+func TestBlockedDeviceNameBoundary(t *testing.T) {
+	// The shared cap must round-trip at the boundary through every
+	// container, and be rejected at write time one byte past it.
+	atCap := strings.Repeat("d", maxDeviceName)
+	past := atCap + "x"
+	for _, format := range []Format{FormatFlat, FormatDeflate, FormatBlocked} {
+		var buf bytes.Buffer
+		w, err := NewFormatWriter(&buf, format, atCap, 7)
+		if err != nil {
+			t.Fatalf("%v: writer rejected %d-byte name: %v", format, maxDeviceName, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: reader rejected %d-byte name: %v", format, maxDeviceName, err)
+		}
+		if r.Device() != atCap {
+			t.Fatalf("%v: device name did not round-trip", format)
+		}
+		if _, err := NewFormatWriter(io.Discard, format, past, 7); err == nil {
+			t.Fatalf("%v: writer accepted %d-byte name the reader would refuse", format, len(past))
+		}
+	}
+}

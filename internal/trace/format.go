@@ -21,6 +21,11 @@ import (
 // — the collector in the paper stored months of packets per device.
 // The CRC32 (IEEE) covers the type byte and body, so a torn or corrupted
 // record is detected at read time rather than silently mis-parsed.
+//
+// Version 2 ("METR2") is the blocked container defined in block.go: the
+// same record bodies grouped into independently compressed, CRC-protected
+// blocks with a seekable footer index. NewReader accepts all three
+// containers transparently.
 
 // Format errors.
 var (
@@ -34,7 +39,85 @@ var (
 	magicFlat = []byte("METZ1\n") // DEFLATE-compressed container
 )
 
-const maxRecordLen = 1 << 20 // sanity cap: no record is near 1 MiB
+const (
+	maxRecordLen = 1 << 20 // sanity cap: no record is near 1 MiB
+
+	// maxDeviceName caps the header device field. The cap is enforced
+	// symmetrically: NewWriter and NewBlockWriter reject longer names, so
+	// no writer can produce a file a reader refuses to open.
+	maxDeviceName = 4096
+
+	// maxContainerDepth caps compressed-container nesting. Exactly one
+	// layer is legitimate (v1-deflate wraps a v1-flat stream); a file whose
+	// decompressed stream opens another container is crafted or corrupt,
+	// and following it would nest flate readers without bound.
+	maxContainerDepth = 1
+)
+
+// Format identifies an on-disk trace container.
+type Format uint8
+
+// Container formats, oldest first. All are sniffed by NewReader; writers
+// pick one explicitly.
+const (
+	FormatFlat    Format = iota // "METR1": uncompressed record stream
+	FormatDeflate               // "METZ1": one DEFLATE layer around a METR1 stream
+	FormatBlocked               // "METR2": blocked container with per-block CRC + footer index
+)
+
+// String names the format as accepted by ParseFormat.
+func (f Format) String() string {
+	switch f {
+	case FormatFlat:
+		return "flat"
+	case FormatDeflate:
+		return "deflate"
+	case FormatBlocked:
+		return "metr2"
+	default:
+		return fmt.Sprintf("format(%d)", uint8(f))
+	}
+}
+
+// ParseFormat parses a format name as used by the -format command flags.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "flat", "v1", "metr1":
+		return FormatFlat, nil
+	case "deflate", "v1z", "metz1":
+		return FormatDeflate, nil
+	case "metr2", "blocked", "v2":
+		return FormatBlocked, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want flat, deflate or metr2)", s)
+	}
+}
+
+// ioFailure reports whether err is a real I/O failure rather than an
+// EOF-shaped end of data. EOF-shaped errors indicate truncation or a short
+// file — corruption territory; anything else (a failing disk, a closed
+// socket) must be surfaced to the caller, not collapsed into a format error.
+func ioFailure(err error) bool {
+	return err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// mapReadErr classifies a read failure at a point in the stream: EOF-shaped
+// errors become eofAs (ErrBadMagic/ErrTruncated, depending on where the
+// stream ended), DEFLATE stream errors become ErrCorrupt, and genuine I/O
+// failures are wrapped with %w so callers can errors.Is/As the underlying
+// cause and distinguish a transient read failure from a corrupt file.
+func mapReadErr(err error, eofAs error, ctx string) error {
+	var ce flate.CorruptInputError
+	var ie flate.InternalError
+	switch {
+	case !ioFailure(err):
+		return eofAs
+	case errors.As(err, &ce), errors.As(err, &ie):
+		return fmt.Errorf("trace: %s: %v: %w", ctx, err, ErrCorrupt)
+	default:
+		return fmt.Errorf("trace: %s: %w", ctx, err)
+	}
+}
 
 // Writer streams trace records to an underlying io.Writer in METR format.
 // Records must be written in non-decreasing timestamp order for best
@@ -48,19 +131,36 @@ type Writer struct {
 	count   uint64
 }
 
+// checkDeviceName enforces the shared header cap at write time, so writers
+// cannot produce files the reader refuses to open.
+func checkDeviceName(device string) error {
+	if len(device) > maxDeviceName {
+		return fmt.Errorf("trace: device name is %d bytes, exceeds the %d-byte header cap", len(device), maxDeviceName)
+	}
+	return nil
+}
+
+// appendFileHeader appends the post-magic file header shared by every
+// container: deviceLen:uvarint device:bytes start:varint.
+func appendFileHeader(b []byte, device string, start Timestamp) []byte {
+	b = binary.AppendUvarint(b, uint64(len(device)))
+	b = append(b, device...)
+	b = binary.AppendVarint(b, int64(start))
+	return b
+}
+
 // NewWriter writes the file header for the given device and returns a
 // Writer. The caller must call Flush (or Close on the underlying file)
 // when done.
 func NewWriter(w io.Writer, device string, start Timestamp) (*Writer, error) {
+	if err := checkDeviceName(device); err != nil {
+		return nil, err
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magic); err != nil {
 		return nil, err
 	}
-	var hdr []byte
-	hdr = binary.AppendUvarint(hdr, uint64(len(device)))
-	hdr = append(hdr, device...)
-	hdr = binary.AppendVarint(hdr, int64(start))
-	if _, err := bw.Write(hdr); err != nil {
+	if _, err := bw.Write(appendFileHeader(nil, device, start)); err != nil {
 		return nil, err
 	}
 	return &Writer{w: bw, lastTS: start, scratch: make([]byte, 0, 4096)}, nil
@@ -89,6 +189,9 @@ func (w *Writer) Flush() error {
 // ("METZ1" magic). The reader auto-detects both forms. Compressed traces
 // are a few times smaller at some CPU cost.
 func NewCompressedWriter(w io.Writer, device string, start Timestamp) (*Writer, error) {
+	if err := checkDeviceName(device); err != nil {
+		return nil, err
+	}
 	if _, err := w.Write(magicFlat); err != nil {
 		return nil, err
 	}
@@ -274,39 +377,75 @@ type Reader struct {
 	device string
 	start  Timestamp
 	lastTS Timestamp
+	format Format
 	buf    []byte
 	rec    Record
+	blk    *blockDecoder // non-nil when reading a METR-2 container
 }
 
-// NewReader validates the header and returns a streaming Reader. Both the
-// plain ("METR1") and DEFLATE-compressed ("METZ1") containers are accepted.
-func NewReader(r io.Reader) (*Reader, error) {
+// NewReader validates the header and returns a streaming Reader. All three
+// containers are accepted: plain ("METR1"), DEFLATE-compressed ("METZ1")
+// and blocked ("METR2"). Blocked files are streamed block by block in file
+// order; use ReadFileParallel for index-driven parallel decoding.
+func NewReader(r io.Reader) (*Reader, error) { return newReader(r, 0) }
+
+func newReader(r io.Reader, depth int) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [6]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, ErrBadMagic
+		return nil, mapReadErr(err, ErrBadMagic, "reading magic")
 	}
-	if string(m[:]) == string(magicFlat) {
-		return NewReader(flate.NewReader(br))
-	}
-	for i := range m {
-		if m[i] != magic[i] {
-			return nil, ErrBadMagic
+	switch string(m[:]) {
+	case string(magicFlat):
+		if depth >= maxContainerDepth {
+			return nil, fmt.Errorf("trace: compressed container nested %d deep (max %d): %w",
+				depth+1, maxContainerDepth, ErrCorrupt)
 		}
-	}
-	dlen, err := binary.ReadUvarint(br)
-	if err != nil || dlen > 4096 {
+		return newReader(flate.NewReader(br), depth+1)
+	case string(magicBlocked):
+		if depth > 0 {
+			return nil, fmt.Errorf("trace: blocked container inside a compressed container: %w", ErrCorrupt)
+		}
+		device, start, err := readFileHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{device: device, start: start, format: FormatBlocked,
+			blk: newBlockDecoder(br)}, nil
+	case string(magic):
+		device, start, err := readFileHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		format := FormatFlat
+		if depth > 0 {
+			format = FormatDeflate
+		}
+		return &Reader{r: br, device: device, start: start, lastTS: start, format: format}, nil
+	default:
 		return nil, ErrBadMagic
+	}
+}
+
+// readFileHeader parses the post-magic header (device name, start
+// timestamp) shared by every container.
+func readFileHeader(br *bufio.Reader) (string, Timestamp, error) {
+	dlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, mapReadErr(err, ErrBadMagic, "reading header")
+	}
+	if dlen > maxDeviceName {
+		return "", 0, ErrBadMagic
 	}
 	dev := make([]byte, dlen)
 	if _, err := io.ReadFull(br, dev); err != nil {
-		return nil, ErrTruncated
+		return "", 0, mapReadErr(err, ErrTruncated, "reading header")
 	}
 	start, err := binary.ReadVarint(br)
 	if err != nil {
-		return nil, ErrTruncated
+		return "", 0, mapReadErr(err, ErrTruncated, "reading header")
 	}
-	return &Reader{r: br, device: string(dev), start: Timestamp(start), lastTS: Timestamp(start)}, nil
+	return string(dev), Timestamp(start), nil
 }
 
 // Device returns the device identifier from the file header.
@@ -315,20 +454,26 @@ func (r *Reader) Device() string { return r.device }
 // Start returns the trace start timestamp from the file header.
 func (r *Reader) Start() Timestamp { return r.start }
 
+// Format returns the container format the reader sniffed.
+func (r *Reader) Format() Format { return r.format }
+
 // Next returns the next record, or io.EOF at a clean end of stream. The
 // returned pointer and any Payload it carries are only valid until the next
 // call.
 func (r *Reader) Next() (*Record, error) {
+	if r.blk != nil {
+		return r.blk.next()
+	}
 	tb, err := r.r.ReadByte()
 	if err == io.EOF {
 		return nil, io.EOF
 	}
 	if err != nil {
-		return nil, err
+		return nil, mapReadErr(err, ErrTruncated, "reading record")
 	}
 	blen, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		return nil, ErrTruncated
+		return nil, mapReadErr(err, ErrTruncated, "reading record")
 	}
 	if blen > maxRecordLen {
 		return nil, ErrCorrupt
@@ -338,11 +483,11 @@ func (r *Reader) Next() (*Record, error) {
 	}
 	body := r.buf[:blen]
 	if _, err := io.ReadFull(r.r, body); err != nil {
-		return nil, ErrTruncated
+		return nil, mapReadErr(err, ErrTruncated, "reading record")
 	}
 	var crcb [4]byte
 	if _, err := io.ReadFull(r.r, crcb[:]); err != nil {
-		return nil, ErrTruncated
+		return nil, mapReadErr(err, ErrTruncated, "reading record")
 	}
 	crc := crc32.ChecksumIEEE([]byte{tb})
 	crc = crc32.Update(crc, crc32.IEEETable, body)

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"compress/flate"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -94,6 +96,108 @@ func TestTimestampDeltaEncoding(t *testing.T) {
 		if got.TS != want {
 			t.Errorf("record %d TS = %d, want %d", i, got.TS, want)
 		}
+	}
+}
+
+// nestedContainer builds a crafted file whose DEFLATE payload opens with
+// another compressed-container magic — the input that used to nest flate
+// readers without bound.
+func nestedContainer(depth int, inner []byte) []byte {
+	data := inner
+	for i := 0; i < depth; i++ {
+		var buf bytes.Buffer
+		buf.Write([]byte("METZ1\n"))
+		fw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+		fw.Write(data) //nolint:errcheck
+		fw.Close()     //nolint:errcheck
+		data = buf.Bytes()
+	}
+	return data
+}
+
+func TestNestedContainerRejected(t *testing.T) {
+	// One compression layer is the format (v1-deflate)...
+	valid := nestedContainer(1, writeAll(t, sampleRecords()))
+	if _, err := NewReader(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("single-layer container rejected: %v", err)
+	}
+	// ...any deeper nesting is crafted or corrupt and must be refused, not
+	// followed.
+	for depth := 2; depth <= 5; depth++ {
+		data := nestedContainer(depth, writeAll(t, sampleRecords()))
+		_, err := NewReader(bytes.NewReader(data))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("depth %d: err = %v, want ErrCorrupt", depth, err)
+		}
+	}
+	// A blocked container inside a compressed one is equally malformed.
+	var inner bytes.Buffer
+	bw, err := NewBlockWriter(&inner, "d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(nestedContainer(1, inner.Bytes()))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("blocked-in-compressed: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// failAfterReader serves its remaining bytes, then fails with err instead
+// of EOF — a stand-in for a disk read failing mid-stream.
+type failAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	k := copy(p, r.data)
+	r.data = r.data[k:]
+	return k, nil
+}
+
+func TestIOErrorNotCollapsed(t *testing.T) {
+	errDisk := errors.New("simulated disk failure")
+	data := writeAll(t, sampleRecords())
+
+	// Failure while reading the header: the underlying error must be
+	// reachable with errors.Is, and must NOT read as corruption.
+	for _, cut := range []int{2, 8, 14} {
+		_, err := NewReader(&failAfterReader{data: data[:cut], err: errDisk})
+		if !errors.Is(err, errDisk) {
+			t.Fatalf("cut=%d: err = %v, want wrapped errDisk", cut, err)
+		}
+		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: I/O failure reported as corruption: %v", cut, err)
+		}
+	}
+
+	// Failure mid-record: same contract on the Next path.
+	r, err := NewReader(&failAfterReader{data: data[:len(data)-10], err: errDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := r.Next()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errDisk) {
+			t.Fatalf("Next: err = %v, want wrapped errDisk", err)
+		}
+		if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Next: I/O failure reported as corruption: %v", err)
+		}
+		break
+	}
+
+	// Truncation (EOF-shaped) still reads as the format errors, unchanged.
+	if _, err := NewReader(bytes.NewReader(data[:3])); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("short magic: err = %v, want ErrBadMagic", err)
 	}
 }
 

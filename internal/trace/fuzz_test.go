@@ -21,6 +21,22 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte("METR1\n"))
 	f.Add([]byte{})
 
+	// Seed: a valid blocked (METR-2) trace, so the fuzzer explores the
+	// block decoder too.
+	var bbuf bytes.Buffer
+	bw, _ := NewBlockWriter(&bbuf, "dev", 1000)
+	bw.Write(&Record{Type: RecAppName, TS: 1000, App: 0, AppName: "com.a"})
+	bw.Write(&Record{Type: RecPacket, TS: 2000, App: 0, Dir: DirUp,
+		Net: NetCellular, State: StateService, Payload: []byte{0x45, 0, 0, 20}})
+	bw.Flush()
+	f.Add(bbuf.Bytes())
+
+	// Seed: the nesting attack — a compressed container whose decompressed
+	// stream opens another compressed container. The reader must reject it
+	// at the depth cap instead of nesting flate readers without bound.
+	f.Add(nestedContainer(3, buf.Bytes()))
+	f.Add(nestedContainer(1, bbuf.Bytes()))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {

@@ -107,31 +107,83 @@ func ReadFile(path string) (*DeviceTrace, error) {
 	return ReadAll(f)
 }
 
+// RecordWriter is the shared contract of the container writers (Writer,
+// BlockWriter): stream records, then Flush exactly once to finish the file.
+type RecordWriter interface {
+	Write(*Record) error
+	Flush() error
+	Count() uint64
+}
+
+// NewFormatWriter returns a RecordWriter producing the given container.
+func NewFormatWriter(w io.Writer, format Format, device string, start Timestamp) (RecordWriter, error) {
+	switch format {
+	case FormatFlat:
+		return NewWriter(w, device, start)
+	case FormatDeflate:
+		return NewCompressedWriter(w, device, start)
+	case FormatBlocked:
+		return NewBlockWriter(w, device, start)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %v", format)
+	}
+}
+
 // Serialize writes the whole DeviceTrace as a METR stream.
 func (dt *DeviceTrace) Serialize(w io.Writer) error {
-	tw, err := NewWriter(w, dt.Device, dt.Start)
-	if err != nil {
-		return err
-	}
-	return dt.writeRecords(tw)
+	return dt.SerializeFormat(w, FormatFlat)
 }
 
 // SerializeCompressed writes the trace in the DEFLATE-compressed container.
 func (dt *DeviceTrace) SerializeCompressed(w io.Writer) error {
-	tw, err := NewCompressedWriter(w, dt.Device, dt.Start)
+	return dt.SerializeFormat(w, FormatDeflate)
+}
+
+// SerializeBlocked writes the trace in the METR-2 blocked container.
+func (dt *DeviceTrace) SerializeBlocked(w io.Writer) error {
+	return dt.SerializeFormat(w, FormatBlocked)
+}
+
+// SerializeFormat writes the trace in the given container format.
+func (dt *DeviceTrace) SerializeFormat(w io.Writer, format Format) error {
+	tw, err := NewFormatWriter(w, format, dt.Device, dt.Start)
 	if err != nil {
 		return err
 	}
 	return dt.writeRecords(tw)
 }
 
-func (dt *DeviceTrace) writeRecords(tw *Writer) error {
+func (dt *DeviceTrace) writeRecords(tw RecordWriter) error {
 	for i := range dt.Records {
 		if err := tw.Write(&dt.Records[i]); err != nil {
 			return err
 		}
 	}
 	return tw.Flush()
+}
+
+// DetectFileFormat sniffs the container format of a trace file from its
+// magic bytes without decoding it.
+func DetectFileFormat(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var m [6]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return 0, mapReadErr(err, ErrBadMagic, "reading magic")
+	}
+	switch string(m[:]) {
+	case string(magic):
+		return FormatFlat, nil
+	case string(magicFlat):
+		return FormatDeflate, nil
+	case string(magicBlocked):
+		return FormatBlocked, nil
+	default:
+		return 0, ErrBadMagic
+	}
 }
 
 // Encode serialises the trace to a byte slice.

@@ -9,16 +9,40 @@
 # benchmark runs COUNT times and the fastest run is recorded, which damps
 # scheduler noise on shared machines.
 #
-# Usage: scripts/bench.sh [out.json]
+# After writing the new JSON the script compares it against the most
+# recent previous BENCH_*.json and fails on a >15% regression in the apply
+# budget pair (ns_per_op) or any decode throughput (decode_mbps) metric,
+# so a slow decoder can't land silently. -no-compare skips that gate
+# (first run on a new machine, or a deliberate trade-off).
+#
+# Usage: scripts/bench.sh [-no-compare] [out.json]
 #   BENCHTIME=2s COUNT=5 scripts/bench.sh   # longer, steadier runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_$(date +%F).json}
+COMPARE=1
+OUT=""
+for arg in "$@"; do
+  case "$arg" in
+    -no-compare) COMPARE=0 ;;
+    *) OUT=$arg ;;
+  esac
+done
+OUT=${OUT:-BENCH_$(date +%F).json}
 BENCHTIME=${BENCHTIME:-1s}
 COUNT=${COUNT:-3}
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+PREV=$(mktemp)
+trap 'rm -f "$RAW" "$PREV"' EXIT
+
+# Snapshot the newest previous run before $OUT overwrites it (same-day
+# reruns share the file name).
+PREV_NAME=""
+for f in $(ls -1t BENCH_*.json 2>/dev/null); do
+  PREV_NAME=$f
+  cp "$f" "$PREV"
+  break
+done
 
 echo "bench: hot-path packages (benchtime=$BENCHTIME count=$COUNT)" >&2
 go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" -count="$COUNT" \
@@ -26,12 +50,50 @@ go test -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" -count="$COUNT" \
 
 # The apply pair gets extra, longer samples: the overhead being measured
 # (~150ns per 20µs batch) is well under run-to-run scheduler jitter, so the
-# budget check needs many runs and takes the fastest of each.
+# budget check needs many runs and takes the fastest of each. On a noisy
+# (single-core, shared) machine even that flakes, so an over-budget
+# estimate triggers resampling: samples accumulate across attempts and
+# the fastest-of estimate only improves, so a genuine regression still
+# fails after APPLY_ATTEMPTS rounds.
 APPLY_BENCHTIME=${APPLY_BENCHTIME:-2s}
 APPLY_COUNT=${APPLY_COUNT:-5}
-echo "bench: apply budget pair (benchtime=$APPLY_BENCHTIME count=$APPLY_COUNT)" >&2
-go test -run '^$' -bench 'BenchmarkApply(Instrumented|Bare)$' -benchmem \
-  -benchtime="$APPLY_BENCHTIME" -count="$APPLY_COUNT" ./internal/ingest/ | tee -a "$RAW" >&2
+APPLY_ATTEMPTS=${APPLY_ATTEMPTS:-3}
+attempt=1
+while :; do
+  echo "bench: apply budget pair (benchtime=$APPLY_BENCHTIME count=$APPLY_COUNT attempt=$attempt/$APPLY_ATTEMPTS)" >&2
+  go test -run '^$' -bench 'BenchmarkApply(Instrumented|Bare)$' -benchmem \
+    -benchtime="$APPLY_BENCHTIME" -count="$APPLY_COUNT" ./internal/ingest/ | tee -a "$RAW" >&2
+  est=$(awk '
+    /^BenchmarkApply(Instrumented|Bare)/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = ""
+      for (i = 3; i < NF; i++) if ($(i+1) == "ns/op") ns = $i
+      if (ns != "" && (!(name in best) || ns + 0 < best[name] + 0)) best[name] = ns
+    }
+    END {
+      b = best["BenchmarkApplyBare"]; ins = best["BenchmarkApplyInstrumented"]
+      if (b + 0 > 0 && ins != "") printf "%.2f", 100 * (ins - b) / b
+    }' "$RAW")
+  if [ -z "$est" ] || awk -v p="$est" 'BEGIN { exit (p + 0 <= 3.0 ? 0 : 1) }'; then
+    break
+  fi
+  if [ "$attempt" -ge "$APPLY_ATTEMPTS" ]; then
+    break
+  fi
+  echo "bench: apply overhead estimate ${est}% over budget — resampling" >&2
+  attempt=$((attempt + 1))
+done
+
+# Container decode throughput: the v1 readers vs blocked METR-2, serial
+# and block-parallel. Each reports decode_mbps (flat-container MB of the
+# same logical records decoded per second), so the formats are directly
+# comparable; the fixture is ~50 MB, so a few fixed iterations beat a
+# time-based budget here.
+TRACE_BENCHTIME=${TRACE_BENCHTIME:-3x}
+TRACE_COUNT=${TRACE_COUNT:-3}
+echo "bench: trace container decode (benchtime=$TRACE_BENCHTIME count=$TRACE_COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkDecode' -benchmem \
+  -benchtime="$TRACE_BENCHTIME" -count="$TRACE_COUNT" ./internal/trace/ | tee -a "$RAW" >&2
 
 echo "bench: paper-artifact benchmarks (1 iteration each)" >&2
 go test -run '^$' -bench . -benchmem -benchtime=1x . | tee -a "$RAW" >&2
@@ -55,11 +117,12 @@ BEGIN { n = 0 }
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
-  ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""
+  ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""; mbps = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     else if ($(i+1) == "B/op") bop = $i
     else if ($(i+1) == "allocs/op") aop = $i
+    else if ($(i+1) == "decode_mbps") mbps = $i
     else if ($(i+1) ~ /\//) { extra_k = $(i+1); extra_v = $i }
   }
   if (ns == "") next
@@ -69,6 +132,7 @@ BEGIN { n = 0 }
     line = sprintf("    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", pkg, name, ns)
     if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
     if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+    if (mbps != "") line = line sprintf(", \"decode_mbps\": %s", mbps)
     if (extra_k != "") line = line sprintf(", \"%s\": %s", extra_k, extra_v)
     line = line "}"
     out[key] = line
@@ -101,4 +165,45 @@ if [ -n "$pct" ]; then
     exit 1
   }
   echo "bench: apply instrumentation overhead ${pct}% (budget 3%)" >&2
+fi
+
+# Trajectory gate: compare against the previous run. The apply pair may
+# not get >15% slower (ns_per_op up) and no decode throughput may drop
+# >15% (decode_mbps down); metrics absent from either side are skipped,
+# so the first run that introduces a benchmark just records its baseline.
+if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
+  echo "bench: comparing against $PREV_NAME (fail on >15% regression; -no-compare skips)" >&2
+  awk '
+  function metric(line, key,   m) {
+    if (match(line, "\"" key "\": [0-9.]+")) {
+      m = substr(line, RSTART, RLENGTH)
+      sub("\"" key "\": ", "", m)
+      return m
+    }
+    return ""
+  }
+  /"name": / {
+    if (!match($0, /"name": "[^"]+"/)) next
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (FNR == NR) {
+      old_ns[name] = metric($0, "ns_per_op")
+      old_mbps[name] = metric($0, "decode_mbps")
+      next
+    }
+    ns = metric($0, "ns_per_op"); mbps = metric($0, "decode_mbps")
+    if (name ~ /^BenchmarkApply(Instrumented|Bare)$/ && ns != "" && old_ns[name] != "" && old_ns[name] + 0 > 0) {
+      pct = 100 * (ns - old_ns[name]) / old_ns[name]
+      printf "bench: %s ns_per_op %s -> %s (%+.1f%%)\n", name, old_ns[name], ns, pct > "/dev/stderr"
+      if (pct > 15) { printf "bench: FAIL %s regressed %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
+    }
+    if (mbps != "" && old_mbps[name] != "" && old_mbps[name] + 0 > 0) {
+      pct = 100 * (old_mbps[name] - mbps) / old_mbps[name]
+      printf "bench: %s decode_mbps %s -> %s (%+.1f%% throughput)\n", name, old_mbps[name], mbps, -pct > "/dev/stderr"
+      if (pct > 15) { printf "bench: FAIL %s decode throughput fell %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
+    }
+  }
+  END { exit bad ? 1 : 0 }
+  ' "$PREV" "$OUT" || { echo "bench: FAIL regression vs $PREV_NAME" >&2; exit 1; }
+elif [ "$COMPARE" = 1 ]; then
+  echo "bench: no previous BENCH_*.json to compare against" >&2
 fi
