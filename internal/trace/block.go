@@ -289,7 +289,10 @@ func readBlockHeader(br *bufio.Reader) (blockHeader, error) {
 	if err != nil {
 		return h, mapReadErr(err, ErrTruncated, "reading block header")
 	}
-	if count > ulen/2+1 { // every record frame is at least 2 bytes
+	// Every record frame is at least 2 bytes, and every uncompressed byte
+	// must belong to a declared record (trailing undeclared bytes are
+	// rejected after decoding, so a zero-count block cannot smuggle any).
+	if count > ulen/2+1 || (count == 0 && ulen != 0) {
 		return h, ErrCorrupt
 	}
 	h.ulen, h.clen, h.crc = int(ulen), int(clen), binary.LittleEndian.Uint32(crcb[:])
@@ -373,7 +376,10 @@ func (d *blockDecoder) next() (*Record, error) {
 	d.pos += n
 	d.last = ts
 	d.left--
-	if d.left == 0 && ts != d.blkLast {
+	// The last record must land exactly on the block's declared end state:
+	// a timestamp mismatch or leftover undeclared bytes mean the block was
+	// crafted or mis-framed.
+	if d.left == 0 && (ts != d.blkLast || d.pos != len(d.raw)) {
 		return nil, ErrCorrupt
 	}
 	return rec, nil
@@ -456,10 +462,20 @@ func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp,
 		p = p[n:]
 		return v, true
 	}
+	// Each index entry is at least 6 bytes (six single-byte varints), so the
+	// remaining index bytes bound the entry count — the pre-allocation below
+	// can never exceed the index's own size.
 	count, okc := readU()
-	if !okc || count > uint64(size) {
+	if !okc || count > uint64(idxLen)/6 {
 		return "", 0, nil, false, ErrCorrupt
 	}
+	// dataEnd is the first byte past the last block (the index tag). Every
+	// field below comes from the (CRC-intact but possibly crafted) index, so
+	// offsets must be strictly increasing within [1, dataEnd) and record
+	// counts must satisfy the same minimum-2-bytes-per-frame invariant the
+	// block headers enforce — otherwise a tiny file could declare arbitrary
+	// offsets/counts and drive unbounded allocations downstream.
+	dataEnd := size - footerLen - idxLen
 	blocks = make([]BlockInfo, 0, count)
 	prev := int64(0)
 	for i := uint64(0); i < count; i++ {
@@ -470,7 +486,10 @@ func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp,
 		lt, ok5 := readS()
 		rc, ok6 := readU()
 		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 ||
-			ul > maxBlockLen || cl > maxBlockLen {
+			ul > maxBlockLen || cl > maxBlockLen || rc > ul/2+1 {
+			return "", 0, nil, false, ErrCorrupt
+		}
+		if od == 0 || od >= uint64(dataEnd) || int64(od) > dataEnd-1-prev {
 			return "", 0, nil, false, ErrCorrupt
 		}
 		prev += int64(od)
@@ -545,7 +564,7 @@ func parseBlockHeader(b []byte) (blockHeader, int, error) {
 		return h, 0, ErrTruncated
 	}
 	p = p[n5:]
-	if count > ulen/2+1 {
+	if count > ulen/2+1 || (count == 0 && ulen != 0) {
 		return h, 0, ErrCorrupt
 	}
 	h.ulen, h.clen, h.crc = int(ulen), int(clen), crc
@@ -611,7 +630,7 @@ func decodeBlockAt(ra io.ReaderAt, b BlockInfo, next int64, dst []Record) error 
 		pos += n
 		last = ts
 	}
-	if last != h.lastTS {
+	if last != h.lastTS || pos != len(raw) {
 		return ErrCorrupt
 	}
 	return nil

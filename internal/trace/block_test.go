@@ -2,6 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -311,6 +315,148 @@ func TestBlockDecodeAllocFree(t *testing.T) {
 	})
 	if perRecord := allocs / float64(n); perRecord > 0.25 {
 		t.Errorf("%.4f allocs/record amortized (total %v over %d records)", perRecord, allocs, n)
+	}
+}
+
+// rawIndexEntry is one hand-crafted footer-index entry, fields as encoded.
+type rawIndexEntry struct {
+	od, ul, cl, rc uint64
+	ft, lt         int64
+}
+
+// craftIndexFile assembles a METR-2 file consisting of only the header and
+// a CRC-intact footer index carrying the given raw entries (declaredCount
+// is what the index claims, independent of len(entries)). No blocks are
+// written: the point is to probe ReadBlockIndex's validation of
+// attacker-controlled index fields before any allocation they size.
+func craftIndexFile(declaredCount uint64, entries []rawIndexEntry) []byte {
+	out := append([]byte(nil), magicBlocked...)
+	out = appendFileHeader(out, "d", 0)
+	idx := []byte{indexTag}
+	idx = binary.AppendUvarint(idx, declaredCount)
+	for _, e := range entries {
+		idx = binary.AppendUvarint(idx, e.od)
+		idx = binary.AppendUvarint(idx, e.ul)
+		idx = binary.AppendUvarint(idx, e.cl)
+		idx = binary.AppendVarint(idx, e.ft)
+		idx = binary.AppendVarint(idx, e.lt)
+		idx = binary.AppendUvarint(idx, e.rc)
+	}
+	idx = binary.LittleEndian.AppendUint64(idx, uint64(len(idx)))
+	idx = binary.LittleEndian.AppendUint32(idx, crc32.Checksum(idx[:len(idx)-8], castagnoli))
+	idx = append(idx, footerMagic...)
+	return append(out, idx...)
+}
+
+// TestBlockIndexRejectsCraftedEntries pins the fix for two OOM bugs: a
+// tiny file whose CRC-valid index declared a huge block offset or record
+// count made ReadBlockIndex/ReadFileParallel size allocations from those
+// fields (make([]byte, offset) resp. make([]Record, count)) and abort the
+// process. Every crafted variant must come back as ErrCorrupt instead.
+func TestBlockIndexRejectsCraftedEntries(t *testing.T) {
+	cases := []struct {
+		name    string
+		count   uint64
+		entries []rawIndexEntry
+	}{
+		{"offset far beyond file size", 1,
+			[]rawIndexEntry{{od: 1 << 40, ul: 16, cl: 16, rc: 1}}},
+		{"offset delta overflows negative", 2,
+			[]rawIndexEntry{{od: 5, ul: 16, cl: 16, rc: 1}, {od: 1 << 63, ul: 16, cl: 16, rc: 1}}},
+		{"zero offset delta (not strictly increasing)", 2,
+			[]rawIndexEntry{{od: 5, ul: 16, cl: 16, rc: 1}, {od: 0, ul: 16, cl: 16, rc: 1}}},
+		{"record count bomb", 1,
+			[]rawIndexEntry{{od: 5, ul: 16, cl: 16, rc: 1 << 50}}},
+		{"declared count exceeds index capacity", 1 << 40, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := craftIndexFile(tc.count, tc.entries)
+			_, _, _, ok, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+			if ok || !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("ok=%v err=%v, want ok=false ErrCorrupt", ok, err)
+			}
+		})
+	}
+}
+
+// craftBlockFile assembles a METR-2 file with a single hand-built block
+// (raw is the uncompressed frame stream, count/first/last the declared
+// header fields) plus a matching CRC-intact footer index.
+func craftBlockFile(raw []byte, count int, first, last Timestamp) []byte {
+	var comp bytes.Buffer
+	fw, _ := flate.NewWriter(&comp, flate.BestSpeed)
+	fw.Write(raw)
+	fw.Close()
+	payload := comp.Bytes()
+
+	out := append([]byte(nil), magicBlocked...)
+	out = appendFileHeader(out, "d", 0)
+	blkOff := int64(len(out))
+	out = append(out, blockTag)
+	out = binary.AppendUvarint(out, uint64(len(raw)))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	out = binary.AppendVarint(out, int64(first))
+	out = binary.AppendVarint(out, int64(last))
+	out = binary.AppendUvarint(out, uint64(count))
+	out = append(out, payload...)
+
+	idx := []byte{indexTag}
+	idx = binary.AppendUvarint(idx, 1)
+	idx = binary.AppendUvarint(idx, uint64(blkOff))
+	idx = binary.AppendUvarint(idx, uint64(len(raw)))
+	idx = binary.AppendUvarint(idx, uint64(len(payload)))
+	idx = binary.AppendVarint(idx, int64(first))
+	idx = binary.AppendVarint(idx, int64(last))
+	idx = binary.AppendUvarint(idx, 1)
+	idx = binary.LittleEndian.AppendUint64(idx, uint64(len(idx)))
+	idx = binary.LittleEndian.AppendUint32(idx, crc32.Checksum(idx[:len(idx)-8], castagnoli))
+	idx = append(idx, footerMagic...)
+	return append(out, idx...)
+}
+
+// TestBlockTrailingBytesRejected pins the fix for silent trailing bytes: a
+// block whose uncompressed payload carries bytes past the last declared
+// record must fail as ErrCorrupt on both the streaming and the indexed
+// parallel path (and the same block without the trailing bytes must read
+// cleanly, proving the check is not over-strict).
+func TestBlockTrailingBytesRejected(t *testing.T) {
+	// One RecScreen record at ts=100: frame = type, bodyLen, body
+	// (body = tsDelta:varint(0) + on:byte).
+	frame := []byte{byte(RecScreen), 0x02, 0x00, 0x01}
+
+	readAllVia := func(t *testing.T, data []byte) error {
+		t.Helper()
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+
+	clean := craftBlockFile(frame, 1, 100, 100)
+	if err := readAllVia(t, clean); err != nil {
+		t.Fatalf("clean crafted block: %v", err)
+	}
+
+	dirty := craftBlockFile(append(append([]byte(nil), frame...), 0xAA, 0xBB), 1, 100, 100)
+	if err := readAllVia(t, dirty); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("streaming: err=%v, want ErrCorrupt", err)
+	}
+	path := filepath.Join(t.TempDir(), "u.metr")
+	if err := os.WriteFile(path, dirty, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileParallel(path, 4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("parallel: err=%v, want ErrCorrupt", err)
 	}
 }
 

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -52,6 +54,54 @@ func FuzzReader(f *testing.F) {
 			}
 			if rec.Type == RecPacket && len(rec.Payload) > maxRecordLen {
 				t.Fatalf("oversized payload accepted: %d", len(rec.Payload))
+			}
+		}
+	})
+}
+
+// FuzzReadFileParallel feeds arbitrary bytes to the seeking (footer-index)
+// path used by core.OpenParallel — ReadBlockIndex plus the parallel block
+// decode. Every input must yield records or a clean error, never a panic
+// or an allocation sized by attacker-controlled index fields (the index is
+// CRC-protected against corruption, not against being crafted whole).
+func FuzzReadFileParallel(f *testing.F) {
+	// Seed: a valid multi-block METR-2 file so the fuzzer starts from an
+	// intact footer index and mutates its fields.
+	var bbuf bytes.Buffer
+	bw, _ := NewBlockWriter(&bbuf, "dev", 1000)
+	bw.Write(&Record{Type: RecAppName, TS: 1000, App: 0, AppName: "com.a"})
+	bw.Write(&Record{Type: RecPacket, TS: 2000, App: 0, Dir: DirUp,
+		Net: NetCellular, State: StateService, Payload: []byte{0x45, 0, 0, 20}})
+	bw.Write(&Record{Type: RecScreen, TS: 3000, ScreenOn: true})
+	bw.Flush()
+	f.Add(bbuf.Bytes())
+
+	// Seed: a v1 file, covering the streaming fallback behind the same API.
+	var vbuf bytes.Buffer
+	w, _ := NewWriter(&vbuf, "dev", 1000)
+	w.Write(&Record{Type: RecScreen, TS: 2000, ScreenOn: true})
+	w.Flush()
+	f.Add(vbuf.Bytes())
+
+	// Seeds: the two index attacks from the bug sweep — a crafted footer
+	// declaring a ~1 TiB block offset resp. a 2^50 record count, each of
+	// which previously drove a fatal OOM out of a ~30-byte file.
+	f.Add(craftIndexFile(1, []rawIndexEntry{{od: 1 << 40, ul: 16, cl: 16, rc: 1}}))
+	f.Add(craftIndexFile(1, []rawIndexEntry{{od: 5, ul: 16, cl: 16, rc: 1 << 50}}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.metr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dt, err := ReadFileParallel(path, 4)
+		if err != nil {
+			return
+		}
+		for i := range dt.Records {
+			if dt.Records[i].Type == RecPacket && len(dt.Records[i].Payload) > maxRecordLen {
+				t.Fatalf("oversized payload accepted: %d", len(dt.Records[i].Payload))
 			}
 		}
 	})
