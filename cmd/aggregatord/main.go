@@ -1,0 +1,124 @@
+// Command aggregatord is the fleet-wide merge daemon for a multi-node
+// ingest cluster: it probes every configured ingestd's admin endpoint for
+// liveness, periodically pulls each live node's binary StreamResult
+// snapshot, merges them into one fleet headline, and serves the result
+// over HTTP. It also owns the ownership-handoff trigger: when a member is
+// declared dead, its latest checkpoint file is shipped to the survivors
+// (given -handoff-dirs pointing at the nodes' checkpoint directories,
+// e.g. on shared storage).
+//
+// Usage:
+//
+//	aggregatord -listen :9020 \
+//	  -cluster n1=h1:9009/h1:9010,n2=h2:9009/h2:9010,n3=h3:9009/h3:9010 \
+//	  -handoff-dirs n1=/var/lib/ingestd-n1,n2=/var/lib/ingestd-n2,n3=/var/lib/ingestd-n3
+//	curl http://localhost:9020/headline   # merged fleet headline
+//	curl http://localhost:9020/metrics    # aggregator_* exposition
+//	curl http://localhost:9020/nodes      # membership status + epoch
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netenergy/internal/cluster"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", ":9020", "HTTP listen address")
+		clusterFlag   = flag.String("cluster", "", "member list: id=streamHost:port/adminHost:port,... (required)")
+		interval      = flag.Duration("interval", 2*time.Second, "snapshot pull-and-merge cadence")
+		heartbeat     = flag.Duration("heartbeat", time.Second, "liveness probe cadence for healthy members")
+		probeMax      = flag.Duration("probe-max", 0, "re-probe interval cap for dead members (0: 10x heartbeat)")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures that declare a member dead")
+		handoffDirs   = flag.String("handoff-dirs", "", "id=checkpointDir,... for dead-member checkpoint handoff")
+	)
+	flag.Parse()
+
+	members, err := cluster.ParseMembers(*clusterFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggregatord:", err)
+		os.Exit(1)
+	}
+	dirs, err := parseDirs(*handoffDirs, members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggregatord:", err)
+		os.Exit(1)
+	}
+
+	prober := cluster.NewProber(cluster.ProberConfig{
+		Members:       members,
+		Interval:      *heartbeat,
+		MaxInterval:   *probeMax,
+		FailThreshold: *failThreshold,
+	})
+	prober.Start()
+	agg := cluster.NewAggregator(cluster.AggregatorConfig{
+		Prober:      prober,
+		Interval:    *interval,
+		HandoffDirs: dirs,
+	})
+	agg.Start()
+
+	srv := &http.Server{Addr: *listen, Handler: agg.Mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("aggregatord: serving on %s, %d members, pulling every %s\n",
+		*listen, len(members), *interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "aggregatord:", err)
+		prober.Stop()
+		agg.Stop()
+		os.Exit(1)
+	}
+	fmt.Println("aggregatord: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck // best effort
+	agg.Stop()
+	prober.Stop()
+	if h, ok := agg.Headline(); ok {
+		fmt.Printf("aggregatord: final fleet headline: %d devices, %d records, %.0f J (epoch %d, %d nodes live)\n",
+			h.Devices, h.Records, h.TotalEnergyJ, h.Epoch, h.NodesLive)
+	}
+}
+
+// parseDirs parses "id=dir,..." and validates every id names a member.
+func parseDirs(s string, members []cluster.Member) (map[string]string, error) {
+	out := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	ids := map[string]bool{}
+	for _, m := range members {
+		ids[m.ID] = true
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, dir, ok := strings.Cut(part, "=")
+		if !ok || id == "" || dir == "" {
+			return nil, fmt.Errorf("handoff-dirs entry %q: want id=dir", part)
+		}
+		if !ids[id] {
+			return nil, fmt.Errorf("handoff-dirs entry %q: unknown member %q", part, id)
+		}
+		out[id] = dir
+	}
+	return out, nil
+}

@@ -21,6 +21,19 @@
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // severs device connections, flushes every shard queue, finalises all
 // device streams and prints the final fleet headline before exiting.
+//
+// Cluster mode joins N daemons into one fleet:
+//
+//	ingestd -node-id n1 -cluster n1=h1:9009/h1:9010,n2=h2:9009/h2:9010,n3=h3:9009/h3:9010 \
+//	  -checkpoint-dir /var/lib/ingestd-n1
+//
+// The member entry for -node-id supplies the listen addresses. Each node
+// probes its peers' admin endpoints, owns the devices the shared
+// consistent-hash ring assigns to its live view, and answers handshakes
+// for foreign devices with a redirect ack naming the owner. On graceful
+// drain the node ships its final checkpoint to the live peers
+// (-handoff-on-drain), so its devices' state moves to the new owners
+// without waiting for an aggregatord-triggered handoff.
 package main
 
 import (
@@ -32,7 +45,9 @@ import (
 	"syscall"
 	"time"
 
+	"netenergy/internal/cluster"
 	"netenergy/internal/ingest"
+	"netenergy/internal/ingest/checkpoint"
 )
 
 func main() {
@@ -50,10 +65,17 @@ func main() {
 		rateLimit    = flag.Float64("rate-limit", 0, "per-device connection admissions per second (0: unlimited)")
 		rateBurst    = flag.Int("rate-burst", 3, "per-device admission token-bucket depth")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under the admin server's /debug/pprof/")
+
+		nodeID        = flag.String("node-id", "", "this node's ID in -cluster (enables cluster mode)")
+		clusterFlag   = flag.String("cluster", "", "member list: id=streamHost:port/adminHost:port,...")
+		heartbeat     = flag.Duration("heartbeat", time.Second, "peer liveness probe cadence")
+		probeMax      = flag.Duration("probe-max", 0, "re-probe interval cap for dead peers (0: 10x heartbeat)")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures that declare a peer dead")
+		handoffDrain  = flag.Bool("handoff-on-drain", true, "ship the final checkpoint to live peers on graceful drain (cluster mode)")
 	)
 	flag.Parse()
 
-	srv := ingest.NewServer(ingest.Config{
+	cfg := ingest.Config{
 		Addr:               *listen,
 		AdminAddr:          *admin,
 		Shards:             *shards,
@@ -65,10 +87,49 @@ func main() {
 		RateLimit:          *rateLimit,
 		RateBurst:          *rateBurst,
 		EnablePprof:        *pprofOn,
-	})
+	}
+
+	// Cluster mode: the member entry for -node-id supplies the listen
+	// addresses, and the live membership view supplies the routing hook.
+	var prober *cluster.Prober
+	var self cluster.Member
+	if (*nodeID == "") != (*clusterFlag == "") {
+		fmt.Fprintln(os.Stderr, "ingestd: -node-id and -cluster must be set together")
+		os.Exit(1)
+	}
+	if *nodeID != "" {
+		members, err := cluster.ParseMembers(*clusterFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd:", err)
+			os.Exit(1)
+		}
+		m, ok := cluster.MemberByID(members, *nodeID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ingestd: node-id %q not in -cluster\n", *nodeID)
+			os.Exit(1)
+		}
+		self = m
+		cfg.Addr = self.Stream
+		cfg.AdminAddr = self.Admin
+		cfg.NodeID = self.ID
+		prober = cluster.NewProber(cluster.ProberConfig{
+			Members:       members,
+			Interval:      *heartbeat,
+			MaxInterval:   *probeMax,
+			FailThreshold: *failThreshold,
+		})
+		cfg.Route = cluster.NewView(self, prober).Route
+	}
+
+	srv := ingest.NewServer(cfg)
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "ingestd:", err)
 		os.Exit(1)
+	}
+	if prober != nil {
+		prober.Start()
+		defer prober.Stop()
+		fmt.Printf("ingestd: cluster node %s joined (heartbeat %s)\n", self.ID, *heartbeat)
 	}
 	fmt.Printf("ingestd: streaming on %s", srv.Addr())
 	if a := srv.AdminAddr(); a != nil {
@@ -103,4 +164,46 @@ func main() {
 		st.Devices, st.Records, st.Bytes, st.CRCErrors, st.DecodeErrors)
 	fmt.Printf("final headline: %.0f J attributed, background fraction %.3f, first-minute %.3f, screen-off bytes %.1f%%\n",
 		h.TotalEnergyJ, h.BackgroundFraction, h.FirstMinuteFraction, 100*h.ScreenOffByteShare)
+
+	// Cluster drain handoff: ship the final checkpoint (written by
+	// Shutdown above) to the live peers so this node's devices resume on
+	// their new owners without waiting for a dead-member detection cycle.
+	if prober != nil && *handoffDrain && *ckptDir != "" {
+		shipDrainCheckpoint(prober, self, *ckptDir)
+	}
+}
+
+// shipDrainCheckpoint delivers this node's latest checkpoint to every live
+// peer (self excluded).
+func shipDrainCheckpoint(prober *cluster.Prober, self cluster.Member, dir string) {
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: drain handoff:", err)
+		return
+	}
+	file, gen, err := store.LoadLatestRaw()
+	if err != nil || file == nil {
+		fmt.Fprintln(os.Stderr, "ingestd: drain handoff: no valid checkpoint to ship")
+		return
+	}
+	var peers []cluster.Member
+	for _, m := range prober.Live() {
+		if m.ID != self.ID {
+			peers = append(peers, m)
+		}
+	}
+	if len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "ingestd: drain handoff: no live peers")
+		return
+	}
+	results, err := cluster.ShipCheckpoint(nil, file, peers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: drain handoff:", err)
+	}
+	var adopted int
+	for _, r := range results {
+		adopted += r.AcceptedDevices
+	}
+	fmt.Printf("ingestd: drain handoff shipped checkpoint gen %d to %d peers (%d device states adopted)\n",
+		gen, len(results), adopted)
 }

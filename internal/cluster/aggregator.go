@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/ingest"
+	"netenergy/internal/ingest/checkpoint"
+	"netenergy/internal/obs"
+)
+
+// AggregatorConfig tunes the fleet aggregator. Zero values select defaults.
+type AggregatorConfig struct {
+	// Prober supplies the live set and epoch (required).
+	Prober *Prober
+	// Interval is the pull-and-merge cadence (default 2s).
+	Interval time.Duration
+	// Timeout bounds one node's snapshot pull (default 10s).
+	Timeout time.Duration
+	// HandoffDirs maps member IDs to their checkpoint directories. When a
+	// member transitions alive→dead, the aggregator reads that node's
+	// latest valid checkpoint file and ships it to every survivor — the
+	// ownership-handoff trigger. Members without an entry rely purely on
+	// client retransmission after a death (records since their last ack
+	// are replayed to the new owners; finalized history is lost).
+	HandoffDirs map[string]string
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// NodeContribution is one node's share of a merged fleet headline.
+type NodeContribution struct {
+	NodeID  string `json:"node_id"`
+	Devices int    `json:"devices"`
+	Records int64  `json:"records"`
+}
+
+// FleetHeadline is the aggregator's /headline document: the single-node
+// LiveHeadline evaluated over the merge of every live node's snapshot,
+// stamped with the membership epoch and the per-node contributions that
+// make double-count bugs attributable.
+type FleetHeadline struct {
+	ingest.LiveHeadline
+	Epoch     uint64             `json:"epoch"`
+	NodesLive int                `json:"nodes_live"`
+	Nodes     []NodeContribution `json:"nodes"`
+}
+
+// Aggregator periodically pulls each live node's binary StreamResult
+// snapshot over the admin surface, CRC-checks it, and merges the set into
+// one fleet-wide headline. Each cycle is a fresh pull-and-merge — no
+// incremental state — so a cycle observed after the fleet settles is exact
+// regardless of what churn happened before it. The aggregator also owns
+// the handoff trigger: when the prober declares a member dead, its last
+// checkpoint file is shipped to the survivors (see ShipCheckpoint).
+type Aggregator struct {
+	cfg    AggregatorConfig
+	client *http.Client
+	reg    *obs.Registry
+	events *obs.EventLog
+
+	mergeSeconds  *obs.Histogram
+	pulls         *obs.Counter
+	pullErrors    *obs.Counter
+	handoffs      *obs.Counter
+	handoffErrors *obs.Counter
+	gRecords      *obs.Gauge
+	gDevices      *obs.Gauge
+	gNodesLive    *obs.Gauge
+	gEpoch        *obs.Gauge
+	nodeRecords   map[string]*obs.Gauge
+
+	mu       sync.RWMutex
+	headline FleetHeadline
+	have     bool
+	prevLive map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// nodePull is one node's decoded snapshot contribution.
+type nodePull struct {
+	id      string
+	devices int
+	records int64
+	res     *analysis.StreamResult
+}
+
+// NewAggregator builds an aggregator over the prober's membership.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	cfg = cfg.withDefaults()
+	reg := obs.New()
+	a := &Aggregator{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.Timeout},
+		reg:    reg,
+		events: obs.NewEventLog(256),
+
+		mergeSeconds:  reg.Histogram("aggregator_merge_seconds", "one pull-and-merge cycle duration", obs.DurationBuckets()),
+		pulls:         reg.Counter("aggregator_pulls_total", "successful node snapshot pulls"),
+		pullErrors:    reg.Counter("aggregator_pull_errors_total", "failed node snapshot pulls"),
+		handoffs:      reg.Counter("aggregator_handoffs_total", "checkpoint handoffs shipped for dead members"),
+		handoffErrors: reg.Counter("aggregator_handoff_errors_total", "checkpoint handoffs that failed"),
+		gRecords:      reg.Gauge("aggregator_records", "fleet records at the last merge"),
+		gDevices:      reg.Gauge("aggregator_devices", "fleet devices at the last merge"),
+		gNodesLive:    reg.Gauge("aggregator_nodes_live", "live members at the last merge"),
+		gEpoch:        reg.Gauge("aggregator_epoch", "membership epoch at the last merge"),
+		nodeRecords:   map[string]*obs.Gauge{},
+
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, m := range cfg.Prober.Members() {
+		a.nodeRecords[m.ID] = reg.Gauge(
+			fmt.Sprintf("aggregator_node_records{node=%q}", m.ID),
+			"records contributed by one node at the last merge")
+	}
+	a.events.RegisterEventMetrics(reg, "aggregator_events_total", "events logged by level")
+	return a
+}
+
+// Metrics returns the aggregator's registry (the /metrics content).
+func (a *Aggregator) Metrics() *obs.Registry { return a.reg }
+
+// Events returns the aggregator's structured event log.
+func (a *Aggregator) Events() *obs.EventLog { return a.events }
+
+// Start launches the periodic pull loop.
+func (a *Aggregator) Start() { go a.run() }
+
+// Stop halts the pull loop and waits for it to exit. Idempotent.
+func (a *Aggregator) Stop() {
+	a.once.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+func (a *Aggregator) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	a.PullOnce()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.PullOnce()
+		}
+	}
+}
+
+// PullOnce runs one pull-and-merge cycle (and the handoff check) and
+// returns the resulting fleet headline. Nodes that fail to deliver a
+// valid, CRC-clean snapshot are dropped from this cycle and counted — a
+// corrupt snapshot must never blend into the merge.
+func (a *Aggregator) PullOnce() FleetHeadline {
+	t0 := time.Now()
+	live := a.cfg.Prober.Live()
+	epoch := a.cfg.Prober.Epoch()
+	merged := analysis.NewStreamResult("fleet")
+	contribs := make([]NodeContribution, 0, len(live))
+	var devices int
+	var records int64
+	for _, m := range live {
+		np, err := a.pullNode(m)
+		if err != nil {
+			a.pullErrors.Inc()
+			a.events.Logf(obs.LevelWarn, "pull %s: %v", m.ID, err)
+			continue
+		}
+		a.pulls.Inc()
+		merged.Merge(np.res)
+		devices += np.devices
+		records += np.records
+		contribs = append(contribs, NodeContribution{NodeID: np.id, Devices: np.devices, Records: np.records})
+		if g := a.nodeRecords[m.ID]; g != nil {
+			g.Set(np.records)
+		}
+	}
+	a.mergeSeconds.Observe(time.Since(t0).Seconds())
+
+	h := FleetHeadline{
+		LiveHeadline: ingest.HeadlineOf(merged, devices, records),
+		Epoch:        epoch,
+		NodesLive:    len(live),
+		Nodes:        contribs,
+	}
+	h.NodeID = "fleet"
+	a.gRecords.Set(records)
+	a.gDevices.Set(int64(devices))
+	a.gNodesLive.Set(int64(len(live)))
+	a.gEpoch.Set(int64(epoch))
+
+	a.mu.Lock()
+	a.headline = h
+	a.have = true
+	a.mu.Unlock()
+
+	a.checkHandoff(live)
+	return h
+}
+
+// pullNode fetches and verifies one node's snapshot.
+func (a *Aggregator) pullNode(m Member) (nodePull, error) {
+	resp, err := a.client.Get("http://" + m.Admin + "/snapshot")
+	if err != nil {
+		return nodePull{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nodePull{}, fmt.Errorf("snapshot status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nodePull{}, err
+	}
+	wantCRC, err := strconv.ParseUint(resp.Header.Get("X-Snapshot-CRC32"), 10, 32)
+	if err != nil {
+		return nodePull{}, fmt.Errorf("snapshot crc header: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != uint32(wantCRC) {
+		return nodePull{}, fmt.Errorf("snapshot crc mismatch (%d bytes)", len(body))
+	}
+	res, err := analysis.DecodeStreamResult(body)
+	if err != nil {
+		return nodePull{}, err
+	}
+	devices, err := strconv.Atoi(resp.Header.Get("X-Devices"))
+	if err != nil {
+		return nodePull{}, fmt.Errorf("snapshot devices header: %w", err)
+	}
+	records, err := strconv.ParseInt(resp.Header.Get("X-Records"), 10, 64)
+	if err != nil {
+		return nodePull{}, fmt.Errorf("snapshot records header: %w", err)
+	}
+	id := resp.Header.Get("X-Node-ID")
+	if id == "" {
+		id = m.ID
+	}
+	return nodePull{id: id, devices: devices, records: records, res: res}, nil
+}
+
+// checkHandoff diffs the live set against the previous cycle and ships the
+// checkpoint of every newly-dead member to the survivors. Only called from
+// the pull cycle (single goroutine); prevLive needs no lock of its own.
+func (a *Aggregator) checkHandoff(live []Member) {
+	cur := make(map[string]bool, len(live))
+	for _, m := range live {
+		cur[m.ID] = true
+	}
+	prev := a.prevLive
+	a.prevLive = cur
+	if prev == nil {
+		return // first cycle: baseline only
+	}
+	for id := range prev {
+		if cur[id] {
+			continue
+		}
+		a.handoff(id, live)
+	}
+}
+
+// handoff ships a dead member's latest checkpoint to the survivors.
+func (a *Aggregator) handoff(deadID string, survivors []Member) {
+	dir := a.cfg.HandoffDirs[deadID]
+	if dir == "" {
+		a.events.Logf(obs.LevelWarn,
+			"member %s died with no checkpoint dir configured; relying on client retransmission", deadID)
+		return
+	}
+	if len(survivors) == 0 {
+		a.handoffErrors.Inc()
+		a.events.Logf(obs.LevelError, "member %s died with no survivors to hand off to", deadID)
+		return
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		a.handoffErrors.Inc()
+		a.events.Logf(obs.LevelError, "handoff %s: open checkpoint dir: %v", deadID, err)
+		return
+	}
+	file, gen, err := st.LoadLatestRaw()
+	if err != nil || file == nil {
+		a.handoffErrors.Inc()
+		a.events.Logf(obs.LevelError, "handoff %s: no valid checkpoint in %s: %v", deadID, dir, err)
+		return
+	}
+	results, err := ShipCheckpoint(a.client, file, survivors)
+	if err != nil {
+		a.handoffErrors.Inc()
+		a.events.Logf(obs.LevelError, "handoff %s gen %d: %v", deadID, gen, err)
+	}
+	var adopted int
+	for _, r := range results {
+		adopted += r.AcceptedDevices
+	}
+	a.handoffs.Inc()
+	a.events.Logf(obs.LevelInfo, "handoff %s gen %d: %d survivors adopted %d devices",
+		deadID, gen, len(results), adopted)
+}
+
+// Headline returns the last merged fleet headline; ok is false before the
+// first completed cycle.
+func (a *Aggregator) Headline() (FleetHeadline, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.headline, a.have
+}
+
+// Mux serves the aggregator's HTTP surface:
+//
+//	GET /healthz  -> 200 "ok"
+//	GET /metrics  -> Prometheus text exposition (aggregator_* families)
+//	GET /headline -> FleetHeadline JSON (503 before the first merge)
+//	GET /nodes    -> membership status JSON ({epoch, nodes: [...]})
+func (a *Aggregator) Mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.reg.WriteText(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/headline", func(w http.ResponseWriter, r *http.Request) {
+		h, ok := a.Headline()
+		if !ok {
+			http.Error(w, "no merge cycle completed yet", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Epoch uint64       `json:"epoch"`
+			Nodes []NodeStatus `json:"nodes"`
+		}{a.cfg.Prober.Epoch(), a.cfg.Prober.Status()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

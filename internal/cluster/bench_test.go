@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"netenergy/internal/ingest"
+	"netenergy/internal/synthgen"
+)
+
+// BenchmarkAggregateMerge measures one full aggregator cycle — pulling a
+// binary snapshot from every live node over admin HTTP and merging them
+// into the fleet headline — against three in-process nodes that have each
+// ingested a third of a synthetic fleet. The reported aggregate_merge_ms
+// is the end-to-end cycle latency bench.sh records in BENCH_*.json and
+// gates on: it bounds how stale the fleet headline can be at a given pull
+// interval, so a merge that quietly goes quadratic in devices fails the
+// trajectory check instead of silently stretching the staleness window.
+func BenchmarkAggregateMerge(b *testing.B) {
+	const n = 3
+	var srvs [n]*ingest.Server
+	members := make([]Member, n)
+	for i := 0; i < n; i++ {
+		srvs[i] = startIngest(b, ingest.Config{
+			NodeID: nodeID(i), Shards: 2, QueueDepth: 64, BatchSize: 32,
+		})
+		defer srvs[i].Kill()
+		members[i] = Member{ID: nodeID(i), Stream: srvs[i].Addr().String(), Admin: srvs[i].AdminAddr().String()}
+	}
+
+	dts := synthgen.GenerateInMemory(synthgen.Small(12, 2))
+	var sent int64
+	for i, dt := range dts {
+		sent += int64(len(dt.Records))
+		streamAll(b, srvs[i%n].Addr().String(), dt)
+	}
+
+	// The prober is never started: all members stay presumed alive, so
+	// every iteration pulls from all three nodes and nothing re-probes
+	// mid-measurement.
+	p := NewProber(ProberConfig{Members: members, Interval: time.Hour})
+	agg := NewAggregator(AggregatorConfig{Prober: p, Timeout: 10 * time.Second})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := agg.PullOnce()
+		if h.Records != sent {
+			b.Fatalf("merge lost records: %d, want %d", h.Records, sent)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "aggregate_merge_ms")
+}

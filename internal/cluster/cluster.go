@@ -1,0 +1,86 @@
+// Package cluster turns N independent ingestd processes into one ingest
+// fleet. It supplies the three pieces the single-process server does not
+// have:
+//
+//   - membership: a static member list plus a liveness prober with
+//     escalating re-probe intervals, producing a monotonically-versioned
+//     live set (the "epoch");
+//   - placement: a View that projects the live set onto the shared
+//     consistent-hash NodeRing (the same ring clients walk), answering
+//     "who owns this device" for the server's redirect hook;
+//   - reconciliation: an Aggregator that pulls each live node's binary
+//     StreamResult snapshot over the admin surface and merges them into
+//     one fleet headline, and a checkpoint handoff path that ships a dead
+//     node's last checkpoint file to the surviving owners.
+//
+// The package depends on internal/ingest for the ring, the wire types and
+// the checkpoint container; ingest never depends back on cluster — the
+// server sees the cluster only through its Config.Route hook.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Member is one statically-configured cluster node: a stable ID, the TCP
+// address devices stream to (the ring key — every client and server hashes
+// this exact string), and the admin HTTP address used for liveness probes,
+// snapshot pulls and checkpoint transfer.
+type Member struct {
+	ID     string `json:"id"`
+	Stream string `json:"stream"`
+	Admin  string `json:"admin"`
+}
+
+// ParseMembers parses the cluster flag syntax:
+//
+//	id=streamHost:port/adminHost:port[,id=streamHost:port/adminHost:port...]
+//
+// IDs and both addresses must be non-empty and unique across the list.
+func ParseMembers(s string) ([]Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	var out []Member
+	seen := map[string]string{} // id/addr -> role, for duplicate detection
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: member %q: want id=stream/admin", part)
+		}
+		stream, admin, ok := strings.Cut(addrs, "/")
+		if !ok {
+			return nil, fmt.Errorf("cluster: member %q: want id=stream/admin", part)
+		}
+		id, stream, admin = strings.TrimSpace(id), strings.TrimSpace(stream), strings.TrimSpace(admin)
+		if id == "" || stream == "" || admin == "" {
+			return nil, fmt.Errorf("cluster: member %q: empty field", part)
+		}
+		for _, key := range []string{"id:" + id, "addr:" + stream, "addr:" + admin} {
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("cluster: member %q: %s already used by %s", part, key, prev)
+			}
+			seen[key] = id
+		}
+		out = append(out, Member{ID: id, Stream: stream, Admin: admin})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	return out, nil
+}
+
+// MemberByID returns the member with the given ID, or false.
+func MemberByID(members []Member, id string) (Member, bool) {
+	for _, m := range members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}

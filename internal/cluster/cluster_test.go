@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers(" n1=h1:9009/h1:9010 , n2=h2:9009/h2:9010 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("parsed %d members, want 2", len(ms))
+	}
+	want := []Member{
+		{ID: "n1", Stream: "h1:9009", Admin: "h1:9010"},
+		{ID: "n2", Stream: "h2:9009", Admin: "h2:9010"},
+	}
+	for i, m := range ms {
+		if m != want[i] {
+			t.Errorf("member %d = %+v, want %+v", i, m, want[i])
+		}
+	}
+	if m, ok := MemberByID(ms, "n2"); !ok || m.Stream != "h2:9009" {
+		t.Errorf("MemberByID(n2) = %+v, %v", m, ok)
+	}
+	if _, ok := MemberByID(ms, "n9"); ok {
+		t.Error("MemberByID found a member that does not exist")
+	}
+}
+
+func TestParseMembersRejects(t *testing.T) {
+	cases := []struct {
+		in   string
+		frag string
+	}{
+		{"", "empty member list"},
+		{"  , ", "empty member list"},
+		{"n1=h1:9009", "want id=stream/admin"},
+		{"h1:9009/h1:9010", "want id=stream/admin"},
+		{"n1=/h1:9010", "empty field"},
+		{"n1=h1:9009/h1:9010,n1=h2:9009/h2:9010", "id:n1 already used"},
+		{"n1=h1:9009/h1:9010,n2=h1:9009/h2:9010", "addr:h1:9009 already used"},
+		{"n1=h1:9009/h1:9010,n2=h2:9009/h1:9010", "addr:h1:9010 already used"},
+	}
+	for _, c := range cases {
+		_, err := ParseMembers(c.in)
+		if err == nil {
+			t.Errorf("ParseMembers(%q) accepted", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseMembers(%q) error %q, want fragment %q", c.in, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"netenergy/internal/ingest"
+)
+
+// ShipCheckpoint delivers checkpoint-file bytes (the exact atomic
+// fsync-rename format, CRC and all) to every survivor's admin /transfer
+// endpoint — the ownership-handoff send path, used both by the aggregator
+// when a member dies and by a draining node shipping its own final
+// checkpoint to its peers.
+//
+// The same file goes to every survivor: each receiver keeps only the
+// devices it owns under its current ring, so nothing is stranded and no
+// device lands twice. Survivors are contacted in ID order and only the
+// first receives the retired aggregate (the rest get ?skip_retired=1) —
+// exactly one copy of finalized energy may enter the fleet. Every survivor
+// is attempted even after a failure (partial delivery beats none, and
+// re-delivery is idempotent: the receivers' positional rule drops stale
+// device entries and the retired aggregate is deduplicated by content CRC);
+// the failures come back joined into one error.
+func ShipCheckpoint(client *http.Client, file []byte, survivors []Member) ([]ingest.TransferResult, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	sorted := append([]Member(nil), survivors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	var results []ingest.TransferResult
+	var errs []error
+	for i, m := range sorted {
+		url := "http://" + m.Admin + "/transfer"
+		if i > 0 {
+			url += "?skip_retired=1"
+		}
+		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(file))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", m.ID, err))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			errs = append(errs, fmt.Errorf("%s: transfer status %d", m.ID, resp.StatusCode))
+			continue
+		}
+		var tr ingest.TransferResult
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: transfer reply: %w", m.ID, err))
+			continue
+		}
+		results = append(results, tr)
+	}
+	return results, errors.Join(errs...)
+}

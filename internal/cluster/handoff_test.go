@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/ingest"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+)
+
+// TestClusterHandoffKillNode is the cluster tier's acceptance test, the
+// three-node analogue of ingest's TestCrashRecovery: a fleet streams across
+// a three-node cluster (every session routing by the shared ring, every
+// node redirecting misrouted devices), then the node owning the most
+// devices is killed mid-stream with no drain. The probers declare it dead,
+// the aggregator ships its last checkpoint to the survivors, sessions walk
+// their ring preference to the inheriting nodes and resume, and the final
+// merged fleet headline must equal the batch pipeline over the same
+// dataset — the death, the handoff and the retransmission must all be
+// invisible in the result.
+func TestClusterHandoffKillNode(t *testing.T) {
+	const n = 3
+	dirs := [n]string{t.TempDir(), t.TempDir(), t.TempDir()}
+
+	// Each server's Route hook is wired to its View only after the cluster
+	// addresses are known (the servers bind :0); until then every node
+	// claims every device, which is moot because no client connects before
+	// the wiring below.
+	var routeHooks [n]atomic.Pointer[func(string) (string, bool)]
+	var srvs [n]*ingest.Server
+	for i := 0; i < n; i++ {
+		i := i
+		srvs[i] = startIngest(t, ingest.Config{
+			NodeID: nodeID(i), Shards: 2, QueueDepth: 16, BatchSize: 16,
+			CheckpointDir: dirs[i], CheckpointInterval: 25 * time.Millisecond,
+			Route: func(device string) (string, bool) {
+				if f := routeHooks[i].Load(); f != nil {
+					return (*f)(device)
+				}
+				return "", true
+			},
+		})
+	}
+
+	members := make([]Member, n)
+	streams := make([]string, n)
+	handoffDirs := map[string]string{}
+	for i := 0; i < n; i++ {
+		members[i] = Member{ID: nodeID(i), Stream: srvs[i].Addr().String(), Admin: srvs[i].AdminAddr().String()}
+		streams[i] = members[i].Stream
+		handoffDirs[members[i].ID] = dirs[i]
+	}
+	proberCfg := ProberConfig{
+		Members:       members,
+		Interval:      20 * time.Millisecond,
+		MaxInterval:   200 * time.Millisecond,
+		FailThreshold: 2,
+		Timeout:       500 * time.Millisecond,
+	}
+	for i := 0; i < n; i++ {
+		p := NewProber(proberCfg)
+		route := NewView(members[i], p).Route
+		routeHooks[i].Store(&route)
+		p.Start()
+		defer p.Stop()
+	}
+	aggProber := NewProber(proberCfg)
+	aggProber.Start()
+	defer aggProber.Stop()
+	agg := NewAggregator(AggregatorConfig{
+		Prober:      aggProber,
+		Interval:    50 * time.Millisecond,
+		Timeout:     2 * time.Second,
+		HandoffDirs: handoffDirs,
+	})
+	agg.Start()
+	defer agg.Stop()
+
+	dts := synthgen.GenerateInMemory(synthgen.Small(8, 2))
+	var sent int64
+	for _, dt := range dts {
+		sent += int64(len(dt.Records))
+	}
+
+	// Kill the node that owns the most devices so the death is guaranteed
+	// to disrupt sessions and move state.
+	ring := ingest.NewNodeRing(streams)
+	owned := map[string]int{}
+	for _, dt := range dts {
+		owned[ring.Owner(dt.Device)]++
+	}
+	killIdx := 0
+	for i, s := range streams {
+		if owned[s] > owned[streams[killIdx]] {
+			killIdx = i
+		}
+	}
+	if owned[streams[killIdx]] == 0 {
+		t.Fatal("placement degenerate: no node owns any devices")
+	}
+
+	var wg sync.WaitGroup
+	stats := make([]ingest.SessionStats, len(dts))
+	errs := make([]error, len(dts))
+	for i, dt := range dts {
+		wg.Add(1)
+		go func(i int, dt *trace.DeviceTrace) {
+			defer wg.Done()
+			stats[i], errs[i] = ingest.StreamTrace(ingest.SessionConfig{
+				Nodes:    streams,
+				Device:   dt.Device,
+				Start:    dt.Start,
+				Deadline: 2 * time.Minute,
+				Backoff:  ingest.Backoff{Base: 5 * time.Millisecond, Max: 80 * time.Millisecond},
+				Pace: func(j int) time.Duration {
+					if j%8 == 0 {
+						return 400 * time.Microsecond
+					}
+					return 0
+				},
+			}, dt.Records)
+		}(i, dt)
+	}
+
+	// Let the fleet get roughly a third of the way in, with the victim
+	// holding at least one durable checkpoint, then pull the plug.
+	victim := srvs[killIdx]
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var total int64
+		for _, s := range srvs {
+			total += s.Stats(false).Records
+		}
+		vst := victim.Stats(false)
+		if total >= sent/3 && vst.Records > 0 && vst.Checkpoint != nil && vst.Checkpoint.Generation >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim.Kill()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %s: %v", dts[i].Device, err)
+		}
+	}
+	var conns int
+	for _, st := range stats {
+		conns += st.Conns
+	}
+	if conns <= len(dts) {
+		t.Errorf("no session reconnected (conns=%d over %d devices) — kill landed too early/late", conns, len(dts))
+	}
+
+	// The aggregator settles: once every session has finished and the
+	// handoff landed, a full pull cycle is exact.
+	waitFor(t, 60*time.Second, "fleet headline settles", func() bool {
+		h, ok := agg.Headline()
+		return ok && h.Records == sent && h.Devices == len(dts) && h.NodesLive == n-1
+	})
+	h, _ := agg.Headline()
+	if h.Epoch < 2 {
+		t.Errorf("epoch = %d after a death, want >= 2", h.Epoch)
+	}
+	for _, c := range h.Nodes {
+		if c.NodeID == nodeID(killIdx) {
+			t.Errorf("dead node %s still contributing", c.NodeID)
+		}
+	}
+
+	// The handoff actually moved: the aggregator shipped one, and each
+	// survivor processed a transfer.
+	m := scrapeAgg(t, agg)
+	if m["aggregator_handoffs_total"] < 1 {
+		t.Errorf("aggregator_handoffs_total = %v, want >= 1", m["aggregator_handoffs_total"])
+	}
+	if m["aggregator_handoff_errors_total"] != 0 {
+		t.Errorf("aggregator_handoff_errors_total = %v, want 0", m["aggregator_handoff_errors_total"])
+	}
+	for i, s := range srvs {
+		if i == killIdx {
+			continue
+		}
+		if got := s.Stats(false).Transfers; got < 1 {
+			t.Errorf("survivor %s transfers = %d, want >= 1", nodeID(i), got)
+		}
+	}
+
+	// Every record accounted for exactly once on exactly one survivor.
+	for _, dt := range dts {
+		var got int64
+		for i, s := range srvs {
+			if i != killIdx {
+				got += s.DeviceRecords(dt.Device)
+			}
+		}
+		if got != int64(len(dt.Records)) {
+			t.Errorf("device %s: survivors hold %d records, sent %d", dt.Device, got, len(dt.Records))
+		}
+	}
+
+	// Batch reference over the identical dataset: the merged fleet headline
+	// must match within the same tolerances as single-node crash recovery.
+	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.ComputeHeadline(devs)
+	if d := math.Abs(h.TotalEnergyJ - want.TotalEnergyJ); d > 1e-6*(1+want.TotalEnergyJ) {
+		t.Errorf("total energy: fleet %v vs batch %v", h.TotalEnergyJ, want.TotalEnergyJ)
+	}
+	if d := math.Abs(h.BackgroundFraction - want.BackgroundFraction); d > 0.01*want.BackgroundFraction {
+		t.Errorf("background fraction: fleet %v vs batch %v", h.BackgroundFraction, want.BackgroundFraction)
+	}
+	if d := math.Abs(h.FirstMinuteFraction - want.FirstMinute.Fraction); d > 1e-9 {
+		t.Errorf("first minute: fleet %v vs batch %v", h.FirstMinuteFraction, want.FirstMinute.Fraction)
+	}
+}
+
+func nodeID(i int) string { return "n" + string(rune('1'+i)) }

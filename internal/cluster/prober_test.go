@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode is an admin endpoint whose health can be toggled, standing in
+// for an ingestd that hangs up (503) without releasing its port.
+type fakeNode struct {
+	srv *httptest.Server
+	up  atomic.Bool
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.up.Store(true)
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !n.up.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeNode) admin() string { return n.srv.Listener.Addr().String() }
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestProberLifecycle drives the full membership state machine: everyone
+// starts presumed alive, a failing node is declared dead only after
+// FailThreshold consecutive misses, each transition bumps the epoch, and a
+// dead node that recovers rejoins without operator action (sticky
+// membership via the capped re-probe schedule).
+func TestProberLifecycle(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	p := NewProber(ProberConfig{
+		Members: []Member{
+			{ID: "n1", Stream: "s1", Admin: a.admin()},
+			{ID: "n2", Stream: "s2", Admin: b.admin()},
+		},
+		Interval:      5 * time.Millisecond,
+		MaxInterval:   40 * time.Millisecond,
+		FailThreshold: 2,
+		Timeout:       250 * time.Millisecond,
+	})
+	if got := len(p.Live()); got != 2 {
+		t.Fatalf("boot live set = %d members, want 2 (presumed alive)", got)
+	}
+	if got := p.Epoch(); got != 1 {
+		t.Fatalf("boot epoch = %d, want 1", got)
+	}
+
+	p.Start()
+	defer p.Stop()
+
+	// Healthy steady state: probes succeed, nothing flips.
+	time.Sleep(40 * time.Millisecond)
+	if got := p.Epoch(); got != 1 {
+		t.Fatalf("healthy cluster epoch moved to %d", got)
+	}
+
+	b.up.Store(false)
+	waitFor(t, 5*time.Second, "n2 declared dead", func() bool {
+		live := p.Live()
+		return len(live) == 1 && live[0].ID == "n1"
+	})
+	if got := p.Epoch(); got != 2 {
+		t.Errorf("epoch after death = %d, want 2", got)
+	}
+	var n2 NodeStatus
+	for _, st := range p.Status() {
+		if st.ID == "n2" {
+			n2 = st
+		}
+	}
+	if n2.Alive || n2.Failures < 2 || n2.LastErr == "" {
+		t.Errorf("dead member status = %+v", n2)
+	}
+
+	// The dead member keeps being probed: recovery rejoins it.
+	b.up.Store(true)
+	waitFor(t, 5*time.Second, "n2 rejoined", func() bool {
+		return len(p.Live()) == 2
+	})
+	if got := p.Epoch(); got != 3 {
+		t.Errorf("epoch after rejoin = %d, want 3", got)
+	}
+}
+
+// TestProberBelowThreshold: fewer consecutive failures than FailThreshold
+// must not flip a member — one lost heartbeat is not a death.
+func TestProberBelowThreshold(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Members:       []Member{{ID: "n1", Stream: "s1", Admin: "a1"}},
+		Interval:      10 * time.Millisecond,
+		FailThreshold: 3,
+	})
+	st := p.st[0]
+	now := time.Now()
+	p.apply(st, errProbe, now)
+	p.apply(st, errProbe, now)
+	if !st.alive || p.Epoch() != 1 {
+		t.Fatalf("member flipped after %d failures (threshold 3)", st.failures)
+	}
+	p.apply(st, errProbe, now)
+	if st.alive || p.Epoch() != 2 {
+		t.Fatalf("member not dead after 3 failures: alive=%v epoch=%d", st.alive, p.Epoch())
+	}
+	// A single success resurrects regardless of the failure streak.
+	p.apply(st, nil, now)
+	if !st.alive || st.failures != 0 || p.Epoch() != 3 {
+		t.Fatalf("recovery: alive=%v failures=%d epoch=%d", st.alive, st.failures, p.Epoch())
+	}
+}
+
+// TestReprobeEscalation: consecutive failures double the re-probe interval,
+// capped at MaxInterval — cheap vigilance on the living, cheap patience
+// with the dead.
+func TestReprobeEscalation(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Members:     []Member{{ID: "n1", Stream: "s1", Admin: "a1"}},
+		Interval:    10 * time.Millisecond,
+		MaxInterval: 60 * time.Millisecond,
+	})
+	want := []time.Duration{
+		10 * time.Millisecond, // 1 failure
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		60 * time.Millisecond, // capped (80 would exceed MaxInterval)
+		60 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.reprobeDelay(i + 1); got != w {
+			t.Errorf("reprobeDelay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+var errProbe = &probeErr{}
+
+type probeErr struct{}
+
+func (*probeErr) Error() string { return "connection refused" }

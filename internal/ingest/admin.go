@@ -2,11 +2,14 @@ package ingest
 
 import (
 	"encoding/json"
+	"hash/crc32"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 
 	"netenergy/internal/analysis"
+	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/obs"
 	"netenergy/internal/trace"
 )
@@ -14,8 +17,11 @@ import (
 // LiveHeadline is the admin /headline document: the paper's headline
 // statistics evaluated over everything the server has ingested so far.
 type LiveHeadline struct {
-	Devices int   `json:"devices"`
-	Records int64 `json:"records"`
+	// NodeID attributes the headline to one cluster member (empty outside
+	// cluster mode; the aggregator stamps its merged document "fleet").
+	NodeID  string `json:"node_id,omitempty"`
+	Devices int    `json:"devices"`
+	Records int64  `json:"records"`
 
 	TotalEnergyJ float64 `json:"total_energy_j"`
 	IdleEnergyJ  float64 `json:"idle_energy_j"`
@@ -72,7 +78,9 @@ func HeadlineOf(res *analysis.StreamResult, devices int, records int64) LiveHead
 
 // Headline evaluates the live headline over the current Snapshot.
 func (s *Server) Headline() LiveHeadline {
-	return HeadlineOf(s.Snapshot(), s.devices.len(), s.counters.records.Load())
+	h := HeadlineOf(s.Snapshot(), s.devices.len(), s.counters.records.Load())
+	h.NodeID = s.cfg.NodeID
+	return h
 }
 
 // adminMux serves the observability surface:
@@ -87,6 +95,14 @@ func (s *Server) Headline() LiveHeadline {
 //	GET  /device?id=<dev>   -> DeviceStats JSON (400 without id, 404 unknown)
 //	POST /checkpoint        -> force a checkpoint now (405 on GET, 503 when
 //	                           durability is off or the server is draining)
+//	GET  /snapshot          -> binary fleet StreamResult (the aggregator's
+//	                           pull surface), with X-Node-ID, X-Devices,
+//	                           X-Records and X-Snapshot-CRC32 headers
+//	POST /transfer          -> adopt a checkpoint handoff; the body is
+//	                           complete checkpoint-file bytes, CRC-verified
+//	                           before any state changes (?skip_retired=1
+//	                           skips the retired aggregate so only one
+//	                           survivor merges it); replies TransferResult
 //	/debug/pprof/*          -> net/http/pprof handlers, only with
 //	                           Config.EnablePprof (ingestd -pprof)
 func (s *Server) adminMux() http.Handler {
@@ -151,8 +167,50 @@ func (s *Server) adminMux() http.Handler {
 		}
 		writeJSON(w, s.Stats(false).Checkpoint)
 	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		b := s.Snapshot().AppendBinary(nil)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Node-ID", s.cfg.NodeID)
+		w.Header().Set("X-Devices", strconv.Itoa(s.devices.len()))
+		w.Header().Set("X-Records", strconv.FormatInt(s.counters.records.Load(), 10))
+		w.Header().Set("X-Snapshot-CRC32", strconv.FormatUint(uint64(crc32.ChecksumIEEE(b)), 10))
+		w.Write(b) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/transfer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTransferBytes))
+		if err != nil {
+			s.counters.transferErrors.Add(1)
+			http.Error(w, "transfer body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap, err := checkpoint.DecodeFile(body)
+		if err != nil {
+			// Corrupt handoff bytes sever the whole transfer: no state was
+			// touched, the sender retries or escalates.
+			s.counters.transferErrors.Add(1)
+			s.counters.events.Logf(obs.LevelError, "transfer rejected: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := s.RestoreTransfer(snap, r.URL.Query().Get("skip_retired") == "")
+		if err != nil {
+			s.counters.transferErrors.Add(1)
+			s.counters.events.Logf(obs.LevelError, "transfer failed: %v", err)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, res)
+	})
 	return mux
 }
+
+// maxTransferBytes bounds a POST /transfer body — matches the checkpoint
+// store's own payload cap plus header slack.
+const maxTransferBytes = checkpoint.MaxPayload + 64
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -247,19 +247,32 @@ func (s *Store) generations() []uint64 {
 	return gens
 }
 
+// EncodeFile serializes a snapshot as complete checkpoint-file bytes
+// (header + CRC + payload) — exactly what Save writes to disk. The cluster
+// tier ships these bytes over the wire during ownership handoff; the
+// receiver verifies them with DecodeFile, so a transfer enjoys the same
+// torn/corrupt detection as a crash recovery.
+func EncodeFile(snap *Snapshot) ([]byte, error) {
+	payload := Encode(snap)
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("checkpoint: payload too large: %d", len(payload))
+	}
+	b := append([]byte(nil), fileMagic...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	return append(b, payload...), nil
+}
+
 // Save atomically writes snap as the next generation and prunes old files.
 // It returns the path and generation written. The sequence is: temp file in
 // the same directory, write header+payload, fsync, rename, fsync directory
 // — a crash at any point leaves either the previous generation set intact
 // or the new file fully in place.
 func (s *Store) Save(snap *Snapshot) (path string, gen uint64, err error) {
-	payload := Encode(snap)
-	if len(payload) > MaxPayload {
-		return "", 0, fmt.Errorf("checkpoint: payload too large: %d", len(payload))
+	file, err := EncodeFile(snap)
+	if err != nil {
+		return "", 0, err
 	}
-	hdr := append([]byte(nil), fileMagic...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload))
-	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
 
 	gen = s.gen + 1
 	path = genPath(s.dir, gen)
@@ -268,11 +281,7 @@ func (s *Store) Save(snap *Snapshot) (path string, gen uint64, err error) {
 		return "", 0, err
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := tmp.Write(hdr); err != nil {
-		tmp.Close()
-		return "", 0, err
-	}
-	if _, err := tmp.Write(payload); err != nil {
+	if _, err := tmp.Write(file); err != nil {
 		tmp.Close()
 		return "", 0, err
 	}
@@ -310,10 +319,13 @@ func LoadFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeFile(b)
+	return DecodeFile(b)
 }
 
-func decodeFile(b []byte) (*Snapshot, error) {
+// DecodeFile parses and validates complete checkpoint-file bytes: magic,
+// CRC, declared payload length, then the payload structure. It is the
+// receive-side verification for checkpoint handoff over the wire.
+func DecodeFile(b []byte) (*Snapshot, error) {
 	if len(b) < len(fileMagic)+4 {
 		return nil, ErrTorn
 	}
@@ -341,6 +353,26 @@ func decodeFile(b []byte) (*Snapshot, error) {
 		return nil, ErrCorrupt
 	}
 	return Decode(payload)
+}
+
+// LoadLatestRaw returns the raw file bytes of the newest generation that
+// passes container validation, along with its generation number — the
+// handoff source: the exact bytes a dead node last persisted, ready to ship
+// to the surviving owners. It returns (nil, 0, nil) when no valid
+// checkpoint exists.
+func (s *Store) LoadLatestRaw() ([]byte, uint64, error) {
+	gens := s.generations()
+	for i := len(gens) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(genPath(s.dir, gens[i]))
+		if err != nil {
+			continue
+		}
+		if _, err := DecodeFile(b); err != nil {
+			continue
+		}
+		return b, gens[i], nil
+	}
+	return nil, 0, nil
 }
 
 // LoadLatest returns the newest generation that passes both the container

@@ -58,7 +58,7 @@ func FuzzCheckpointDecoder(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		snap, err := decodeFile(data)
+		snap, err := DecodeFile(data)
 		if err != nil {
 			// Also exercise the bare payload decoder on the same bytes.
 			if s2, err2 := Decode(data); err2 == nil {

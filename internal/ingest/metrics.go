@@ -36,6 +36,12 @@ type counters struct {
 	severs         *obs.Counter // connections severed on CRC/decode/gap
 	recordsSkipped *obs.Counter // poison records skipped past
 
+	// Cluster counters.
+	redirects       *obs.Counter // handshakes answered with a redirect ack
+	transfers       *obs.Counter // checkpoint handoffs adopted
+	transferDevices *obs.Counter // device states adopted from handoffs
+	transferErrors  *obs.Counter // handoffs rejected (corrupt or undecodable)
+
 	// Checkpoint health (written by the checkpoint loop).
 	ckptGen      *obs.Gauge
 	ckptBytes    *obs.Gauge
@@ -75,6 +81,11 @@ func newCounters() *counters {
 		throttled:      reg.Counter("ingest_throttled_total", "handshakes refused by rate limiting"),
 		severs:         reg.Counter("ingest_severs_total", "connections severed on CRC/decode/gap"),
 		recordsSkipped: reg.Counter("ingest_records_skipped_total", "poison records skipped past"),
+
+		redirects:       reg.Counter("ingest_redirects_total", "handshakes answered with a redirect ack"),
+		transfers:       reg.Counter("ingest_transfers_total", "checkpoint handoffs adopted"),
+		transferDevices: reg.Counter("ingest_transfer_devices_total", "device states adopted from handoffs"),
+		transferErrors:  reg.Counter("ingest_transfer_errors_total", "handoffs rejected as corrupt or undecodable"),
 
 		ckptGen:      reg.Gauge("ingest_checkpoint_generation", "latest checkpoint generation written or recovered"),
 		ckptBytes:    reg.Gauge("ingest_checkpoint_bytes", "approximate size of the latest checkpoint"),
@@ -242,6 +253,9 @@ type CheckpointStats struct {
 
 // Stats is the admin /stats document.
 type Stats struct {
+	// NodeID attributes this document to one cluster member (empty
+	// outside cluster mode), so aggregator merges are debuggable.
+	NodeID        string  `json:"node_id,omitempty"`
 	UptimeSec     float64 `json:"uptime_sec"`
 	ConnsActive   int64   `json:"conns_active"`
 	ConnsTotal    int64   `json:"conns_total"`
@@ -262,6 +276,12 @@ type Stats struct {
 	Throttled      int64 `json:"throttled"`
 	Severs         int64 `json:"severs"`
 	RecordsSkipped int64 `json:"records_skipped"`
+
+	// Cluster surface: ownership routing and checkpoint handoff.
+	Redirects       int64 `json:"redirects,omitempty"`
+	Transfers       int64 `json:"transfers,omitempty"`
+	TransferDevices int64 `json:"transfer_devices,omitempty"`
+	TransferErrors  int64 `json:"transfer_errors,omitempty"`
 
 	// Checkpoint is present when durability is enabled.
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`

@@ -21,6 +21,9 @@
 //	                                  record the server expects on this conn
 //	            status 1 (throttled): arg = retry-after in milliseconds
 //	            status 2 (draining):  arg = 0; server is shutting down
+//	            status 3 (redirect):  arg = addrLen, followed by addr bytes —
+//	                                  another cluster node owns this device;
+//	                                  reconnect there (cluster mode only)
 //	frame    := seq:uvarint bodyLen:uvarint body:bytes crc:uint32le
 //	            crc covers the seq and bodyLen varints and the body
 //	body     := type:byte record-body     (trace.RecordEncoder), or the
@@ -83,6 +86,19 @@ func (e *ErrThrottled) Error() string {
 	return fmt.Sprintf("ingest: throttled, retry after %s", e.RetryAfter)
 }
 
+// ErrRedirect is returned to a client whose hello reached a cluster node
+// that does not own the device: Addr is the stream address of the node that
+// does (per the answering node's membership view). The client reconnects
+// there with its usual Backoff; on membership churn the target may bounce
+// it again until the views converge.
+type ErrRedirect struct {
+	Addr string
+}
+
+func (e *ErrRedirect) Error() string {
+	return fmt.Sprintf("ingest: device reassigned, reconnect to %s", e.Addr)
+}
+
 var helloMagic = []byte("FLTS2\n")
 
 // Hello-ack status codes.
@@ -90,7 +106,14 @@ const (
 	ackOK        = 0
 	ackThrottled = 1
 	ackDraining  = 2
+	// ackRedirect tells the client another node owns this device. Unlike
+	// the other statuses its argument is a string: arg = owner-address
+	// length, followed by that many address bytes.
+	ackRedirect = 3
 )
+
+// maxRedirectAddr caps the address a redirect ack may carry.
+const maxRedirectAddr = 256
 
 const (
 	// MaxFrame caps a frame body; matches the METR file record cap.
@@ -195,6 +218,19 @@ func writeAck(w io.Writer, status byte, arg uint64) error {
 	return err
 }
 
+// writeRedirectAck writes a redirect acknowledgement carrying the stream
+// address of the node that owns the device.
+func writeRedirectAck(w io.Writer, addr string) error {
+	if len(addr) == 0 || len(addr) > maxRedirectAddr {
+		return fmt.Errorf("ingest: redirect address %q out of range", addr)
+	}
+	b := []byte{ackRedirect}
+	b = binary.AppendUvarint(b, uint64(len(addr)))
+	b = append(b, addr...)
+	_, err := w.Write(b)
+	return err
+}
+
 // readAck parses an acknowledgement and maps non-OK statuses to errors.
 func readAck(r *bufio.Reader) (arg int64, err error) {
 	status, err := r.ReadByte()
@@ -212,6 +248,15 @@ func readAck(r *bufio.Reader) (arg int64, err error) {
 		return 0, &ErrThrottled{RetryAfter: time.Duration(v) * time.Millisecond}
 	case ackDraining:
 		return 0, ErrDraining
+	case ackRedirect:
+		if v == 0 || v > maxRedirectAddr {
+			return 0, ErrBadAck
+		}
+		addr := make([]byte, v)
+		if _, err := io.ReadFull(r, addr); err != nil {
+			return 0, ErrBadAck
+		}
+		return 0, &ErrRedirect{Addr: string(addr)}
 	default:
 		return 0, ErrBadAck
 	}

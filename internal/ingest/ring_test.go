@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringDevices(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dev-%04d", i)
+	}
+	return out
+}
+
+// TestNodeRingDeterministic: placement must depend only on the SET of node
+// names — input order and duplicates are irrelevant, so every holder of the
+// same member list (client, server, aggregator) agrees on every assignment.
+func TestNodeRingDeterministic(t *testing.T) {
+	a := NewNodeRing([]string{"h1:9009", "h2:9009", "h3:9009"})
+	b := NewNodeRing([]string{"h3:9009", "h1:9009", "h2:9009", "h1:9009", ""})
+	if got, want := fmt.Sprint(a.Nodes()), fmt.Sprint(b.Nodes()); got != want {
+		t.Fatalf("node sets differ: %s vs %s", got, want)
+	}
+	for _, dev := range ringDevices(500) {
+		if a.Owner(dev) != b.Owner(dev) {
+			t.Fatalf("device %s: owner %s vs %s", dev, a.Owner(dev), b.Owner(dev))
+		}
+	}
+}
+
+// TestNodeRingRelocation: removing one node must relocate exactly that
+// node's devices and nothing else — the property the checkpoint handoff
+// protocol relies on (survivors keep their own devices, the dead node's
+// devices land on their ring successors).
+func TestNodeRingRelocation(t *testing.T) {
+	nodes := []string{"h1:9009", "h2:9009", "h3:9009", "h4:9009", "h5:9009"}
+	full := NewNodeRing(nodes)
+	shrunk := NewNodeRing(nodes[1:]) // h1 removed
+
+	devs := ringDevices(2000)
+	var owned, moved int
+	for _, dev := range devs {
+		before, after := full.Owner(dev), shrunk.Owner(dev)
+		switch {
+		case before == nodes[0]:
+			owned++
+			if after == nodes[0] {
+				t.Fatalf("device %s still owned by removed node", dev)
+			}
+		case before != after:
+			moved++
+			t.Errorf("device %s moved %s -> %s without its owner dying", dev, before, after)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d devices relocated off surviving nodes", moved)
+	}
+	// The vnode key scheme (name + "-" + v, inherited bit-for-bit from the
+	// legacy shard ring) clusters a node's low-v vnodes, so shares are far
+	// from the ideal 1/5; only guard against degenerate placement where a
+	// node owns nothing or nearly everything.
+	if owned < len(devs)/100 || owned > len(devs)*3/5 {
+		t.Errorf("removed node owned %d/%d devices — placement degenerate", owned, len(devs))
+	}
+}
+
+// TestNodeRingPrefer: the preference order must start at the owner, cover
+// every node exactly once, and its second entry must be exactly the node
+// that inherits the device when the owner is removed — that is what makes
+// the client's failover walk converge with the server-side ring.
+func TestNodeRingPrefer(t *testing.T) {
+	nodes := []string{"h1:9009", "h2:9009", "h3:9009", "h4:9009"}
+	r := NewNodeRing(nodes)
+	for _, dev := range ringDevices(300) {
+		pref := r.Prefer(dev)
+		if len(pref) != len(nodes) {
+			t.Fatalf("device %s: prefer has %d entries, want %d", dev, len(pref), len(nodes))
+		}
+		if pref[0] != r.Owner(dev) {
+			t.Fatalf("device %s: prefer[0] = %s, owner = %s", dev, pref[0], r.Owner(dev))
+		}
+		seen := map[string]bool{}
+		for _, n := range pref {
+			if seen[n] {
+				t.Fatalf("device %s: node %s repeated in prefer order", dev, n)
+			}
+			seen[n] = true
+		}
+		// Remove the owner: the new owner must be the old second choice.
+		var rest []string
+		for _, n := range nodes {
+			if n != pref[0] {
+				rest = append(rest, n)
+			}
+		}
+		if got := NewNodeRing(rest).Owner(dev); got != pref[1] {
+			t.Fatalf("device %s: inheritor %s, prefer[1] %s", dev, got, pref[1])
+		}
+	}
+}
+
+func TestNodeRingEmpty(t *testing.T) {
+	r := NewNodeRing(nil)
+	if got := r.Owner("dev"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := r.Prefer("dev"); got != nil {
+		t.Fatalf("empty ring prefer = %v", got)
+	}
+}
+
+// TestShardRingMatchesNodeRing: the per-process shard ring is the NodeRing
+// under synthetic shard names; the legacy vnode keys must be preserved so
+// checkpointed placements survive the refactor.
+func TestShardRingMatchesNodeRing(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2"}
+	sr := newRing(3)
+	nr := NewNodeRing(names)
+	for _, dev := range ringDevices(500) {
+		want := fmt.Sprintf("shard-%d", sr.shard(dev))
+		if got := nr.Owner(dev); got != want {
+			t.Fatalf("device %s: shard ring %s, node ring %s", dev, want, got)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"net/http"
@@ -60,6 +61,20 @@ type Config struct {
 	// /debug/pprof/ prefix. Off by default: profiling endpoints can stall
 	// the process and leak internals, so they are opt-in (ingestd -pprof).
 	EnablePprof bool
+
+	// NodeID names this node in a cluster; it is echoed in /stats,
+	// /headline and /snapshot so aggregator merges are attributable.
+	// Empty outside cluster mode.
+	NodeID string
+
+	// Route, when set, enables cluster mode: it maps a device to its
+	// owning node's stream address per the current membership view. A
+	// handshake for a device this node does not own (self == false) is
+	// answered with a redirect ack carrying addr instead of being
+	// admitted — the wire-level mechanism by which clients learn of
+	// reassignment. The cluster package supplies this from its live ring;
+	// the hook keeps ingest free of any dependency on cluster.
+	Route func(device string) (addr string, self bool)
 
 	// Opts is the energy accounting configuration (default:
 	// energy.DefaultOptions with KeepPackets off).
@@ -117,6 +132,15 @@ type Server struct {
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 	ckptOnce sync.Once
+
+	// retiredMu guards mergedRetired: the content CRCs of retired
+	// aggregates this node has already merged via RestoreTransfer. A drain
+	// handoff and an aggregator death-handoff can legitimately ship the
+	// same checkpoint file; the per-device positional rule makes that
+	// harmless, but the retired blob is a blind merge, so re-delivery must
+	// be deduplicated by content or finalized energy double-counts.
+	retiredMu     sync.Mutex
+	mergedRetired map[uint32]struct{}
 
 	mu       sync.RWMutex // guards conns, drain, chClosed, final
 	conns    map[net.Conn]struct{}
@@ -343,6 +367,20 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.counters.helloErrors.Add(1)
 		s.counters.events.Logf(obs.LevelWarn, "invalid hello from %s", conn.RemoteAddr())
 		return
+	}
+
+	// Cluster routing: a device this node does not own is redirected before
+	// it is registered — a misrouted handshake must not invent per-device
+	// state (or counters) on a non-owner, or fleet device counts would
+	// double across nodes.
+	if s.cfg.Route != nil {
+		if owner, self := s.cfg.Route(device); !self && owner != "" {
+			s.counters.redirects.Add(1)
+			s.counters.events.Logf(obs.LevelDebug, "redirected %s to %s", device, owner)
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+			writeRedirectAck(conn, owner)                             //nolint:errcheck // client went away
+			return
+		}
 	}
 	dev := s.devices.get(device)
 
@@ -590,6 +628,129 @@ func (s *Server) SaveCheckpoint() error {
 	return s.writeCheckpoint(&snap)
 }
 
+// TransferResult reports what a checkpoint handoff did on the receiving
+// node; it is the JSON body of the admin POST /transfer response.
+type TransferResult struct {
+	NodeID          string `json:"node_id,omitempty"`
+	AcceptedDevices int    `json:"accepted_devices"`
+	Records         int64  `json:"records"`
+	SkippedStale    int    `json:"skipped_stale"`
+	SkippedNotOwned int    `json:"skipped_not_owned"`
+	RetiredMerged   bool   `json:"retired_merged"`
+}
+
+// RestoreTransfer adopts a dead node's checkpoint into this running server:
+// the ownership-handoff receive path. Devices this node does not own (per
+// Route) are skipped — the same checkpoint is shipped to every survivor and
+// each keeps only its share, so no device is stranded and none lands twice.
+// Owned entries go through the shard queues and are applied under the
+// positional rule (incoming seq strictly ahead wins), which makes
+// re-delivery idempotent and safe to race with live re-streams from
+// redirected clients. The retired aggregate is merged only when
+// includeRetired is set — exactly one survivor per handoff may receive it,
+// or finalized energy would be double-counted fleet-wide — and is further
+// deduplicated by content CRC, so re-delivery of the same checkpoint file
+// (a drain handoff racing an aggregator death-handoff) merges it once.
+//
+// Every opaque blob is decoded before any state is mutated: a transfer
+// either applies cleanly or severs with no effect.
+func (s *Server) RestoreTransfer(snap *checkpoint.Snapshot, includeRetired bool) (TransferResult, error) {
+	res := TransferResult{NodeID: s.cfg.NodeID}
+	groups := make(map[int]*restoreReq)
+	for i := range snap.Devices {
+		d := &snap.Devices[i]
+		if s.cfg.Route != nil {
+			if _, self := s.cfg.Route(d.Device); !self {
+				res.SkippedNotOwned++
+				continue
+			}
+		}
+		var acc *analysis.StreamAccumulator
+		if d.Acc != nil {
+			a, err := analysis.RestoreStreamAccumulator(d.Acc, s.cfg.Opts)
+			if err != nil {
+				return TransferResult{NodeID: s.cfg.NodeID}, fmt.Errorf("ingest: transfer device %q: %w", d.Device, err)
+			}
+			acc = a
+		}
+		si := s.ring.shard(d.Device)
+		g := groups[si]
+		if g == nil {
+			g = &restoreReq{}
+			groups[si] = g
+		}
+		g.entries = append(g.entries, transferEntry{device: d.Device, seq: d.Seq, acc: acc})
+	}
+	var retiredCRC uint32
+	if includeRetired && snap.Retired != nil {
+		retired, err := analysis.DecodeStreamResult(snap.Retired)
+		if err != nil {
+			return TransferResult{NodeID: s.cfg.NodeID}, fmt.Errorf("ingest: transfer retired aggregate: %w", err)
+		}
+		retiredCRC = crc32.ChecksumIEEE(snap.Retired)
+		s.retiredMu.Lock()
+		_, dup := s.mergedRetired[retiredCRC]
+		if !dup {
+			if s.mergedRetired == nil {
+				s.mergedRetired = map[uint32]struct{}{}
+			}
+			s.mergedRetired[retiredCRC] = struct{}{}
+		}
+		s.retiredMu.Unlock()
+		if !dup {
+			// The retired aggregate is placement-irrelevant (it is only
+			// ever merged); attach it to shard 0's request.
+			g := groups[0]
+			if g == nil {
+				g = &restoreReq{}
+				groups[0] = g
+			}
+			g.retired = retired
+			res.RetiredMerged = true
+		}
+	}
+	// Enqueue under the read lock (Shutdown closes shard channels only
+	// under the write lock, after handlers exit); collect outside it — a
+	// closing shard drains its queue before exiting.
+	type pending struct {
+		sh    *shard
+		req   *restoreReq
+		reply chan transferReply
+	}
+	pend := make([]pending, 0, len(groups))
+	for si, g := range groups {
+		c := make(chan transferReply, 1)
+		g.reply = c
+		pend = append(pend, pending{sh: s.shard[si], req: g, reply: c})
+	}
+	s.mu.RLock()
+	if s.drain {
+		s.mu.RUnlock()
+		if res.RetiredMerged {
+			// Nothing was applied: forget the claim so a retry can merge.
+			s.retiredMu.Lock()
+			delete(s.mergedRetired, retiredCRC)
+			s.retiredMu.Unlock()
+		}
+		return TransferResult{NodeID: s.cfg.NodeID}, errors.New("ingest: draining")
+	}
+	for _, p := range pend {
+		p.sh.ch <- shardReq{restore: p.req}
+	}
+	s.mu.RUnlock()
+	for _, p := range pend {
+		rep := <-p.reply
+		res.AcceptedDevices += rep.accepted
+		res.SkippedStale += rep.stale
+		res.Records += rep.records
+	}
+	s.counters.transfers.Add(1)
+	s.counters.transferDevices.Add(int64(res.AcceptedDevices))
+	s.counters.events.Logf(obs.LevelInfo, "transfer adopted %d devices / %d records (%d stale, %d not owned, retired=%v)",
+		res.AcceptedDevices, res.Records, res.SkippedStale, res.SkippedNotOwned, res.RetiredMerged)
+	return res, nil
+}
+
 func (s *Server) writeCheckpoint(snap *checkpoint.Snapshot) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
@@ -618,6 +779,7 @@ func (s *Server) Stats(perDevice bool) Stats {
 	records, bytes := s.counters.records.Load(), s.counters.bytes.Load()
 	rps, bps := s.rates.rates(records, bytes, now)
 	st := Stats{
+		NodeID:         s.cfg.NodeID,
 		UptimeSec:      now.Sub(s.started).Seconds(),
 		ConnsActive:    s.counters.connsActive.Load(),
 		ConnsTotal:     s.counters.connsTotal.Load(),
@@ -636,6 +798,11 @@ func (s *Server) Stats(perDevice bool) Stats {
 		Throttled:      s.counters.throttled.Load(),
 		Severs:         s.counters.severs.Load(),
 		RecordsSkipped: s.counters.recordsSkipped.Load(),
+
+		Redirects:       s.counters.redirects.Load(),
+		Transfers:       s.counters.transfers.Load(),
+		TransferDevices: s.counters.transferDevices.Load(),
+		TransferErrors:  s.counters.transferErrors.Load(),
 	}
 	if s.ckpt != nil {
 		ck := &CheckpointStats{

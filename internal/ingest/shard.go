@@ -2,7 +2,6 @@ package ingest
 
 import (
 	"hash/fnv"
-	"sort"
 	"strconv"
 	"time"
 
@@ -12,50 +11,29 @@ import (
 	"netenergy/internal/trace"
 )
 
-// ring is a consistent-hash ring mapping device IDs to shards. Virtual
-// nodes smooth the distribution; with the shard count fixed for a server's
-// lifetime the ring is equivalent to a modulo, but keeping the placement
-// function consistent means a future resharding (growing the pool, moving
-// devices between processes) relocates only ~1/n of devices.
+// ring is the in-process consistent-hash placement mapping device IDs to
+// shards: a NodeRing over synthetic "shard-<i>" names (the vnode keys are
+// unchanged from before the lift, so placements survive the refactor).
+// Keeping the placement function consistent means a resharding (growing the
+// pool, moving devices between processes) relocates only ~1/n of devices;
+// the cluster tier reuses the same NodeRing for device→node assignment.
 type ring struct {
-	hashes []uint64
-	shards []int
+	nr  *NodeRing
+	idx map[string]int
 }
 
-const vnodesPerShard = 64
-
 func newRing(shards int) *ring {
-	r := &ring{
-		hashes: make([]uint64, 0, shards*vnodesPerShard),
-		shards: make([]int, 0, shards*vnodesPerShard),
-	}
-	type point struct {
-		h uint64
-		s int
-	}
-	pts := make([]point, 0, shards*vnodesPerShard)
+	names := make([]string, shards)
+	idx := make(map[string]int, shards)
 	for s := 0; s < shards; s++ {
-		for v := 0; v < vnodesPerShard; v++ {
-			pts = append(pts, point{hash64("shard-" + strconv.Itoa(s) + "-" + strconv.Itoa(v)), s})
-		}
+		names[s] = "shard-" + strconv.Itoa(s)
+		idx[names[s]] = s
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].h < pts[j].h })
-	for _, p := range pts {
-		r.hashes = append(r.hashes, p.h)
-		r.shards = append(r.shards, p.s)
-	}
-	return r
+	return &ring{nr: NewNodeRing(names), idx: idx}
 }
 
 // shard returns the shard index owning device.
-func (r *ring) shard(device string) int {
-	h := hash64(device)
-	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
-	if i == len(r.hashes) {
-		i = 0
-	}
-	return r.shards[i]
-}
+func (r *ring) shard(device string) int { return r.idx[r.nr.Owner(device)] }
 
 func hash64(s string) uint64 {
 	h := fnv.New64a()
@@ -106,14 +84,43 @@ type shardCkpt struct {
 	retired *analysis.StreamResult
 }
 
+// transferEntry is one device's state adopted from a checkpoint handoff:
+// its accepted-record high-water mark and, for a stream that was still live
+// on the dead node, its decoded accumulator (nil for finalized devices,
+// whose contribution rides in the transfer's retired aggregate).
+type transferEntry struct {
+	device string
+	seq    int64
+	acc    *analysis.StreamAccumulator
+}
+
+// restoreReq installs transferred device state into a running shard. Unlike
+// checkpoint restore at Start (single-threaded, before the worker runs),
+// this races with live ingest, so it goes through the queue like everything
+// else and the worker applies it with the same positional rule: an incoming
+// seq wins only if it is strictly ahead of what this shard has accepted.
+type restoreReq struct {
+	entries []transferEntry
+	retired *analysis.StreamResult // merged once, nil on all but one request
+	reply   chan<- transferReply
+}
+
+// transferReply reports what a shard did with a restoreReq.
+type transferReply struct {
+	accepted int   // entries adopted (incoming seq ahead of local)
+	stale    int   // entries dropped (local state already at or past seq)
+	records  int64 // record-count delta added to the accepted totals
+}
+
 // shardReq is one message on a shard's queue. Exactly one field is set.
 type shardReq struct {
-	batch *recordBatch
-	fin   *finReq
-	seq   *seqReq
-	skip  *skipReq
-	query chan<- *analysis.StreamResult // snapshot-merge request
-	ckpt  chan<- shardCkpt
+	batch   *recordBatch
+	fin     *finReq
+	seq     *seqReq
+	skip    *skipReq
+	restore *restoreReq
+	query   chan<- *analysis.StreamResult // snapshot-merge request
+	ckpt    chan<- shardCkpt
 }
 
 // shard owns a disjoint subset of devices. All state is confined to the
@@ -177,6 +184,8 @@ func (s *shard) run() {
 				s.seqs[req.skip.device] = req.skip.seq + 1
 				s.counters.recordsSkipped.Add(1)
 			}
+		case req.restore != nil:
+			req.restore.reply <- s.adopt(req.restore)
 		case req.query != nil:
 			req.query <- s.snapshot()
 		case req.ckpt != nil:
@@ -226,6 +235,43 @@ func (s *shard) feed(b *recordBatch) {
 		dev.records.Add(1)
 	}
 	s.seqs[b.device] = exp
+}
+
+// adopt applies a checkpoint handoff to the shard's live state. Each entry
+// replaces local state only when its seq is strictly ahead — an accumulator
+// at seq k is bit-determined by records 0..k-1, so whichever side has seen
+// more of the (append-only, positionally-deduped) stream holds a superset
+// of the other and replacement never loses accepted records. Entries at or
+// behind the local high-water mark are stale replays of state this shard
+// already has (or has surpassed via client retransmission) and are dropped,
+// which makes re-delivering the same transfer idempotent.
+func (s *shard) adopt(r *restoreReq) transferReply {
+	var rep transferReply
+	for _, e := range r.entries {
+		cur := s.seqs[e.device]
+		if e.seq <= cur {
+			rep.stale++
+			continue
+		}
+		if e.acc != nil {
+			s.live[e.device] = e.acc
+		} else {
+			// Finalized on the dead node: its result arrives in the
+			// transfer's retired aggregate, so any partial re-stream this
+			// shard accumulated is superseded and discarded.
+			delete(s.live, e.device)
+		}
+		delta := e.seq - cur
+		s.seqs[e.device] = e.seq
+		s.counters.records.Add(delta)
+		s.reg.get(e.device).records.Add(delta)
+		rep.accepted++
+		rep.records += delta
+	}
+	if r.retired != nil {
+		s.retired.Merge(r.retired)
+	}
+	return rep
 }
 
 // snapshot merges the retired aggregate with a Snapshot of every live

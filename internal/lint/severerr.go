@@ -30,10 +30,14 @@ var SeverErr = &Analyzer{
 	Run:  runSeverErr,
 }
 
-// severErrPkgs is the scope: the wire protocol and its checkpoint codec.
+// severErrPkgs is the scope: the wire protocol, its checkpoint codec, and
+// the cluster tier (membership snapshots and checkpoint transfers cross
+// the same trust boundary — a corrupt pull or handoff must be dropped,
+// never blended into a fleet merge).
 var severErrPkgs = map[string]bool{
 	"netenergy/internal/ingest":            true,
 	"netenergy/internal/ingest/checkpoint": true,
+	"netenergy/internal/cluster":           true,
 }
 
 func runSeverErr(pass *Pass) error {

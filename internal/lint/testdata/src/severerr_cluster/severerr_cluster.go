@@ -1,0 +1,70 @@
+// Test fixture for the severerr analyzer under the fake import path
+// netenergy/internal/cluster (newly in scope): snapshot pulls and
+// checkpoint-transfer decodes are trust boundaries, so their errors must
+// sever — skip the node for the cycle, reject the transfer — never be
+// logged and blended into a fleet merge.
+package cluster
+
+import (
+	"errors"
+	"log"
+)
+
+var errCorrupt = errors.New("corrupt")
+
+func decodeSnapshot(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errCorrupt
+	}
+	return int(b[0]), nil
+}
+
+func readTransfer(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errCorrupt
+	}
+	return b, nil
+}
+
+func merge(v int)     {}
+func adopt(b []byte)  {}
+func logOnly(e error) { log.Println(e) }
+
+// A corrupt pull blended into the merge: flagged.
+func PullLoop(pulls [][]byte) {
+	for _, b := range pulls {
+		v, err := decodeSnapshot(b)
+		if err != nil { // want "error from decodeSnapshot logged-and-continued"
+			logOnly(err)
+		}
+		merge(v)
+	}
+}
+
+// Discarded transfer verification: flagged.
+func Transfer(b []byte) {
+	readTransfer(b) // want "error from readTransfer discarded"
+	adopt(b)
+}
+
+// The contract shape: a failed pull severs by abandoning the node for
+// this cycle, a failed transfer severs by rejecting the request.
+func PullLoopClean(pulls [][]byte) {
+	for _, b := range pulls {
+		v, err := decodeSnapshot(b)
+		if err != nil {
+			logOnly(err)
+			continue
+		}
+		merge(v)
+	}
+}
+
+func TransferClean(b []byte) error {
+	body, err := readTransfer(b)
+	if err != nil {
+		return err
+	}
+	adopt(body)
+	return nil
+}

@@ -11,9 +11,10 @@
 #
 # After writing the new JSON the script compares it against the most
 # recent previous BENCH_*.json and fails on a >15% regression in the apply
-# budget pair (ns_per_op) or any decode throughput (decode_mbps) metric,
-# so a slow decoder can't land silently. -no-compare skips that gate
-# (first run on a new machine, or a deliberate trade-off).
+# budget pair (ns_per_op), any decode throughput (decode_mbps) metric, or
+# the aggregator merge cycle (aggregate_merge_ms), so a slow decoder or a
+# merge that goes quadratic in devices can't land silently. -no-compare
+# skips that gate (first run on a new machine, or a deliberate trade-off).
 #
 # Usage: scripts/bench.sh [-no-compare] [out.json]
 #   BENCHTIME=2s COUNT=5 scripts/bench.sh   # longer, steadier runs
@@ -95,6 +96,15 @@ echo "bench: trace container decode (benchtime=$TRACE_BENCHTIME count=$TRACE_COU
 go test -run '^$' -bench 'BenchmarkDecode' -benchmem \
   -benchtime="$TRACE_BENCHTIME" -count="$TRACE_COUNT" ./internal/trace/ | tee -a "$RAW" >&2
 
+# Fleet merge cycle: aggregatord's pull-and-merge loop against three
+# in-process nodes. Reports aggregate_merge_ms (wall time of one full
+# cycle), which bounds fleet-headline staleness at a given pull interval;
+# iteration-counted because each cycle does real HTTP round trips.
+MERGE_BENCHTIME=${MERGE_BENCHTIME:-5x}
+echo "bench: aggregator merge cycle (benchtime=$MERGE_BENCHTIME count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkAggregateMerge' -benchmem \
+  -benchtime="$MERGE_BENCHTIME" -count="$COUNT" ./internal/cluster/ | tee -a "$RAW" >&2
+
 echo "bench: paper-artifact benchmarks (1 iteration each)" >&2
 go test -run '^$' -bench . -benchmem -benchtime=1x . | tee -a "$RAW" >&2
 
@@ -117,12 +127,13 @@ BEGIN { n = 0 }
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
-  ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""; mbps = ""
+  ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""; mbps = ""; merge_ms = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     else if ($(i+1) == "B/op") bop = $i
     else if ($(i+1) == "allocs/op") aop = $i
     else if ($(i+1) == "decode_mbps") mbps = $i
+    else if ($(i+1) == "aggregate_merge_ms") merge_ms = $i
     else if ($(i+1) ~ /\//) { extra_k = $(i+1); extra_v = $i }
   }
   if (ns == "") next
@@ -133,6 +144,7 @@ BEGIN { n = 0 }
     if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
     if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
     if (mbps != "") line = line sprintf(", \"decode_mbps\": %s", mbps)
+    if (merge_ms != "") line = line sprintf(", \"aggregate_merge_ms\": %s", merge_ms)
     if (extra_k != "") line = line sprintf(", \"%s\": %s", extra_k, extra_v)
     line = line "}"
     out[key] = line
@@ -168,8 +180,9 @@ if [ -n "$pct" ]; then
 fi
 
 # Trajectory gate: compare against the previous run. The apply pair may
-# not get >15% slower (ns_per_op up) and no decode throughput may drop
-# >15% (decode_mbps down); metrics absent from either side are skipped,
+# not get >15% slower (ns_per_op up), no decode throughput may drop >15%
+# (decode_mbps down), and the aggregator merge cycle may not stretch >15%
+# (aggregate_merge_ms up); metrics absent from either side are skipped,
 # so the first run that introduces a benchmark just records its baseline.
 if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
   echo "bench: comparing against $PREV_NAME (fail on >15% regression; -no-compare skips)" >&2
@@ -188,9 +201,11 @@ if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
     if (FNR == NR) {
       old_ns[name] = metric($0, "ns_per_op")
       old_mbps[name] = metric($0, "decode_mbps")
+      old_merge[name] = metric($0, "aggregate_merge_ms")
       next
     }
     ns = metric($0, "ns_per_op"); mbps = metric($0, "decode_mbps")
+    merge = metric($0, "aggregate_merge_ms")
     if (name ~ /^BenchmarkApply(Instrumented|Bare)$/ && ns != "" && old_ns[name] != "" && old_ns[name] + 0 > 0) {
       pct = 100 * (ns - old_ns[name]) / old_ns[name]
       printf "bench: %s ns_per_op %s -> %s (%+.1f%%)\n", name, old_ns[name], ns, pct > "/dev/stderr"
@@ -200,6 +215,11 @@ if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
       pct = 100 * (old_mbps[name] - mbps) / old_mbps[name]
       printf "bench: %s decode_mbps %s -> %s (%+.1f%% throughput)\n", name, old_mbps[name], mbps, -pct > "/dev/stderr"
       if (pct > 15) { printf "bench: FAIL %s decode throughput fell %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
+    }
+    if (merge != "" && old_merge[name] != "" && old_merge[name] + 0 > 0) {
+      pct = 100 * (merge - old_merge[name]) / old_merge[name]
+      printf "bench: %s aggregate_merge_ms %s -> %s (%+.1f%%)\n", name, old_merge[name], merge, pct > "/dev/stderr"
+      if (pct > 15) { printf "bench: FAIL %s merge cycle stretched %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
     }
   }
   END { exit bad ? 1 : 0 }

@@ -1,22 +1,39 @@
 #!/usr/bin/env bash
-# End-to-end ingest smoke test, two phases:
-#   1. clean: stream a 200-device synthetic fleet into a local ingestd and
-#      require zero dropped records and a clean SIGTERM drain;
-#   2. chaos: same fleet against a FRESH server (the devices restart their
+# End-to-end ingest smoke test, four phases:
+#   1. golden: batch and streamed analysis must still reproduce
+#      testdata/golden.json;
+#   2. clean: stream a 200-device synthetic fleet into a local ingestd and
+#      require zero dropped records and a clean SIGTERM drain (the final
+#      headline is kept as the cluster phase's reference);
+#   3. chaos: same fleet against a FRESH server (the devices restart their
 #      streams from sequence 0) through the fault injector — drops and bit
 #      corruption on the wire — and require the sever/resume/dedup loop to
-#      still deliver every record exactly once.
+#      still deliver every record exactly once;
+#   4. cluster: same fleet across a three-node cluster behind aggregatord,
+#      with one node kill -9'd as soon as it has accepted records and
+#      written a checkpoint. The probers must declare it dead, its
+#      checkpoint must hand off to the survivors, the sessions must walk
+#      their ring preference and resume, and the merged fleet headline
+#      must equal the single-node reference from phase 2 — ints exactly,
+#      floats within 1e-6 relative.
 # Run via `make smoke` (needs ./bin built).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=${SMOKE_ADDR:-127.0.0.1:19909}
 ADMIN=${SMOKE_ADMIN:-127.0.0.1:19910}
+AGG=${SMOKE_AGG:-127.0.0.1:19920}
 DEVICES=${SMOKE_DEVICES:-200}
 DAYS=${SMOKE_DAYS:-1}
 
+WORK=$(mktemp -d)
 pid=
-cleanup() { [ -n "$pid" ] && kill "$pid" 2>/dev/null || true; }
+pids=()
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  for p in "${pids[@]+"${pids[@]}"}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
 trap cleanup EXIT
 
 run_phase() { # name, extra fleetsim flags...
@@ -40,6 +57,126 @@ run_phase() { # name, extra fleetsim flags...
   echo "smoke: $name phase ok"
 }
 
+# jfield extracts one numeric field from an indented JSON headline.
+jfield() { # file key
+  grep -o "\"$2\":[[:space:]]*[-0-9.eE+]*" "$1" | head -1 | sed 's/.*:[[:space:]]*//'
+}
+
+run_cluster() {
+  local cluster="n1=127.0.0.1:19911/127.0.0.1:19912,n2=127.0.0.1:19913/127.0.0.1:19914,n3=127.0.0.1:19915/127.0.0.1:19916"
+  local streams="127.0.0.1:19911,127.0.0.1:19913,127.0.0.1:19915"
+  local dirs=("$WORK/n1" "$WORK/n2" "$WORK/n3")
+  mkdir -p "${dirs[@]}"
+
+  # -handoff-on-drain=false: this phase exercises the crash handoff (the
+  # aggregator ships the dead node's checkpoint); the survivors' graceful
+  # drain at the end has no live peers left to ship to.
+  local i
+  for i in 1 2 3; do
+    ./bin/ingestd -listen "127.0.0.1:199$((9 + 2 * i))" -admin "127.0.0.1:199$((10 + 2 * i))" \
+      -node-id "n$i" -cluster "$cluster" -shards 4 \
+      -checkpoint-dir "${dirs[$((i - 1))]}" -checkpoint-interval 250ms \
+      -heartbeat 250ms -fail-threshold 2 -handoff-on-drain=false &
+    pids+=($!)
+  done
+  local victim=${pids[1]} # n2, admin 127.0.0.1:19914
+  ./bin/aggregatord -listen "$AGG" -cluster "$cluster" \
+    -handoff-dirs "n1=${dirs[0]},n2=${dirs[1]},n3=${dirs[2]}" \
+    -interval 400ms -heartbeat 250ms -fail-threshold 2 &
+  pids+=($!)
+
+  # Chaos step: pull n2's plug (SIGKILL, no drain) the moment it has
+  # accepted records AND written a durable checkpoint, so the death lands
+  # mid-run with state on disk to hand off.
+  (
+    for _ in $(seq 1 600); do
+      st=$(curl -fsS "http://127.0.0.1:19914/stats" 2>/dev/null || true)
+      recs=$(printf '%s' "$st" | grep -o '"records":[[:space:]]*[0-9]*' | head -1 | tr -dc 0-9)
+      gen=$(printf '%s' "$st" | grep -o '"generation":[[:space:]]*[0-9]*' | head -1 | tr -dc 0-9)
+      if [ -n "${recs:-}" ] && [ "$recs" -gt 0 ] && [ -n "${gen:-}" ] && [ "$gen" -ge 1 ]; then
+        kill -9 "$victim"
+        exit 0
+      fi
+      sleep 0.05
+    done
+    exit 1
+  ) &
+  local killer=$!
+
+  # fleetsim routes every session by the shared ring, follows redirect
+  # acks, and reconciles its acked-record counters against the
+  # aggregator's merged exposition — exactly-once across the node death.
+  # -speedup paces each device's day over ~10s of wall time so the kill
+  # lands while every stream is still active: an active session
+  # retransmits what the dead node acked past its last checkpoint,
+  # whereas a completed session's records in that window are gone with
+  # the node (FIN ack ≠ durable — durability is the checkpoint; see
+  # DESIGN.md). Unpaced, small devices finish inside the first
+  # checkpoint interval and the kill loses their tail nondeterministically.
+  ./bin/fleetsim -nodes "$streams" -aggregator "http://$AGG" \
+    -devices "$DEVICES" -days "$DAYS" -seed 7 -deadline 5m -speedup 8640
+
+  if ! wait "$killer"; then
+    echo "smoke: victim node was never killed (no records/checkpoint observed on n2)" >&2
+    exit 1
+  fi
+
+  # The kill can land after fleetsim's reconcile; settle again so the
+  # comparison below always sees the post-death, post-handoff fleet.
+  local want_records live recs
+  want_records=$(jfield "$WORK/ref.json" records)
+  for _ in $(seq 1 300); do
+    m=$(curl -fsS "http://$AGG/metrics" 2>/dev/null || true)
+    live=$(printf '%s' "$m" | awk '/^aggregator_nodes_live /{print int($2)}')
+    recs=$(printf '%s' "$m" | awk '/^aggregator_records /{print int($2)}')
+    if [ "${live:-3}" -eq 2 ] && [ "${recs:-0}" -eq "$want_records" ]; then break; fi
+    sleep 0.1
+  done
+  if [ "${live:-3}" -ne 2 ] || [ "${recs:-0}" -ne "$want_records" ]; then
+    echo "smoke: cluster did not settle after kill (nodes_live=${live:-?} records=${recs:-?}, want 2/$want_records)" >&2
+    exit 1
+  fi
+  curl -fsS "http://$AGG/headline" > "$WORK/fleet.json"
+
+  # The merged fleet headline must equal the single-node reference.
+  local k a b
+  for k in devices records; do
+    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$WORK/fleet.json" "$k")
+    if [ "$a" != "$b" ]; then
+      echo "smoke: fleet headline $k = $b, single-node reference $a" >&2
+      exit 1
+    fi
+  done
+  for k in total_energy_j background_fraction first_minute_fraction; do
+    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$WORK/fleet.json" "$k")
+    if ! awk -v a="$a" -v b="$b" 'BEGIN {
+      d = a - b; if (d < 0) d = -d
+      m = a; if (m < 0) m = -m
+      exit (d <= 1e-6 * (1 + m) ? 0 : 1)
+    }'; then
+      echo "smoke: fleet headline $k = $b, single-node reference $a (>1e-6 relative)" >&2
+      exit 1
+    fi
+  done
+  echo "smoke: fleet headline matches single-node reference ($want_records records across survivors)"
+
+  # Graceful drain of the survivors and the aggregator: all must exit 0.
+  local p
+  for p in "${pids[@]}"; do
+    [ "$p" = "$victim" ] && continue
+    kill -TERM "$p" 2>/dev/null || true
+  done
+  for p in "${pids[@]}"; do
+    [ "$p" = "$victim" ] && continue
+    if ! wait "$p"; then
+      echo "smoke: cluster process $p did not drain cleanly" >&2
+      exit 1
+    fi
+  done
+  pids=()
+  echo "smoke: cluster phase ok"
+}
+
 # Golden end-to-end check: batch and streamed analysis of the fixed-seed
 # fleet must still reproduce testdata/golden.json bit-for-bit (ints) /
 # within 1e-9 (floats). Catches silent drift in the numeric pipeline that
@@ -47,7 +184,9 @@ run_phase() { # name, extra fleetsim flags...
 go test -run '^TestGolden$' -count=1 .
 echo "smoke: golden phase ok"
 
-run_phase clean
+run_phase clean -headline-json "$WORK/ref.json"
 run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
+run_cluster
 trap - EXIT
+rm -rf "$WORK"
 echo "smoke: ok"
