@@ -40,6 +40,8 @@ func main() {
 		probeMax      = flag.Duration("probe-max", 0, "re-probe interval cap for dead members (0: 10x heartbeat)")
 		failThreshold = flag.Int("fail-threshold", 3, "consecutive probe failures that declare a member dead")
 		handoffDirs   = flag.String("handoff-dirs", "", "id=checkpointDir,... for dead-member checkpoint handoff")
+		pullAttempts  = flag.Int("pull-attempts", 2, "snapshot pull attempts per node per cycle (retries with backoff)")
+		shipAttempts  = flag.Int("handoff-attempts", 3, "checkpoint handoff transfer attempts per survivor (retries with backoff)")
 	)
 	flag.Parse()
 
@@ -62,9 +64,11 @@ func main() {
 	})
 	prober.Start()
 	agg := cluster.NewAggregator(cluster.AggregatorConfig{
-		Prober:      prober,
-		Interval:    *interval,
-		HandoffDirs: dirs,
+		Prober:          prober,
+		Interval:        *interval,
+		HandoffDirs:     dirs,
+		PullAttempts:    *pullAttempts,
+		HandoffAttempts: *shipAttempts,
 	})
 	agg.Start()
 

@@ -248,6 +248,16 @@ func crossCheckFleet(aggr string, c *counters) error {
 		h.Devices, h.Records, h.TotalEnergyJ, h.BackgroundFraction, h.FirstMinuteFraction, h.Epoch, h.NodesLive)
 	fmt.Printf("fleetsim: aggregator reconciled %d records across %d live nodes (%.0f pull errors)\n",
 		sent, int(m["aggregator_nodes_live"]), m["aggregator_pull_errors_total"])
+	// Surface the fault-recovery machinery the reconcile rode through:
+	// exactly-once holding *because* a handoff shipped (and maybe retried)
+	// or a zombie was fenced reads very differently from a clean run.
+	if n := m["aggregator_handoffs_total"]; n > 0 {
+		fmt.Printf("fleetsim: fleet recovered through %.0f checkpoint handoff(s) (%.0f transfer retries, %.0f pull retries)\n",
+			n, m["aggregator_handoff_retries_total"], m["aggregator_pull_retries_total"])
+	}
+	if n := m["aggregator_fenced_skips_total"]; n > 0 {
+		fmt.Printf("fleetsim: aggregator fenced resurrected member(s) out of the merge %.0f time(s)\n", n)
+	}
 	return nil
 }
 

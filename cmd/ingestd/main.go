@@ -32,8 +32,17 @@
 // consistent-hash ring assigns to its live view, and answers handshakes
 // for foreign devices with a redirect ack naming the owner. On graceful
 // drain the node ships its final checkpoint to the live peers
-// (-handoff-on-drain), so its devices' state moves to the new owners
-// without waiting for an aggregatord-triggered handoff.
+// (-handoff-on-drain) and leaves a tombstone in its own checkpoint dir,
+// so its devices' state moves to the new owners without waiting for an
+// aggregatord-triggered handoff and a later restart cannot resurrect it.
+//
+// With -durable-fin a session's FIN is acknowledged only after its final
+// records are in a fsynced checkpoint (group-committed across concurrent
+// FINs), so a node crash immediately after the ack cannot lose a
+// completed session's tail. A node whose state was handed off while it
+// was partitioned is fenced by aggregatord when it resurfaces: it stops
+// serving streams, archives its checkpoint dir behind the tombstone, and
+// rejoins with a fresh incarnation on restart — no operator wipe needed.
 package main
 
 import (
@@ -62,6 +71,7 @@ func main() {
 
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe checkpoints (empty: durability off)")
 		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "checkpoint cadence (max progress lost to a crash)")
+		durableFIN   = flag.Bool("durable-fin", false, "checkpoint a session's final records before acking its FIN (needs -checkpoint-dir; closes the FIN-ack durability window at some ack latency cost)")
 		rateLimit    = flag.Float64("rate-limit", 0, "per-device connection admissions per second (0: unlimited)")
 		rateBurst    = flag.Int("rate-burst", 3, "per-device admission token-bucket depth")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under the admin server's /debug/pprof/")
@@ -84,6 +94,7 @@ func main() {
 		ReadTimeout:        *timeout,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptInterval,
+		DurableFIN:         *durableFIN,
 		RateLimit:          *rateLimit,
 		RateBurst:          *rateBurst,
 		EnablePprof:        *pprofOn,
@@ -119,6 +130,15 @@ func main() {
 			FailThreshold: *failThreshold,
 		})
 		cfg.Route = cluster.NewView(self, prober).Route
+		cfg.ClusterEpoch = prober.Epoch
+		cfg.OnFenced = func(reason string) {
+			fmt.Fprintln(os.Stderr, "ingestd: FENCED:", reason)
+			fmt.Fprintln(os.Stderr, "ingestd: this node's state was handed off to the survivors; its checkpoint dir is archived — restart to rejoin with a fresh incarnation")
+		}
+	}
+	if *durableFIN && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "ingestd: -durable-fin requires -checkpoint-dir")
+		os.Exit(1)
 	}
 
 	srv := ingest.NewServer(cfg)
@@ -169,12 +189,21 @@ func main() {
 	// Shutdown above) to the live peers so this node's devices resume on
 	// their new owners without waiting for a dead-member detection cycle.
 	if prober != nil && *handoffDrain && *ckptDir != "" {
-		shipDrainCheckpoint(prober, self, *ckptDir)
+		if srv.Fenced() {
+			// A fenced node's state already lives on the survivors; shipping
+			// it again would double-count every adopted record.
+			fmt.Fprintln(os.Stderr, "ingestd: drain handoff skipped: node is fenced (state already handed off)")
+		} else {
+			shipDrainCheckpoint(prober, self, *ckptDir)
+		}
 	}
 }
 
 // shipDrainCheckpoint delivers this node's latest checkpoint to every live
-// peer (self excluded).
+// peer (self excluded), retrying transient failures, and on success leaves
+// a tombstone in its own checkpoint dir: the shipped state now lives on
+// the peers, so a later restart from this dir must archive it rather than
+// resurrect records the fleet already counts elsewhere.
 func shipDrainCheckpoint(prober *cluster.Prober, self cluster.Member, dir string) {
 	store, err := checkpoint.Open(dir)
 	if err != nil {
@@ -196,7 +225,12 @@ func shipDrainCheckpoint(prober *cluster.Prober, self cluster.Member, dir string
 		fmt.Fprintln(os.Stderr, "ingestd: drain handoff: no live peers")
 		return
 	}
-	results, err := cluster.ShipCheckpoint(nil, file, peers)
+	results, err := cluster.ShipCheckpointRetry(nil, file, peers, cluster.ShipPolicy{
+		Attempts: 3,
+		OnAttempt: func(member string, attempt int, err error) {
+			fmt.Fprintf(os.Stderr, "ingestd: drain handoff -> %s attempt %d: %v\n", member, attempt, err)
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ingestd: drain handoff:", err)
 	}
@@ -206,4 +240,17 @@ func shipDrainCheckpoint(prober *cluster.Prober, self cluster.Member, dir string
 	}
 	fmt.Printf("ingestd: drain handoff shipped checkpoint gen %d to %d peers (%d device states adopted)\n",
 		gen, len(results), adopted)
+	if len(results) == 0 {
+		return
+	}
+	tomb := checkpoint.Tombstone{Node: self.ID, Generation: gen, UnixNano: time.Now().UnixNano()}
+	if snap, derr := checkpoint.DecodeFile(file); derr == nil {
+		tomb.Incarnation = snap.Fence.Incarnation
+		tomb.Epoch = snap.Fence.Epoch
+	}
+	if err := checkpoint.WriteTombstone(dir, tomb); err != nil {
+		fmt.Fprintln(os.Stderr, "ingestd: drain handoff: tombstone write failed:", err)
+		return
+	}
+	fmt.Printf("ingestd: tombstone written (gen %d); a restart from %s archives the shipped state and rejoins fresh\n", gen, dir)
 }

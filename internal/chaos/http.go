@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is returned for any operation that would cross an active
+// partition cut. It reaches callers wrapped, so test with errors.Is.
+var ErrPartitioned = errors.New("chaos: partitioned")
+
+// AdminConfig sets HTTP-plane fault probabilities and magnitudes. The zero
+// value injects nothing; partitions are driven imperatively via Partition
+// and Heal regardless of rates.
+type AdminConfig struct {
+	// TimeoutRate is the per-request probability of failing the round trip
+	// with a timeout error before any bytes are exchanged (simulates a lost
+	// request or a hung peer; the caller's retry policy must cover it).
+	TimeoutRate float64
+	// CorruptRate is the per-request probability of flipping one bit in the
+	// response body (simulates on-path corruption; the consumer's CRC or
+	// decoder must catch it).
+	CorruptRate float64
+	// SlowRate is the per-request probability of delaying the response by a
+	// uniform random duration up to MaxDelay (simulates a congested or
+	// GC-pausing peer; must not be mistaken for death).
+	SlowRate float64
+	// MaxDelay bounds SlowRate's injected latency.
+	MaxDelay time.Duration
+	// Seed fixes the fault schedule. With concurrent requests the draw
+	// order follows scheduling, so replays are statistically — not
+	// byte-for-byte — identical.
+	Seed int64
+}
+
+// AdminFaults injects faults into a cluster's HTTP admin plane and
+// enforces network partitions across both planes. A partition is a cut
+// set of endpoint addresses: an operation is blocked iff exactly one of
+// its two endpoints is inside the cut, so minority<->minority and
+// majority<->majority traffic still flows — the standard two-sided
+// partition model. One AdminFaults is shared by every party in a test so
+// all of them observe the same cut. Safe for concurrent use.
+type AdminFaults struct {
+	cfg AdminConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cut map[string]bool
+
+	timeouts, corruptions, slows, blocked int64
+}
+
+// NewAdmin builds an AdminFaults.
+func NewAdmin(cfg AdminConfig) *AdminFaults {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b9
+	}
+	return &AdminFaults{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		cut: map[string]bool{},
+	}
+}
+
+// Partition moves one endpoint address into (true) or out of (false) the
+// cut set. A node usually has several addresses (stream and admin): cut
+// them all to isolate it.
+func (a *AdminFaults) Partition(addr string, cut bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cut {
+		a.cut[addr] = true
+	} else {
+		delete(a.cut, addr)
+	}
+}
+
+// Heal clears the whole cut set.
+func (a *AdminFaults) Heal() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cut = map[string]bool{}
+}
+
+// Stats reports how many faults of each kind have been injected.
+func (a *AdminFaults) Stats() (timeouts, corruptions, slows, blocked int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.timeouts, a.corruptions, a.slows, a.blocked
+}
+
+// crosses reports whether from->to traffic is blocked by the current cut.
+func (a *AdminFaults) crosses(from, to string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cut[from] != a.cut[to] {
+		a.blocked++
+		return true
+	}
+	return false
+}
+
+// draw samples this request's fault schedule under the injector lock.
+func (a *AdminFaults) draw() (timeout bool, corrupt bool, delay time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.TimeoutRate > 0 && a.rng.Float64() < a.cfg.TimeoutRate {
+		a.timeouts++
+		return true, false, 0
+	}
+	if a.cfg.CorruptRate > 0 && a.rng.Float64() < a.cfg.CorruptRate {
+		a.corruptions++
+		corrupt = true
+	}
+	if a.cfg.SlowRate > 0 && a.cfg.MaxDelay > 0 && a.rng.Float64() < a.cfg.SlowRate {
+		a.slows++
+		delay = time.Duration(a.rng.Int63n(int64(a.cfg.MaxDelay)))
+	}
+	return false, corrupt, delay
+}
+
+// flip corrupts one bit of b in place using the injector's rand stream.
+func (a *AdminFaults) flip(b []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b[a.rng.Intn(len(b))] ^= 1 << a.rng.Intn(8)
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with fault
+// injection for requests originating at the endpoint address self.
+// Partition blocks are checked against the request URL's host.
+func (a *AdminFaults) Transport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &adminTransport{a: a, self: self, base: base, faults: true}
+}
+
+// PartitionOnlyTransport is Transport without the probabilistic faults:
+// requests crossing the cut are blocked, everything else passes clean.
+// For planes — liveness probes above all — where an injected timeout
+// would fabricate membership churn unrelated to the scenario under test.
+func (a *AdminFaults) PartitionOnlyTransport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &adminTransport{a: a, self: self, base: base}
+}
+
+type adminTransport struct {
+	a      *AdminFaults
+	self   string
+	base   http.RoundTripper
+	faults bool
+}
+
+// timeoutErr satisfies net.Error so callers treating timeouts specially
+// (retry-with-backoff) exercise that path.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "chaos: injected timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func (t *adminTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.a.crosses(t.self, req.URL.Host) {
+		if req.Body != nil {
+			req.Body.Close() //nolint:errcheck
+		}
+		return nil, &net.OpError{Op: "roundtrip", Net: "tcp", Err: ErrPartitioned}
+	}
+	var timeout, corrupt bool
+	var delay time.Duration
+	if t.faults {
+		timeout, corrupt, delay = t.a.draw()
+	}
+	if timeout {
+		if req.Body != nil {
+			req.Body.Close() //nolint:errcheck
+		}
+		return nil, &net.OpError{Op: "roundtrip", Net: "tcp", Err: timeoutErr{}}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if corrupt {
+		// Corrupt a fully-buffered copy so ContentLength stays truthful and
+		// the fault is in payload bytes, not framing.
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > 0 {
+			t.a.flip(body)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}
+
+// WrapStream applies the partition cut to a stream-plane connection
+// originating at self: once the remote peer lands on the other side of
+// the cut, every read and write fails with ErrPartitioned and the
+// connection is closed — in-flight sessions sever and walk to another
+// node, exactly like a mid-stream network split. Write-side data faults
+// stay with Injector.Wrap; this wrapper is purely the partition model.
+func (a *AdminFaults) WrapStream(self string, conn net.Conn) net.Conn {
+	return &partConn{Conn: conn, a: a, self: self, remote: conn.RemoteAddr().String()}
+}
+
+type partConn struct {
+	net.Conn
+	a      *AdminFaults
+	self   string
+	remote string
+}
+
+func (c *partConn) check() error {
+	if c.a.crosses(c.self, c.remote) {
+		c.Conn.Close()
+		return &net.OpError{Op: "write", Net: "tcp", Err: ErrPartitioned}
+	}
+	return nil
+}
+
+func (c *partConn) Write(b []byte) (int, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *partConn) Read(b []byte) (int, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(b)
+}

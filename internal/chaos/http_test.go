@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestAdminZeroConfigTransparent: a zero-config transport must pass
+// requests and responses through unaltered.
+func TestAdminZeroConfigTransparent(t *testing.T) {
+	body := bytes.Repeat([]byte("payload!"), 64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body) //nolint:errcheck
+	}))
+	defer srv.Close()
+	cl := &http.Client{Transport: NewAdmin(AdminConfig{}).Transport("me", nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body altered: %d bytes", len(got))
+	}
+}
+
+// TestAdminTimeoutFault: TimeoutRate=1 must fail every round trip with a
+// net.Error whose Timeout() is true, before the server sees the request.
+func TestAdminTimeoutFault(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer srv.Close()
+	a := NewAdmin(AdminConfig{TimeoutRate: 1, Seed: 5})
+	cl := &http.Client{Transport: a.Transport("me", nil)}
+	_, err := cl.Get(srv.URL)
+	if err == nil {
+		t.Fatal("request succeeded with TimeoutRate=1")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v is not a net timeout", err)
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d requests, want 0", hits)
+	}
+	if to, _, _, _ := a.Stats(); to != 1 {
+		t.Fatalf("timeout counter = %d", to)
+	}
+}
+
+// TestAdminCorruptFault: CorruptRate=1 must flip exactly one bit of the
+// response body while keeping ContentLength truthful.
+func TestAdminCorruptFault(t *testing.T) {
+	body := bytes.Repeat([]byte{0x00}, 128)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body) //nolint:errcheck
+	}))
+	defer srv.Close()
+	a := NewAdmin(AdminConfig{CorruptRate: 1, Seed: 9})
+	cl := &http.Client{Transport: a.Transport("me", nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContentLength != int64(len(got)) {
+		t.Fatalf("ContentLength %d, body %d", resp.ContentLength, len(got))
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^body[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flips = %d, want exactly 1", diff)
+	}
+}
+
+// TestAdminSlowFault: SlowRate=1 must delay the response, not fail it.
+func TestAdminSlowFault(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	a := NewAdmin(AdminConfig{SlowRate: 1, MaxDelay: 30 * time.Millisecond, Seed: 13})
+	cl := &http.Client{Transport: a.Transport("me", nil)}
+	for i := 0; i < 4; i++ {
+		resp, err := cl.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if _, _, slows, _ := a.Stats(); slows != 4 {
+		t.Fatalf("slow counter = %d, want 4", slows)
+	}
+}
+
+// TestPartitionCutSemantics: a request is blocked iff exactly one endpoint
+// is inside the cut — same-side traffic keeps flowing, and Heal restores
+// everything.
+func TestPartitionCutSemantics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	target := srv.Listener.Addr().String()
+	a := NewAdmin(AdminConfig{})
+
+	get := func(self string) error {
+		cl := &http.Client{Transport: a.Transport(self, nil)}
+		resp, err := cl.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	a.Partition(target, true)
+	if err := get("majority"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-cut request error = %v, want ErrPartitioned", err)
+	}
+	// A client inside the same cut still reaches the target.
+	a.Partition("minority-peer", true)
+	if err := get("minority-peer"); err != nil {
+		t.Fatalf("same-side request blocked: %v", err)
+	}
+	a.Heal()
+	if err := get("majority"); err != nil {
+		t.Fatalf("healed request blocked: %v", err)
+	}
+	if _, _, _, blocked := a.Stats(); blocked != 1 {
+		t.Fatalf("blocked counter = %d, want 1", blocked)
+	}
+}
+
+// TestWrapStreamPartition: a live stream connection must start failing the
+// moment its peer lands across the cut, and recover nothing afterwards —
+// the session layer is expected to redial elsewhere.
+func TestWrapStreamPartition(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) //nolint:errcheck
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmin(AdminConfig{})
+	conn := a.WrapStream("client", raw)
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("before")); err != nil {
+		t.Fatalf("pre-partition write failed: %v", err)
+	}
+	a.Partition(ln.Addr().String(), true)
+	if _, err := conn.Write([]byte("during")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-cut write error = %v, want ErrPartitioned", err)
+	}
+	// The cut closed the underlying conn: healing does not resurrect it.
+	a.Heal()
+	if _, err := conn.Write([]byte("after")); err == nil {
+		t.Fatal("write succeeded on a conn severed by the partition")
+	}
+}

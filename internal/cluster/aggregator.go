@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -31,6 +32,16 @@ type AggregatorConfig struct {
 	// client retransmission after a death (records since their last ack
 	// are replayed to the new owners; finalized history is lost).
 	HandoffDirs map[string]string
+	// PullAttempts bounds tries per node per cycle (default 2): one retry
+	// covers a transient admin-plane fault without letting a dead node
+	// stall the cycle — the next cycle retries anyway.
+	PullAttempts int
+	// HandoffAttempts bounds transfer tries per survivor (default 3).
+	// Handoffs are one-shot per death, so they retry harder than pulls.
+	HandoffAttempts int
+	// Transport overrides the admin-plane HTTP transport — the
+	// chaos-injection seam (nil: http.DefaultTransport).
+	Transport http.RoundTripper
 }
 
 func (c AggregatorConfig) withDefaults() AggregatorConfig {
@@ -39,6 +50,12 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
+	}
+	if c.PullAttempts <= 0 {
+		c.PullAttempts = 2
+	}
+	if c.HandoffAttempts <= 0 {
+		c.HandoffAttempts = 3
 	}
 	return c
 }
@@ -74,32 +91,51 @@ type Aggregator struct {
 	reg    *obs.Registry
 	events *obs.EventLog
 
-	mergeSeconds  *obs.Histogram
-	pulls         *obs.Counter
-	pullErrors    *obs.Counter
-	handoffs      *obs.Counter
-	handoffErrors *obs.Counter
-	gRecords      *obs.Gauge
-	gDevices      *obs.Gauge
-	gNodesLive    *obs.Gauge
-	gEpoch        *obs.Gauge
-	nodeRecords   map[string]*obs.Gauge
+	mergeSeconds   *obs.Histogram
+	pulls          *obs.Counter
+	pullErrors     *obs.Counter
+	pullRetries    *obs.Counter
+	handoffs       *obs.Counter
+	handoffErrors  *obs.Counter
+	handoffRetries *obs.Counter
+	fencePosts     *obs.Counter
+	fencedSkips    *obs.Counter
+	gRecords       *obs.Gauge
+	gDevices       *obs.Gauge
+	gNodesLive     *obs.Gauge
+	gEpoch         *obs.Gauge
+	nodeRecords    map[string]*obs.Gauge
 
 	mu       sync.RWMutex
 	headline FleetHeadline
 	have     bool
 	prevLive map[string]bool
 
+	// pendingHandoffs tracks dead members whose checkpoint has not been
+	// shipped yet: a handoff that fails outright (unreadable dir, every
+	// survivor unreachable) is retried each cycle while the member stays
+	// dead, instead of being lost with the one-shot death transition. Only
+	// touched from the pull cycle goroutine.
+	pendingHandoffs map[string]bool
+
+	// tombstones remembers the fence owed to each handed-off member: after
+	// its checkpoint is shipped, that incarnation must never contribute a
+	// snapshot again. Only touched from the pull cycle goroutine.
+	tombstones map[string]checkpoint.Tombstone
+
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
 }
 
-// nodePull is one node's decoded snapshot contribution.
+// nodePull is one node's decoded snapshot contribution. fenced marks a
+// node that answered but advertised X-Fenced — alive, but its state is
+// already owned by the survivors.
 type nodePull struct {
 	id      string
 	devices int
 	records int64
+	fenced  bool
 	res     *analysis.StreamResult
 }
 
@@ -109,28 +145,49 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 	reg := obs.New()
 	a := &Aggregator{
 		cfg:    cfg,
-		client: &http.Client{Timeout: cfg.Timeout},
+		client: &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
 		reg:    reg,
 		events: obs.NewEventLog(256),
 
-		mergeSeconds:  reg.Histogram("aggregator_merge_seconds", "one pull-and-merge cycle duration", obs.DurationBuckets()),
-		pulls:         reg.Counter("aggregator_pulls_total", "successful node snapshot pulls"),
-		pullErrors:    reg.Counter("aggregator_pull_errors_total", "failed node snapshot pulls"),
-		handoffs:      reg.Counter("aggregator_handoffs_total", "checkpoint handoffs shipped for dead members"),
-		handoffErrors: reg.Counter("aggregator_handoff_errors_total", "checkpoint handoffs that failed"),
-		gRecords:      reg.Gauge("aggregator_records", "fleet records at the last merge"),
-		gDevices:      reg.Gauge("aggregator_devices", "fleet devices at the last merge"),
-		gNodesLive:    reg.Gauge("aggregator_nodes_live", "live members at the last merge"),
-		gEpoch:        reg.Gauge("aggregator_epoch", "membership epoch at the last merge"),
-		nodeRecords:   map[string]*obs.Gauge{},
+		mergeSeconds:   reg.Histogram("aggregator_merge_seconds", "one pull-and-merge cycle duration", obs.DurationBuckets()),
+		pulls:          reg.Counter("aggregator_pulls_total", "successful node snapshot pulls"),
+		pullErrors:     reg.Counter("aggregator_pull_errors_total", "failed node snapshot pulls"),
+		pullRetries:    reg.Counter("aggregator_pull_retries_total", "snapshot pull attempts beyond the first"),
+		handoffs:       reg.Counter("aggregator_handoffs_total", "checkpoint handoffs shipped for dead members"),
+		handoffErrors:  reg.Counter("aggregator_handoff_errors_total", "checkpoint handoffs that failed"),
+		handoffRetries: reg.Counter("aggregator_handoff_retries_total", "handoff transfer attempts beyond the first"),
+		fencePosts:     reg.Counter("aggregator_fence_posts_total", "fence requests posted to resurrected members"),
+		fencedSkips:    reg.Counter("aggregator_fenced_skips_total", "pull cycles that excluded a fenced member"),
+		gRecords:       reg.Gauge("aggregator_records", "fleet records at the last merge"),
+		gDevices:       reg.Gauge("aggregator_devices", "fleet devices at the last merge"),
+		gNodesLive:     reg.Gauge("aggregator_nodes_live", "live members at the last merge"),
+		gEpoch:         reg.Gauge("aggregator_epoch", "membership epoch at the last merge"),
+		nodeRecords:    map[string]*obs.Gauge{},
+
+		pendingHandoffs: map[string]bool{},
+		tombstones:      map[string]checkpoint.Tombstone{},
 
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	reg.GaugeFunc("aggregator_cluster_epoch", "live membership epoch from the prober",
+		func() float64 { return float64(cfg.Prober.Epoch()) })
 	for _, m := range cfg.Prober.Members() {
 		a.nodeRecords[m.ID] = reg.Gauge(
 			fmt.Sprintf("aggregator_node_records{node=%q}", m.ID),
 			"records contributed by one node at the last merge")
+		id := m.ID
+		reg.GaugeFunc(
+			fmt.Sprintf("aggregator_member_failures{node=%q}", id),
+			"consecutive probe failures for one member",
+			func() float64 {
+				for _, st := range cfg.Prober.Status() {
+					if st.ID == id {
+						return float64(st.Failures)
+					}
+				}
+				return 0
+			})
 	}
 	a.events.RegisterEventMetrics(reg, "aggregator_events_total", "events logged by level")
 	return a
@@ -172,7 +229,7 @@ func (a *Aggregator) run() {
 // corrupt snapshot must never blend into the merge.
 func (a *Aggregator) PullOnce() FleetHeadline {
 	t0 := time.Now()
-	live := a.cfg.Prober.Live()
+	live := a.enforceFences(a.cfg.Prober.Live())
 	epoch := a.cfg.Prober.Epoch()
 	merged := analysis.NewStreamResult("fleet")
 	contribs := make([]NodeContribution, 0, len(live))
@@ -180,9 +237,22 @@ func (a *Aggregator) PullOnce() FleetHeadline {
 	var records int64
 	for _, m := range live {
 		np, err := a.pullNode(m)
+		var bo ingest.Backoff
+		for attempt := 2; err != nil && attempt <= a.cfg.PullAttempts; attempt++ {
+			a.pullRetries.Inc()
+			time.Sleep(bo.Next())
+			np, err = a.pullNode(m)
+		}
 		if err != nil {
 			a.pullErrors.Inc()
 			a.events.Logf(obs.LevelWarn, "pull %s: %v", m.ID, err)
+			continue
+		}
+		if np.fenced {
+			// A fenced process may still hold shipped state in memory; its
+			// snapshot must never blend into the merge again.
+			a.fencedSkips.Inc()
+			a.events.Logf(obs.LevelWarn, "pull %s: node is fenced, excluded from merge", m.ID)
 			continue
 		}
 		a.pulls.Inc()
@@ -227,6 +297,10 @@ func (a *Aggregator) pullNode(m Member) (nodePull, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nodePull{}, fmt.Errorf("snapshot status %d", resp.StatusCode)
 	}
+	if resp.Header.Get("X-Fenced") != "" {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nodePull{id: m.ID, fenced: true}, nil
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nodePull{}, err
@@ -257,9 +331,73 @@ func (a *Aggregator) pullNode(m Member) (nodePull, error) {
 	return nodePull{id: id, devices: devices, records: records, res: res}, nil
 }
 
-// checkHandoff diffs the live set against the previous cycle and ships the
-// checkpoint of every newly-dead member to the survivors. Only called from
-// the pull cycle (single goroutine); prevLive needs no lock of its own.
+// enforceFences handles resurrected members whose state was handed off: a
+// node that comes back alive after its checkpoint was shipped must be
+// fenced before its snapshot can re-enter the merge, or every record the
+// survivors adopted would count twice. For each live member owing a fence,
+// the remembered tombstone is posted to its /fence endpoint: the shipped
+// incarnation acknowledges the fence and is excluded from this cycle; a
+// fresh incarnation (the node genuinely restarted, its own startup check
+// consumed the on-disk tombstone) clears the debt and rejoins; an
+// unreachable member is conservatively excluded until it answers.
+func (a *Aggregator) enforceFences(live []Member) []Member {
+	if len(a.tombstones) == 0 {
+		return live
+	}
+	out := live[:0]
+	for _, m := range live {
+		tomb, owed := a.tombstones[m.ID]
+		if !owed {
+			out = append(out, m)
+			continue
+		}
+		a.fencePosts.Inc()
+		fr, err := postFence(a.client, m, ingest.FenceRequest{
+			Incarnation: tomb.Incarnation, Generation: tomb.Generation,
+		})
+		switch {
+		case err != nil:
+			a.events.Logf(obs.LevelWarn, "fence %s: %v (excluded this cycle)", m.ID, err)
+		case fr.Fenced:
+			a.fencedSkips.Inc()
+			a.events.Logf(obs.LevelWarn, "member %s resurrected with shipped state; fenced (incarnation %s)",
+				m.ID, fr.Incarnation)
+		default:
+			delete(a.tombstones, m.ID)
+			a.events.Logf(obs.LevelInfo, "member %s rejoined with fresh incarnation %s; fence cleared",
+				m.ID, fr.Incarnation)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// postFence posts one fence request to a member's admin plane.
+func postFence(client *http.Client, m Member, req ingest.FenceRequest) (ingest.FenceResponse, error) {
+	var fr ingest.FenceResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fr, err
+	}
+	resp, err := client.Post("http://"+m.Admin+"/fence", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fr, fmt.Errorf("fence status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return fr, err
+	}
+	return fr, nil
+}
+
+// checkHandoff diffs the live set against the previous cycle, queues every
+// newly-dead member, and ships the checkpoint of every queued member to
+// the survivors — a handoff that fails outright stays queued and is
+// retried next cycle while the member remains dead. Only called from the
+// pull cycle (single goroutine); prevLive and the queues need no lock.
 func (a *Aggregator) checkHandoff(live []Member) {
 	cur := make(map[string]bool, len(live))
 	for _, m := range live {
@@ -271,39 +409,68 @@ func (a *Aggregator) checkHandoff(live []Member) {
 		return // first cycle: baseline only
 	}
 	for id := range prev {
+		if !cur[id] {
+			a.pendingHandoffs[id] = true
+		}
+	}
+	for id := range a.pendingHandoffs {
 		if cur[id] {
+			// Back alive before anything shipped: the survivors hold none
+			// of its state, so no handoff and no fence are owed.
+			delete(a.pendingHandoffs, id)
+			a.events.Logf(obs.LevelInfo, "member %s rejoined before its handoff shipped; dropped", id)
 			continue
 		}
-		a.handoff(id, live)
+		if a.handoff(id, live) {
+			delete(a.pendingHandoffs, id)
+		}
 	}
 }
 
-// handoff ships a dead member's latest checkpoint to the survivors.
-func (a *Aggregator) handoff(deadID string, survivors []Member) {
+// handoff ships a dead member's latest checkpoint to the survivors. It
+// returns false when nothing entered the fleet and the attempt should be
+// retried next cycle.
+func (a *Aggregator) handoff(deadID string, survivors []Member) bool {
 	dir := a.cfg.HandoffDirs[deadID]
 	if dir == "" {
 		a.events.Logf(obs.LevelWarn,
 			"member %s died with no checkpoint dir configured; relying on client retransmission", deadID)
-		return
+		return true // nothing will ever ship: don't retry
 	}
 	if len(survivors) == 0 {
 		a.handoffErrors.Inc()
 		a.events.Logf(obs.LevelError, "member %s died with no survivors to hand off to", deadID)
-		return
+		return false
 	}
 	st, err := checkpoint.Open(dir)
 	if err != nil {
 		a.handoffErrors.Inc()
 		a.events.Logf(obs.LevelError, "handoff %s: open checkpoint dir: %v", deadID, err)
-		return
+		return false
 	}
 	file, gen, err := st.LoadLatestRaw()
 	if err != nil || file == nil {
 		a.handoffErrors.Inc()
 		a.events.Logf(obs.LevelError, "handoff %s: no valid checkpoint in %s: %v", deadID, dir, err)
-		return
+		return false
 	}
-	results, err := ShipCheckpoint(a.client, file, survivors)
+	// Decode up front: the fence stamp below needs the snapshot's
+	// incarnation, and a checkpoint we cannot decode should not be
+	// shipped anywhere. Abandoning the attempt keeps the member queued
+	// so the next cycle retries (shipping is content-CRC idempotent).
+	snap, err := checkpoint.DecodeFile(file)
+	if err != nil {
+		a.handoffErrors.Inc()
+		a.events.Logf(obs.LevelError, "handoff %s: decode checkpoint gen %d: %v", deadID, gen, err)
+		return false
+	}
+	results, err := ShipCheckpointRetry(a.client, file, survivors, ShipPolicy{
+		Attempts: a.cfg.HandoffAttempts,
+		OnAttempt: func(member string, attempt int, err error) {
+			a.handoffRetries.Inc()
+			a.events.Logf(obs.LevelWarn, "handoff %s -> %s attempt %d: %v", deadID, member, attempt, err)
+		},
+	})
 	if err != nil {
 		a.handoffErrors.Inc()
 		a.events.Logf(obs.LevelError, "handoff %s gen %d: %v", deadID, gen, err)
@@ -315,6 +482,25 @@ func (a *Aggregator) handoff(deadID string, survivors []Member) {
 	a.handoffs.Inc()
 	a.events.Logf(obs.LevelInfo, "handoff %s gen %d: %d survivors adopted %d devices",
 		deadID, gen, len(results), adopted)
+
+	if len(results) == 0 && err != nil {
+		// Nothing entered the fleet: no fence is owed yet, and the caller
+		// keeps the member queued so next cycle re-ships.
+		return false
+	}
+	// Shipped state is now (at least partially) owned by the survivors.
+	// Record the fence — on disk, so the dead process archives itself at
+	// restart, and in memory, so a live zombie of the shipped incarnation
+	// is fenced before it can re-enter a merge.
+	tomb := checkpoint.Tombstone{
+		Node: deadID, Generation: gen, UnixNano: time.Now().UnixNano(),
+		Incarnation: snap.Fence.Incarnation, Epoch: snap.Fence.Epoch,
+	}
+	if werr := checkpoint.WriteTombstone(dir, tomb); werr != nil {
+		a.events.Logf(obs.LevelError, "handoff %s: tombstone write failed: %v", deadID, werr)
+	}
+	a.tombstones[deadID] = tomb
+	return true
 }
 
 // Headline returns the last merged fleet headline; ok is false before the

@@ -1,10 +1,16 @@
 package cluster
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"netenergy/internal/ingest"
+	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/synthgen"
 )
 
@@ -50,4 +56,68 @@ func BenchmarkAggregateMerge(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "aggregate_merge_ms")
+}
+
+// BenchmarkShipCheckpointRetry measures one dead-member checkpoint handoff
+// through a flaky survivor admin plane: a front end 503s every other
+// transfer POST, so every iteration pays exactly one retry (plus its
+// backoff) before the survivor adopts. The reported handoff_retry_total is
+// retries per shipped handoff — bench.sh records it in BENCH_*.json so the
+// retry loop's existence (and its per-attempt cost) stays visible.
+func BenchmarkShipCheckpointRetry(b *testing.B) {
+	survivor := startIngest(b, ingest.Config{
+		NodeID: "s1", Shards: 2, QueueDepth: 64, BatchSize: 32,
+	})
+	defer survivor.Kill()
+
+	// Build a realistic checkpoint: a node ingests one device, persists,
+	// and dies; its latest generation is what every iteration ships.
+	dir := b.TempDir()
+	dead := startIngest(b, ingest.Config{
+		NodeID: "d1", Shards: 2, QueueDepth: 64, BatchSize: 32,
+		CheckpointDir: dir, CheckpointInterval: time.Hour,
+	})
+	dt := synthgen.GenerateDevice(synthgen.Small(1, 2), 0)
+	streamAll(b, dead.Addr().String(), dt)
+	if err := dead.SaveCheckpoint(); err != nil {
+		b.Fatal(err)
+	}
+	dead.Kill()
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	file, _, err := st.LoadLatestRaw()
+	if err != nil || file == nil {
+		b.Fatalf("no checkpoint to ship: %v", err)
+	}
+
+	var calls atomic.Int64
+	proxy := httputil.NewSingleHostReverseProxy(&url.URL{
+		Scheme: "http", Host: survivor.AdminAddr().String(),
+	})
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	defer front.Close()
+	members := []Member{{ID: "s1", Stream: survivor.Addr().String(), Admin: front.Listener.Addr().String()}}
+
+	var retries int64
+	policy := ShipPolicy{
+		Attempts: 3,
+		Backoff:  ingest.Backoff{Base: 100 * time.Microsecond, Max: 100 * time.Microsecond},
+		OnAttempt: func(string, int, error) { retries++ },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShipCheckpointRetry(nil, file, members, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(retries)/float64(b.N), "handoff_retry_total")
 }

@@ -12,25 +12,58 @@ import (
 	"netenergy/internal/ingest"
 )
 
+// ShipPolicy bounds the per-survivor retry loop around a checkpoint
+// handoff. The zero value means one attempt per survivor, no retries.
+type ShipPolicy struct {
+	// Attempts is the total tries per survivor (default 1). Re-delivery is
+	// idempotent on the receiver (positional rule, retirement ledger,
+	// content-CRC dedup of the legacy aggregate), so retrying a transfer
+	// whose reply was lost cannot double-count.
+	Attempts int
+	// Backoff paces the retries (zero value: 50ms base, 5s cap, jittered).
+	Backoff ingest.Backoff
+	// OnAttempt, when set, observes every attempt after the first — the
+	// per-attempt metrics hook (attempt is 2-based by the time it fires).
+	OnAttempt func(member string, attempt int, err error)
+}
+
+func (p ShipPolicy) withDefaults() ShipPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	return p
+}
+
 // ShipCheckpoint delivers checkpoint-file bytes (the exact atomic
 // fsync-rename format, CRC and all) to every survivor's admin /transfer
 // endpoint — the ownership-handoff send path, used both by the aggregator
 // when a member dies and by a draining node shipping its own final
-// checkpoint to its peers.
+// checkpoint to its peers. Single-attempt; see ShipCheckpointRetry for the
+// bounded-retry variant.
 //
 // The same file goes to every survivor: each receiver keeps only the
 // devices it owns under its current ring, so nothing is stranded and no
 // device lands twice. Survivors are contacted in ID order and only the
-// first receives the retired aggregate (the rest get ?skip_retired=1) —
-// exactly one copy of finalized energy may enter the fleet. Every survivor
-// is attempted even after a failure (partial delivery beats none, and
-// re-delivery is idempotent: the receivers' positional rule drops stale
-// device entries and the retired aggregate is deduplicated by content CRC);
-// the failures come back joined into one error.
+// first receives the legacy retired aggregate (the rest get
+// ?skip_retired=1) — exactly one copy of unattributed finalized energy may
+// enter the fleet; ledger-held retirements are ownership-routed per device
+// and ride every copy. Every survivor is attempted even after a failure
+// (partial delivery beats none, and re-delivery is idempotent); the
+// failures come back joined into one error.
 func ShipCheckpoint(client *http.Client, file []byte, survivors []Member) ([]ingest.TransferResult, error) {
+	return ShipCheckpointRetry(client, file, survivors, ShipPolicy{})
+}
+
+// ShipCheckpointRetry is ShipCheckpoint with a bounded per-survivor
+// retry-with-backoff loop: a transient transport error, a 5xx, or a torn
+// reply is retried up to policy.Attempts times before the survivor is
+// given up on. Deterministic rejections (4xx: the file itself is bad) are
+// not retried — the same bytes would bounce again.
+func ShipCheckpointRetry(client *http.Client, file []byte, survivors []Member, policy ShipPolicy) ([]ingest.TransferResult, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	policy = policy.withDefaults()
 	sorted := append([]Member(nil), survivors...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
 
@@ -41,24 +74,43 @@ func ShipCheckpoint(client *http.Client, file []byte, survivors []Member) ([]ing
 		if i > 0 {
 			url += "?skip_retired=1"
 		}
-		resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(file))
+		bo := policy.Backoff
+		var tr ingest.TransferResult
+		var err error
+		for attempt := 1; ; attempt++ {
+			var retriable bool
+			tr, retriable, err = postTransfer(client, url, file)
+			if err == nil || !retriable || attempt >= policy.Attempts {
+				break
+			}
+			if policy.OnAttempt != nil {
+				policy.OnAttempt(m.ID, attempt+1, err)
+			}
+			time.Sleep(bo.Next())
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", m.ID, err))
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			errs = append(errs, fmt.Errorf("%s: transfer status %d", m.ID, resp.StatusCode))
-			continue
-		}
-		var tr ingest.TransferResult
-		err = json.NewDecoder(resp.Body).Decode(&tr)
-		resp.Body.Close()
-		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: transfer reply: %w", m.ID, err))
 			continue
 		}
 		results = append(results, tr)
 	}
 	return results, errors.Join(errs...)
+}
+
+// postTransfer performs one transfer attempt; retriable distinguishes
+// transient failures (worth retrying with the same bytes) from
+// deterministic rejections.
+func postTransfer(client *http.Client, url string, file []byte) (tr ingest.TransferResult, retriable bool, err error) {
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(file))
+	if err != nil {
+		return tr, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tr, resp.StatusCode >= 500, fmt.Errorf("transfer status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return tr, true, fmt.Errorf("transfer reply: %w", err)
+	}
+	return tr, false, nil
 }

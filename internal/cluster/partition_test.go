@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/chaos"
+	"netenergy/internal/energy"
+	"netenergy/internal/ingest"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+)
+
+// TestClusterPartitionHeals is the partition-grade acceptance test: a
+// three-node durable-FIN cluster streams a fleet while the admin plane
+// suffers injected timeouts, corrupt bodies and slow responses; mid-stream
+// the busiest node is partitioned away (both planes) WITHOUT dying — the
+// nastier cousin of a kill, because the isolated node keeps running with
+// its state. The survivors declare it dead, adopt its checkpoint, and
+// finish the fleet. When the partition heals, the victim resurrects into
+// the membership with already-handed-off state — the double-count window —
+// and the aggregator must fence it before its snapshot re-enters a merge.
+// The settled fleet headline must equal the batch pipeline bit-for-bit
+// within the standard tolerances.
+func TestClusterPartitionHeals(t *testing.T) {
+	const n = 3
+	dirs := [n]string{t.TempDir(), t.TempDir(), t.TempDir()}
+	faults := chaos.NewAdmin(chaos.AdminConfig{
+		TimeoutRate: 0.05,
+		CorruptRate: 0.05,
+		SlowRate:    0.2,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        42,
+	})
+
+	var routeHooks [n]atomic.Pointer[func(string) (string, bool)]
+	var srvs [n]*ingest.Server
+	for i := 0; i < n; i++ {
+		i := i
+		srvs[i] = startIngest(t, ingest.Config{
+			NodeID: nodeID(i), Shards: 2, QueueDepth: 16, BatchSize: 16,
+			CheckpointDir: dirs[i], CheckpointInterval: 25 * time.Millisecond,
+			DurableFIN: true,
+			Route: func(device string) (string, bool) {
+				if f := routeHooks[i].Load(); f != nil {
+					return (*f)(device)
+				}
+				return "", true
+			},
+		})
+	}
+
+	members := make([]Member, n)
+	streams := make([]string, n)
+	handoffDirs := map[string]string{}
+	for i := 0; i < n; i++ {
+		members[i] = Member{ID: nodeID(i), Stream: srvs[i].Addr().String(), Admin: srvs[i].AdminAddr().String()}
+		streams[i] = members[i].Stream
+		handoffDirs[members[i].ID] = dirs[i]
+	}
+	proberCfg := func(self string) ProberConfig {
+		return ProberConfig{
+			Members:       members,
+			Interval:      20 * time.Millisecond,
+			MaxInterval:   200 * time.Millisecond,
+			FailThreshold: 2,
+			Timeout:       500 * time.Millisecond,
+			// Partition-only: probes decide membership, so probabilistic
+			// faults there would fabricate churn unrelated to the cut.
+			Transport: faults.PartitionOnlyTransport(self, nil),
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := NewProber(proberCfg(members[i].Admin))
+		route := NewView(members[i], p).Route
+		routeHooks[i].Store(&route)
+		p.Start()
+		defer p.Stop()
+	}
+	aggProber := NewProber(proberCfg("aggregator"))
+	aggProber.Start()
+	defer aggProber.Stop()
+	agg := NewAggregator(AggregatorConfig{
+		Prober:          aggProber,
+		Interval:        50 * time.Millisecond,
+		Timeout:         2 * time.Second,
+		HandoffDirs:     handoffDirs,
+		PullAttempts:    3,
+		HandoffAttempts: 4,
+		// The full fault menu rides the aggregator's plane: pulls, handoff
+		// transfers and fence posts all see timeouts, corruption and delays.
+		Transport: faults.Transport("aggregator", nil),
+	})
+	agg.Start()
+	defer agg.Stop()
+
+	dts := synthgen.GenerateInMemory(synthgen.Small(8, 2))
+	var sent int64
+	for _, dt := range dts {
+		sent += int64(len(dt.Records))
+	}
+
+	// Partition the node that owns the most devices.
+	ring := ingest.NewNodeRing(streams)
+	owned := map[string]int{}
+	for _, dt := range dts {
+		owned[ring.Owner(dt.Device)]++
+	}
+	victimIdx := 0
+	for i, s := range streams {
+		if owned[s] > owned[streams[victimIdx]] {
+			victimIdx = i
+		}
+	}
+	if owned[streams[victimIdx]] == 0 {
+		t.Fatal("placement degenerate: no node owns any devices")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(dts))
+	for i, dt := range dts {
+		wg.Add(1)
+		go func(i int, dt *trace.DeviceTrace) {
+			defer wg.Done()
+			_, errs[i] = ingest.StreamTrace(ingest.SessionConfig{
+				Nodes:    streams,
+				Device:   dt.Device,
+				Start:    dt.Start,
+				Deadline: 2 * time.Minute,
+				Backoff:  ingest.Backoff{Base: 5 * time.Millisecond, Max: 80 * time.Millisecond},
+				WrapConn: func(c net.Conn) net.Conn { return faults.WrapStream("client", c) },
+				Pace: func(j int) time.Duration {
+					if j%8 == 0 {
+						return 400 * time.Microsecond
+					}
+					return 0
+				},
+			}, dt.Records)
+		}(i, dt)
+	}
+
+	// Let the fleet get underway with the victim holding a durable
+	// checkpoint, then cut both of its planes.
+	victim := srvs[victimIdx]
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var total int64
+		for _, s := range srvs {
+			total += s.Stats(false).Records
+		}
+		vst := victim.Stats(false)
+		if total >= sent/3 && vst.Records > 0 && vst.Checkpoint != nil && vst.Checkpoint.Generation >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	faults.Partition(members[victimIdx].Stream, true)
+	faults.Partition(members[victimIdx].Admin, true)
+
+	// The survivors inherit: the aggregator declares the victim dead and
+	// ships its checkpoint (retrying through the injected faults), while
+	// sessions walk the ring and finish on the survivors.
+	waitFor(t, 60*time.Second, "handoff ships through the partition", func() bool {
+		return scrapeAgg(t, agg)["aggregator_handoffs_total"] >= 1
+	})
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %s: %v", dts[i].Device, err)
+		}
+	}
+
+	// Heal. The victim resurrects still holding its pre-partition state —
+	// the aggregator must fence it before it contributes to a merge again.
+	faults.Heal()
+	waitFor(t, 60*time.Second, "resurrected victim is fenced", victim.Fenced)
+	waitFor(t, 60*time.Second, "fleet headline settles", func() bool {
+		h, ok := agg.Headline()
+		return ok && h.Records == sent && h.Devices == len(dts) && h.NodesLive == n-1
+	})
+
+	// The aggregator re-posts the fence every cycle the zombie stays live;
+	// any single exchange can lose its reply to an injected fault, so the
+	// skip accounting is eventually-consistent — wait, don't sample.
+	waitFor(t, 60*time.Second, "fence accounting", func() bool {
+		m := scrapeAgg(t, agg)
+		return m["aggregator_fence_posts_total"] >= 1 && m["aggregator_fenced_skips_total"] >= 1
+	})
+	timeouts, corruptions, slows, blocked := faults.Stats()
+	if timeouts+corruptions+slows == 0 || blocked == 0 {
+		t.Errorf("chaos injected nothing (timeouts=%d corruptions=%d slows=%d blocked=%d) — test ran clean",
+			timeouts, corruptions, slows, blocked)
+	}
+
+	// Every record accounted for exactly once across the survivors; the
+	// fenced victim contributes nothing.
+	for _, dt := range dts {
+		var got int64
+		for i, s := range srvs {
+			if i != victimIdx {
+				got += s.DeviceRecords(dt.Device)
+			}
+		}
+		if got != int64(len(dt.Records)) {
+			t.Errorf("device %s: survivors hold %d records, sent %d", dt.Device, got, len(dt.Records))
+		}
+	}
+
+	// Batch reference over the identical dataset.
+	devs, err := analysis.LoadAll(dts, energy.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.ComputeHeadline(devs)
+	h, _ := agg.Headline()
+	if d := math.Abs(h.TotalEnergyJ - want.TotalEnergyJ); d > 1e-6*(1+want.TotalEnergyJ) {
+		t.Errorf("total energy: fleet %v vs batch %v", h.TotalEnergyJ, want.TotalEnergyJ)
+	}
+	if d := math.Abs(h.BackgroundFraction - want.BackgroundFraction); d > 0.01*want.BackgroundFraction {
+		t.Errorf("background fraction: fleet %v vs batch %v", h.BackgroundFraction, want.BackgroundFraction)
+	}
+	if d := math.Abs(h.FirstMinuteFraction - want.FirstMinute.Fraction); d > 1e-9 {
+		t.Errorf("first minute: fleet %v vs batch %v", h.FirstMinuteFraction, want.FirstMinute.Fraction)
+	}
+}

@@ -32,6 +32,10 @@ type ProberConfig struct {
 	// Timeout bounds one probe HTTP round-trip (default min(Interval, 2s)).
 	Timeout time.Duration
 
+	// Transport overrides the probe HTTP transport — the chaos-injection
+	// seam (nil: http.DefaultTransport).
+	Transport http.RoundTripper
+
 	// Events receives membership transitions (optional).
 	Events *obs.EventLog
 }
@@ -101,7 +105,7 @@ func NewProber(cfg ProberConfig) *Prober {
 	cfg = cfg.withDefaults()
 	p := &Prober{
 		cfg:    cfg,
-		client: &http.Client{Timeout: cfg.Timeout},
+		client: &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
 		epoch:  1,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),

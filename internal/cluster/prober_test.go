@@ -131,6 +131,70 @@ func TestProberBelowThreshold(t *testing.T) {
 	}
 }
 
+// TestProberFlapEpochMonotonic pins the epoch contract under rapid
+// die/resurrect/die flapping: the epoch moves by exactly one on every
+// alive<->dead transition, never moves otherwise, and never goes
+// backwards — so a consumer that cached state at epoch E can trust that
+// equal epochs mean an identical live set, even through a flap storm. A
+// flapping member must also never perturb a stable peer's state.
+func TestProberFlapEpochMonotonic(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Members: []Member{
+			{ID: "n1", Stream: "s1", Admin: "a1"},
+			{ID: "n2", Stream: "s2", Admin: "a2"},
+		},
+		Interval:      10 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	flap, stable := p.st[0], p.st[1]
+	now := time.Now()
+	last := p.Epoch()
+	if last != 1 {
+		t.Fatalf("boot epoch = %d, want 1", last)
+	}
+	const cycles = 25
+	for i := 0; i < cycles; i++ {
+		// One failure below threshold: no transition, no bump.
+		p.apply(flap, errProbe, now)
+		if e := p.Epoch(); e != last {
+			t.Fatalf("cycle %d: epoch %d after sub-threshold failure, want %d", i, e, last)
+		}
+		// Threshold reached: dead, exactly one bump.
+		p.apply(flap, errProbe, now)
+		if e := p.Epoch(); e != last+1 || flap.alive {
+			t.Fatalf("cycle %d: death epoch %d (alive=%v), want %d", i, e, flap.alive, last+1)
+		}
+		last++
+		// Further failures while dead: no bump (dead is idempotent).
+		p.apply(flap, errProbe, now)
+		p.apply(flap, errProbe, now)
+		if e := p.Epoch(); e != last {
+			t.Fatalf("cycle %d: epoch %d after post-death failures, want %d", i, e, last)
+		}
+		// Resurrect: exactly one bump, failure streak cleared.
+		p.apply(flap, nil, now)
+		if e := p.Epoch(); e != last+1 || !flap.alive || flap.failures != 0 {
+			t.Fatalf("cycle %d: rejoin epoch %d (alive=%v failures=%d), want %d",
+				i, e, flap.alive, flap.failures, last+1)
+		}
+		last++
+		// Repeated success: no bump (alive is idempotent).
+		p.apply(flap, nil, now)
+		if e := p.Epoch(); e != last {
+			t.Fatalf("cycle %d: epoch %d after post-rejoin success, want %d", i, e, last)
+		}
+	}
+	if got, want := p.Epoch(), uint64(1+2*cycles); got != want {
+		t.Errorf("final epoch = %d, want %d (two transitions per cycle)", got, want)
+	}
+	if !stable.alive || stable.failures != 0 {
+		t.Errorf("stable peer perturbed by flapping: alive=%v failures=%d", stable.alive, stable.failures)
+	}
+	if live := p.Live(); len(live) != 2 {
+		t.Errorf("live set after settling = %d members, want 2", len(live))
+	}
+}
+
 // TestReprobeEscalation: consecutive failures double the re-probe interval,
 // capped at MaxInterval — cheap vigilance on the living, cheap patience
 // with the dead.

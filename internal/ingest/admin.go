@@ -101,8 +101,15 @@ func (s *Server) Headline() LiveHeadline {
 //	POST /transfer          -> adopt a checkpoint handoff; the body is
 //	                           complete checkpoint-file bytes, CRC-verified
 //	                           before any state changes (?skip_retired=1
-//	                           skips the retired aggregate so only one
-//	                           survivor merges it); replies TransferResult
+//	                           skips the legacy retired aggregate so only
+//	                           one survivor merges it; retirement-ledger
+//	                           entries are ownership-routed per device and
+//	                           unaffected); replies TransferResult
+//	POST /fence             -> FenceRequest JSON; if the incarnation names
+//	                           this process it archives its checkpoint dir
+//	                           behind a tombstone and stops serving streams
+//	                           (the rejoin-after-handoff fence); replies
+//	                           FenceResponse either way
 //	/debug/pprof/*          -> net/http/pprof handlers, only with
 //	                           Config.EnablePprof (ingestd -pprof)
 func (s *Server) adminMux() http.Handler {
@@ -171,6 +178,9 @@ func (s *Server) adminMux() http.Handler {
 		b := s.Snapshot().AppendBinary(nil)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-Node-ID", s.cfg.NodeID)
+		if s.Fenced() {
+			w.Header().Set("X-Fenced", "1")
+		}
 		w.Header().Set("X-Devices", strconv.Itoa(s.devices.len()))
 		w.Header().Set("X-Records", strconv.FormatInt(s.counters.records.Load(), 10))
 		w.Header().Set("X-Snapshot-CRC32", strconv.FormatUint(uint64(crc32.ChecksumIEEE(b)), 10))
@@ -204,6 +214,18 @@ func (s *Server) adminMux() http.Handler {
 			return
 		}
 		writeJSON(w, res)
+	})
+	mux.HandleFunc("/fence", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req FenceRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+			http.Error(w, "fence body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, s.HandleFence(req))
 	})
 	return mux
 }

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -244,6 +245,72 @@ func BenchmarkCheckpointRestore(b *testing.B) {
 		}
 	}
 }
+
+// benchFIN drives the session-completion path: each iteration runs 8
+// concurrent short sessions to completion (dial, stream, FIN, ack) against
+// a checkpointing server, so the durable variant's FIN group commit sees
+// concurrent FINs to batch, exactly as production does. The periodic
+// checkpoint loop is parked at an hour so the only fsyncs measured are the
+// FIN-triggered ones. The server is recycled every 64 iterations (timer
+// stopped) to keep the snapshot size — and so the per-FIN commit cost —
+// steady instead of growing with b.N.
+func benchFIN(b *testing.B, durable bool) {
+	const lanes = 8
+	dt := benchTrace()
+	recs := dt.Records[:32]
+	var s *Server
+	shutdown := func() {
+		if s == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			b.StopTimer()
+			shutdown()
+			s = NewServer(Config{
+				Addr: "127.0.0.1:0", Shards: 4, QueueDepth: 256, BatchSize: 128,
+				CheckpointDir: b.TempDir(), CheckpointInterval: time.Hour,
+				DurableFIN: durable,
+			})
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		var wg sync.WaitGroup
+		for l := 0; l < lanes; l++ {
+			wg.Add(1)
+			go func(i, l int) {
+				defer wg.Done()
+				dev := fmt.Sprintf("%s-fin-%d-%d", dt.Device, i, l)
+				if _, err := StreamTrace(SessionConfig{
+					Addr: s.Addr().String(), Device: dev, Start: dt.Start,
+				}, recs); err != nil {
+					b.Error(err)
+				}
+			}(i, l)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N*lanes), "fin_session_ms")
+}
+
+// BenchmarkFinDurable / BenchmarkFinVolatile are the -durable-fin cost
+// pair: identical session workloads with the FIN-ack checkpoint commit on
+// and off. scripts/bench.sh records the ns_per_op ratio as
+// durable_fin_overhead_pct — the price of closing the completed-session
+// loss window, quoted in DESIGN.md §10.
+func BenchmarkFinDurable(b *testing.B)  { benchFIN(b, true) }
+func BenchmarkFinVolatile(b *testing.B) { benchFIN(b, false) }
 
 // BenchmarkIngestE2E measures whole-system throughput: 4 concurrent device
 // sessions over real TCP into a 4-shard server, per iteration. The

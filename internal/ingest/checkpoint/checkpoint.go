@@ -26,6 +26,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -37,13 +38,27 @@ import (
 // Container format:
 //
 //	file    := magic crc32le payloadLen:uvarint payload
-//	payload := version:byte nDevices:uvarint device* hasRetired:byte [retiredBlob]
+//	payload := version:byte body
+//	body v1 := nDevices:uvarint device* hasRetired:byte [retiredBlob]
+//	body v2 := <v1 body> nLedger:uvarint ledger* fence
 //	device  := devLen:uvarint dev:bytes seq:uvarint hasAcc:byte [accLen:uvarint acc:bytes]
+//	ledger  := devLen:uvarint dev:bytes seq:uvarint crc32le:4 blobLen:uvarint blob:bytes
+//	fence   := epoch:uvarint incLen:uvarint inc:bytes
 //	blob    := len:uvarint bytes
+//
+// A v2 file is a v1 file with the version byte bumped and the retirement
+// ledger + fence appended: the decoder sniffs the version byte, so
+// pre-ledger (v1) files restore forever, while v2-only state degrades to
+// "no ledger, no fence" — exactly the PR-6 semantics those files were
+// written under.
 var fileMagic = []byte("NECKPT1\n")
 
 const (
-	payloadVersion = 1
+	payloadV1      = 1
+	payloadV2      = 2
+	payloadVersion = payloadV2
+	// maxIncarnation caps the fence incarnation-string length.
+	maxIncarnation = 256
 	// MaxPayload caps a checkpoint payload (1 GiB); a length field beyond it
 	// means the header cannot be trusted.
 	MaxPayload = 1 << 30
@@ -76,20 +91,58 @@ type DeviceState struct {
 	Acc    []byte
 }
 
+// RetiredRecord is one device's retirement entry: the final sequence number
+// its stream closed at and the device's own finalized, serialized
+// StreamResult. Carrying the per-device blob (rather than folding it into a
+// blind aggregate) is what lets a handoff receiver dedup a retired device
+// positionally, exactly like a live entry: if the receiver has already seen
+// seq >= Seq for the device, the entry is stale and is NOT merged. CRC is
+// crc32.ChecksumIEEE(Blob), verified at decode time.
+type RetiredRecord struct {
+	Device string
+	Seq    int64
+	CRC    uint32
+	Blob   []byte
+}
+
+// Fence identifies which process lifetime, under which cluster epoch, wrote
+// a checkpoint. The aggregator records it in a tombstone when it ships the
+// file to survivors; a rejoining node compares its restored fence against
+// the tombstone to detect "my state was already handed off" and archive
+// instead of double-serving.
+type Fence struct {
+	Epoch       uint64
+	Incarnation string
+}
+
 // Snapshot is one checkpoint's logical content.
 type Snapshot struct {
 	Devices []DeviceState
-	// Retired is the serialized merged StreamResult of every finalized
-	// device stream (nil when no device has finished yet).
+	// Retired is the serialized merged StreamResult of finalized device
+	// streams that have no per-device ledger attribution: state restored
+	// from pre-ledger (v1) checkpoints or adopted from legacy transfers.
+	// Nil when there is no such state.
 	Retired []byte
+	// Ledger holds one RetiredRecord per finalized device (v2 files only;
+	// nil after decoding a v1 file).
+	Ledger []RetiredRecord
+	// Fence stamps the writing process and cluster epoch (zero value on v1
+	// files and standalone nodes).
+	Fence Fence
 }
 
-// Encode serializes a snapshot payload (without the file header).
+// Encode serializes a snapshot payload (without the file header). Ledger
+// entries are sorted by device in place so identical logical snapshots
+// produce identical bytes.
 func Encode(s *Snapshot) []byte {
-	n := 64
+	n := 64 + len(s.Fence.Incarnation)
 	for i := range s.Devices {
 		n += len(s.Devices[i].Device) + len(s.Devices[i].Acc) + 16
 	}
+	for i := range s.Ledger {
+		n += len(s.Ledger[i].Device) + len(s.Ledger[i].Blob) + 24
+	}
+	sort.Slice(s.Ledger, func(i, j int) bool { return s.Ledger[i].Device < s.Ledger[j].Device })
 	b := make([]byte, 0, n+len(s.Retired))
 	b = append(b, payloadVersion)
 	b = binary.AppendUvarint(b, uint64(len(s.Devices)))
@@ -113,6 +166,19 @@ func Encode(s *Snapshot) []byte {
 		b = binary.AppendUvarint(b, uint64(len(s.Retired)))
 		b = append(b, s.Retired...)
 	}
+	b = binary.AppendUvarint(b, uint64(len(s.Ledger)))
+	for i := range s.Ledger {
+		r := &s.Ledger[i]
+		b = binary.AppendUvarint(b, uint64(len(r.Device)))
+		b = append(b, r.Device...)
+		b = binary.AppendUvarint(b, uint64(r.Seq))
+		b = binary.LittleEndian.AppendUint32(b, r.CRC)
+		b = binary.AppendUvarint(b, uint64(len(r.Blob)))
+		b = append(b, r.Blob...)
+	}
+	b = binary.AppendUvarint(b, s.Fence.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(s.Fence.Incarnation)))
+	b = append(b, s.Fence.Incarnation...)
 	return b
 }
 
@@ -137,9 +203,10 @@ func Decode(b []byte) (*Snapshot, error) {
 		return out, true
 	}
 
-	if len(cur) < 1 || cur[0] != payloadVersion {
+	if len(cur) < 1 || (cur[0] != payloadV1 && cur[0] != payloadV2) {
 		return nil, ErrCorrupt
 	}
+	version := cur[0]
 	cur = cur[1:]
 	nDev, ok := uvarint()
 	if !ok || nDev > maxDevices {
@@ -191,6 +258,59 @@ func Decode(b []byte) (*Snapshot, error) {
 			return nil, ErrCorrupt
 		}
 		s.Retired = ret
+	}
+	if version >= payloadV2 {
+		nLedger, ok := uvarint()
+		if !ok || nLedger > maxDevices {
+			return nil, ErrCorrupt
+		}
+		for i := uint64(0); i < nLedger; i++ {
+			dlen, ok := uvarint()
+			if !ok || dlen == 0 || dlen > maxDeviceID {
+				return nil, ErrCorrupt
+			}
+			dev, ok := take(dlen)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			seq, ok := uvarint()
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			crcb, ok := take(4)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			blen, ok := uvarint()
+			if !ok || blen > MaxPayload {
+				return nil, ErrCorrupt
+			}
+			blob, ok := take(blen)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			r := RetiredRecord{
+				Device: string(dev), Seq: int64(seq),
+				CRC: binary.LittleEndian.Uint32(crcb), Blob: blob,
+			}
+			if crc32.ChecksumIEEE(r.Blob) != r.CRC {
+				return nil, ErrCorrupt
+			}
+			s.Ledger = append(s.Ledger, r)
+		}
+		epoch, ok := uvarint()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		ilen, ok := uvarint()
+		if !ok || ilen > maxIncarnation {
+			return nil, ErrCorrupt
+		}
+		inc, ok := take(ilen)
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		s.Fence = Fence{Epoch: epoch, Incarnation: string(inc)}
 	}
 	if len(cur) != 0 {
 		return nil, ErrCorrupt
@@ -373,6 +493,108 @@ func (s *Store) LoadLatestRaw() ([]byte, uint64, error) {
 		return b, gens[i], nil
 	}
 	return nil, 0, nil
+}
+
+// TombstoneName is the marker file the aggregator (or a draining node)
+// writes into a checkpoint directory after the newest generation has been
+// shipped to survivors. A restarting node that finds a tombstone covering
+// its newest generation knows its state already lives elsewhere and must
+// archive, not restore.
+const TombstoneName = "handoff.tomb"
+
+// Tombstone records one completed handoff of a checkpoint directory.
+type Tombstone struct {
+	// Node is the member ID whose state was shipped.
+	Node string `json:"node"`
+	// Incarnation is the fence incarnation of the shipped checkpoint file
+	// (empty for pre-fence v1 files).
+	Incarnation string `json:"incarnation"`
+	// Generation is the checkpoint generation that was shipped. Any
+	// generation <= this is covered by the handoff; a strictly newer
+	// generation means the node kept writing after the ship and its tail
+	// was never transferred.
+	Generation uint64 `json:"generation"`
+	// Epoch is the cluster epoch at ship time.
+	Epoch uint64 `json:"epoch"`
+	// UnixNano is the wall-clock ship time (diagnostic only).
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// WriteTombstone atomically writes (or replaces) the directory's handoff
+// tombstone with the same temp+fsync+rename discipline as Save.
+func WriteTombstone(dir string, t Tombstone) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "tomb-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, TombstoneName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// LoadTombstone reads the directory's handoff tombstone. A missing file (or
+// missing directory) is (nil, nil); an unreadable or malformed file is an
+// error — the caller must decide, not silently restore over it.
+func LoadTombstone(dir string) (*Tombstone, error) {
+	b, err := os.ReadFile(filepath.Join(dir, TombstoneName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var t Tombstone
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("%w: tombstone: %v", ErrCorrupt, err)
+	}
+	return &t, nil
+}
+
+// ArchiveShipped moves every generation file plus the tombstone into a
+// `shipped-<generation>` subdirectory, leaving the store empty for a clean
+// restart. The generation counter keeps counting from where it was, so
+// post-archive checkpoints are strictly newer than anything a stale
+// tombstone could cover. Returns the archive directory.
+func (s *Store) ArchiveShipped(t *Tombstone) (string, error) {
+	sub := filepath.Join(s.dir, fmt.Sprintf("shipped-%08d", t.Generation))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return "", err
+	}
+	for _, g := range s.generations() {
+		p := genPath(s.dir, g)
+		if err := os.Rename(p, filepath.Join(sub, filepath.Base(p))); err != nil {
+			return "", err
+		}
+	}
+	tomb := filepath.Join(s.dir, TombstoneName)
+	if _, err := os.Stat(tomb); err == nil {
+		if err := os.Rename(tomb, filepath.Join(sub, TombstoneName)); err != nil {
+			return "", err
+		}
+	}
+	syncDir(s.dir)
+	return sub, nil
 }
 
 // LoadLatest returns the newest generation that passes both the container

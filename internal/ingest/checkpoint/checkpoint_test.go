@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -201,4 +203,167 @@ func mustDecode(t *testing.T, b []byte) *Snapshot {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// encodeV1 hand-builds a pre-ledger (v1) payload: the exact bytes a PR-6
+// binary would have written. Kept independent of Encode so the
+// forward-compat contract is pinned against the wire layout, not against
+// whatever the current encoder happens to emit.
+func encodeV1(s *Snapshot) []byte {
+	b := []byte{payloadV1}
+	b = binary.AppendUvarint(b, uint64(len(s.Devices)))
+	for i := range s.Devices {
+		d := &s.Devices[i]
+		b = binary.AppendUvarint(b, uint64(len(d.Device)))
+		b = append(b, d.Device...)
+		b = binary.AppendUvarint(b, uint64(d.Seq))
+		if d.Acc == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
+			b = binary.AppendUvarint(b, uint64(len(d.Acc)))
+			b = append(b, d.Acc...)
+		}
+	}
+	if s.Retired == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(s.Retired)))
+		b = append(b, s.Retired...)
+	}
+	return b
+}
+
+// TestDecodeV1ForwardCompat: old (pre-ledger) payloads must decode through
+// the new version-sniffing decoder with no ledger and a zero fence, and
+// trailing bytes after a v1 body must still be rejected (a truncated v2
+// body must never pass as a valid v1 one).
+func TestDecodeV1ForwardCompat(t *testing.T) {
+	want := sampleSnapshot()
+	raw := encodeV1(want)
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Devices) != len(want.Devices) || !bytes.Equal(got.Retired, want.Retired) {
+		t.Fatalf("v1 decode: %+v", got)
+	}
+	if got.Ledger != nil || got.Fence != (Fence{}) {
+		t.Fatalf("v1 decode invented v2 state: ledger=%v fence=%+v", got.Ledger, got.Fence)
+	}
+	if _, err := Decode(append(bytes.Clone(raw), 0x01)); err == nil {
+		t.Error("v1 body with trailing bytes accepted")
+	}
+
+	// And through the full file container, as a restart would see it.
+	full := append([]byte(nil), fileMagic...)
+	full = binary.LittleEndian.AppendUint32(full, crc32.ChecksumIEEE(raw))
+	full = binary.AppendUvarint(full, uint64(len(raw)))
+	full = append(full, raw...)
+	if _, err := DecodeFile(full); err != nil {
+		t.Fatalf("v1 file rejected by new decoder: %v", err)
+	}
+}
+
+// TestLedgerRoundtrip: v2 ledger + fence round-trip exactly, blob CRCs are
+// enforced, and encoding is deterministic regardless of ledger input order.
+func TestLedgerRoundtrip(t *testing.T) {
+	blob := []byte{5, 4, 3, 2, 1}
+	snap := &Snapshot{
+		Devices: []DeviceState{{Device: "live", Seq: 7, Acc: []byte{1}}},
+		Ledger: []RetiredRecord{
+			{Device: "z-dev", Seq: 42, CRC: crc32.ChecksumIEEE(blob), Blob: blob},
+			{Device: "a-dev", Seq: 9, CRC: crc32.ChecksumIEEE(nil), Blob: nil},
+		},
+		Fence: Fence{Epoch: 3, Incarnation: "n2.1234.567"},
+	}
+	got, err := Decode(Encode(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ledger) != 2 || got.Ledger[0].Device != "a-dev" || got.Ledger[1].Device != "z-dev" {
+		t.Fatalf("ledger order: %+v", got.Ledger)
+	}
+	if got.Ledger[1].Seq != 42 || !bytes.Equal(got.Ledger[1].Blob, blob) {
+		t.Fatalf("ledger entry: %+v", got.Ledger[1])
+	}
+	if got.Fence != snap.Fence {
+		t.Fatalf("fence: %+v, want %+v", got.Fence, snap.Fence)
+	}
+
+	// A flipped blob bit must fail the per-entry CRC.
+	enc := Encode(snap)
+	idx := bytes.Index(enc, blob)
+	if idx < 0 {
+		t.Fatal("blob not found in encoding")
+	}
+	enc[idx] ^= 0x80
+	if _, err := Decode(enc); err == nil {
+		t.Error("corrupt ledger blob accepted")
+	}
+
+	// Truncation anywhere in the ledger/fence tail must be rejected.
+	full := Encode(snap)
+	v1len := len(encodeV1(&Snapshot{Devices: snap.Devices}))
+	for cut := v1len; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncated at %d/%d accepted", cut, len(full))
+		}
+	}
+}
+
+// TestTombstone: write/load round trip, atomic replace, missing-is-nil, and
+// the archive flow that moves shipped generations out of the way.
+func TestTombstone(t *testing.T) {
+	dir := t.TempDir()
+	if tomb, err := LoadTombstone(dir); tomb != nil || err != nil {
+		t.Fatalf("empty dir: %v %v", tomb, err)
+	}
+	want := Tombstone{Node: "n2", Incarnation: "n2.1.2", Generation: 4, Epoch: 9, UnixNano: 111}
+	if err := WriteTombstone(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTombstone(dir)
+	if err != nil || got == nil || *got != want {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+
+	// Corrupt tombstone must surface an error, not read as absent.
+	if err := os.WriteFile(filepath.Join(dir, TombstoneName), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTombstone(dir); err == nil {
+		t.Fatal("corrupt tombstone read as valid")
+	}
+	if err := WriteTombstone(dir, want); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := st.Save(&Snapshot{Devices: []DeviceState{{Device: "d", Seq: int64(i + 1)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := st.ArchiveShipped(&want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, gen, err := st.LoadLatest(nil); snap != nil || gen != 0 || err != nil {
+		t.Fatalf("store not empty after archive: %v %d %v", snap, gen, err)
+	}
+	if tomb, err := LoadTombstone(dir); tomb != nil || err != nil {
+		t.Fatalf("tombstone not archived: %v %v", tomb, err)
+	}
+	if _, err := os.Stat(filepath.Join(sub, TombstoneName)); err != nil {
+		t.Fatalf("archived tombstone missing: %v", err)
+	}
+	// Generation numbering continues above the shipped generation.
+	if _, gen, err := st.Save(&Snapshot{}); err != nil || gen != 4 {
+		t.Fatalf("post-archive gen = %d (%v), want 4", gen, err)
+	}
 }

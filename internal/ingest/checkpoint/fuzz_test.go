@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"hash/crc32"
 	"os"
 	"testing"
 
@@ -30,12 +31,17 @@ func FuzzCheckpointDecoder(f *testing.F) {
 		acc.Feed(&r)
 	}
 	retired := analysis.NewStreamResult("fleet")
+	retBlob := retired.AppendBinary(nil)
 	snap := &Snapshot{
 		Devices: []DeviceState{
 			{Device: "u000", Seq: 3, Acc: acc.AppendState(nil)},
 			{Device: "u001", Seq: 17},
 		},
-		Retired: retired.AppendBinary(nil),
+		Retired: retBlob,
+		Ledger: []RetiredRecord{
+			{Device: "u001", Seq: 17, CRC: crc32.ChecksumIEEE(retBlob), Blob: retBlob},
+		},
+		Fence: Fence{Epoch: 2, Incarnation: "n1.1.1"},
 	}
 	payload := Encode(snap)
 	hdr := append([]byte(nil), fileMagic...)
@@ -43,6 +49,15 @@ func FuzzCheckpointDecoder(f *testing.F) {
 	f.Add(payload)
 	f.Add([]byte("NECKPT1\n"))
 	f.Add([]byte{})
+	// A v2 payload truncated inside the ledger section: the decoder must
+	// reject it as corrupt, never fall back to reading it as a v1 body.
+	v1len := len(Encode(&Snapshot{Devices: snap.Devices, Retired: snap.Retired})) - len(retBlob) - 16
+	if v1len < 1 {
+		v1len = 1
+	}
+	f.Add(payload[:v1len+(len(payload)-v1len)/2])
+	// And one truncated mid-fence (last few bytes gone).
+	f.Add(payload[:len(payload)-3])
 
 	// A fully valid file as produced by Save.
 	st, err := Open(f.TempDir())
@@ -83,6 +98,9 @@ func FuzzCheckpointDecoder(f *testing.F) {
 		}
 		if snap.Retired != nil {
 			analysis.DecodeStreamResult(snap.Retired) //nolint:errcheck // must not panic
+		}
+		for _, r := range snap.Ledger {
+			analysis.DecodeStreamResult(r.Blob) //nolint:errcheck // must not panic
 		}
 	})
 }

@@ -157,9 +157,11 @@ func TestSnapshotEndpoint(t *testing.T) {
 
 // TestTransferRoundTrip is the handoff receive-path contract: a checkpoint
 // file shipped to a fresh node must reproduce the origin's state bit-for-bit
-// (live accumulators, sequence numbers, the retired aggregate), re-delivery
-// must be a stale no-op, ?skip_retired=1 must withhold exactly the finalized
-// energy, and a node that owns none of the devices must adopt nothing.
+// (live accumulators, sequence numbers, the retirement ledger), re-delivery
+// must be a stale no-op, ?skip_retired=1 must withhold only the legacy
+// unattributed aggregate — ledger-held finalized energy is ownership-routed
+// and survives it — and a node that owns none of the devices must adopt
+// nothing.
 func TestTransferRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	a := startServer(t, Config{Shards: 2, QueueDepth: 16, BatchSize: 4, CheckpointDir: dir})
@@ -249,20 +251,23 @@ func TestTransferRoundTrip(t *testing.T) {
 		t.Error("re-delivered transfer changed state")
 	}
 
-	// skip_retired withholds exactly the finalized energy (secondary
-	// survivors must not double-merge it).
+	// skip_retired withholds only the legacy unattributed aggregate.
+	// Finalized devices ride the retirement ledger, which is ownership-routed
+	// per device exactly like live state, so a survivor that owns everything
+	// reconstructs the full energy even under skip_retired=1 — the v1 "whole
+	// aggregate to one blessed survivor" split no longer loses attribution.
 	c := startServer(t, Config{Shards: 2, AdminAddr: "127.0.0.1:0", NodeID: "nc", QueueDepth: 16, BatchSize: 4})
 	defer c.Kill()
 	res3 := postTransfer(t, c, file, true)
 	if res3.RetiredMerged {
-		t.Error("skip_retired=1 still merged the retired aggregate")
+		t.Error("skip_retired=1 still merged the legacy retired aggregate")
 	}
 	if res3.Records != sent {
 		t.Fatalf("skip_retired records %d, want %d (seq bookkeeping is unconditional)", res3.Records, sent)
 	}
 	hc := c.Headline()
-	if hc.TotalEnergyJ >= hb.TotalEnergyJ {
-		t.Errorf("skip_retired energy %v not below full transfer %v", hc.TotalEnergyJ, hb.TotalEnergyJ)
+	if d := math.Abs(hc.TotalEnergyJ - hb.TotalEnergyJ); d > 1e-9*(1+hb.TotalEnergyJ) {
+		t.Errorf("ledger-held energy lost under skip_retired: C %v, full transfer %v", hc.TotalEnergyJ, hb.TotalEnergyJ)
 	}
 
 	// A node that owns none of the devices adopts nothing.
@@ -282,6 +287,113 @@ func TestTransferRoundTrip(t *testing.T) {
 	if res4.AcceptedDevices != 0 || res4.SkippedNotOwned != len(dts) {
 		t.Fatalf("non-owner result %+v, want everything skipped", res4)
 	}
+}
+
+// TestRetiredLedgerDedup closes the retired double-count window: a device
+// whose session finalized on a dying node AND whose records reached a
+// survivor again (lost FIN ack -> client re-streams, then the dead node's
+// checkpoint is handed off) must contribute its energy exactly once,
+// whichever of the re-stream and the handoff lands first and however far
+// the re-stream got.
+func TestRetiredLedgerDedup(t *testing.T) {
+	dir := t.TempDir()
+	a := startServer(t, Config{Shards: 1, QueueDepth: 16, BatchSize: 4, CheckpointDir: dir})
+	defer a.Kill()
+	dt := synthgen.GenerateInMemory(synthgen.Small(1, 1))[0]
+	n := int64(len(dt.Records))
+	streamTrace(t, a.Addr().String(), dt) // FIN -> retirement-ledger entry
+	if err := a.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, _, err := store.LoadLatestRaw()
+	if err != nil || file == nil {
+		t.Fatal("no checkpoint")
+	}
+	want := a.Headline().TotalEnergyJ
+	if want <= 0 {
+		t.Fatal("reference energy is zero; test is vacuous")
+	}
+
+	checkOnce := func(t *testing.T, s *Server, label string) {
+		t.Helper()
+		if got := s.DeviceRecords(dt.Device); got != n {
+			t.Errorf("%s: device records %d, want %d", label, got, n)
+		}
+		if got := s.Headline().TotalEnergyJ; math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("%s: energy %v, want exactly-once %v", label, got, want)
+		}
+	}
+
+	// Re-stream completed first: the survivor retired the device locally, so
+	// the handoff's ledger entry is a stale replay (retirement is terminal,
+	// first wins).
+	b := startServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0", QueueDepth: 16, BatchSize: 4})
+	defer b.Kill()
+	streamTrace(t, b.Addr().String(), dt)
+	res := postTransfer(t, b, file, false)
+	if res.AcceptedDevices != 0 || res.SkippedStale != 1 || res.Records != 0 {
+		t.Fatalf("handoff after local retire: %+v, want one stale entry", res)
+	}
+	checkOnce(t, b, "retire-then-handoff")
+
+	// Re-stream was mid-flight: the finalized ledger blob is a strict
+	// superset of the partial live accumulator, which is discarded.
+	c := startServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0", QueueDepth: 16, BatchSize: 4})
+	defer c.Kill()
+	cut := len(dt.Records) / 2
+	cl, err := Dial(c.Addr().String(), dt.Device, dt.Start, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if err := cl.Send(&dt.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CloseAbort() //nolint:errcheck
+	deadline := time.Now().Add(5 * time.Second)
+	for c.DeviceRecords(dt.Device) < int64(cut) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	res2 := postTransfer(t, c, file, false)
+	if res2.AcceptedDevices != 1 || res2.Records != n-int64(cut) {
+		t.Fatalf("handoff over partial re-stream: %+v, want adopted with %d-record delta", res2, n-int64(cut))
+	}
+	checkOnce(t, c, "partial-then-handoff")
+
+	// Handoff landed first: the re-stream session resumes at the ledger seq,
+	// retransmits nothing, and its FIN replay is a no-op on the retired
+	// device.
+	d := startServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0", QueueDepth: 16, BatchSize: 4})
+	defer d.Kill()
+	res3 := postTransfer(t, d, file, false)
+	if res3.AcceptedDevices != 1 || res3.Records != n {
+		t.Fatalf("handoff to fresh node: %+v", res3)
+	}
+	st, err := StreamTrace(SessionConfig{
+		Nodes:    []string{d.Addr().String()},
+		Device:   dt.Device,
+		Start:    dt.Start,
+		Deadline: 30 * time.Second,
+		Backoff:  Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+	}, dt.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != n {
+		t.Errorf("re-stream session acked %d records, want %d", st.Records, n)
+	}
+	if st.Bytes != 0 {
+		t.Errorf("re-stream after handoff wrote %d record bytes, want 0 (resume at ledger seq)", st.Bytes)
+	}
+	checkOnce(t, d, "handoff-then-restream")
 }
 
 // TestTransferRejectsCorruptFile: flipped bits in the shipped file must be

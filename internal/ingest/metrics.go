@@ -48,6 +48,11 @@ type counters struct {
 	ckptErrors   *obs.Counter
 	ckptUnixNano *obs.Gauge // time of last successful save
 
+	// Durable-FIN and rejoin-fencing state.
+	finDurable    *obs.Counter // FIN acks released after a durable checkpoint
+	fenced        *obs.Gauge   // 1 once the node has fenced itself
+	fenceArchives *obs.Counter // checkpoint dirs archived (tombstone or fence)
+
 	// Hot-path distributions. frameSeconds is the per-frame record-decode
 	// latency; applySeconds is the enqueue→apply latency through a shard
 	// queue (the backpressure signal with a time axis); batchRecords is the
@@ -56,6 +61,9 @@ type counters struct {
 	applySeconds *obs.Histogram
 	batchRecords *obs.Histogram
 	ckptSeconds  *obs.Histogram
+	// finBatchSessions is how many finishing sessions shared one durable
+	// group-commit checkpoint (the fsync amortization factor).
+	finBatchSessions *obs.Histogram
 }
 
 // newCounters builds the registry-backed counter set. Every metric name is
@@ -92,10 +100,15 @@ func newCounters() *counters {
 		ckptErrors:   reg.Counter("ingest_checkpoint_errors_total", "failed checkpoint saves"),
 		ckptUnixNano: reg.Gauge("ingest_checkpoint_last_unixnano", "wall time of the last successful checkpoint save"),
 
-		frameSeconds: reg.Histogram("ingest_frame_decode_seconds", "per-frame record decode latency", obs.DurationBuckets()),
-		applySeconds: reg.Histogram("ingest_apply_latency_seconds", "shard enqueue-to-apply latency per batch", obs.DurationBuckets()),
-		batchRecords: reg.Histogram("ingest_batch_records", "records per shard hand-off batch", obs.SizeBuckets()),
-		ckptSeconds:  reg.Histogram("ingest_checkpoint_save_seconds", "checkpoint save duration", obs.DurationBuckets()),
+		finDurable:    reg.Counter("ingest_fin_durable_total", "FIN acks released only after a durable checkpoint"),
+		fenced:        reg.Gauge("ingest_fenced", "1 once this node fenced itself after a handoff"),
+		fenceArchives: reg.Counter("ingest_fence_archives_total", "checkpoint directories archived as already-shipped"),
+
+		frameSeconds:     reg.Histogram("ingest_frame_decode_seconds", "per-frame record decode latency", obs.DurationBuckets()),
+		applySeconds:     reg.Histogram("ingest_apply_latency_seconds", "shard enqueue-to-apply latency per batch", obs.DurationBuckets()),
+		batchRecords:     reg.Histogram("ingest_batch_records", "records per shard hand-off batch", obs.SizeBuckets()),
+		ckptSeconds:      reg.Histogram("ingest_checkpoint_save_seconds", "checkpoint save duration", obs.DurationBuckets()),
+		finBatchSessions: reg.Histogram("ingest_fin_batch_sessions", "sessions sharing one durable-FIN group commit", obs.SizeBuckets()),
 	}
 	c.events.RegisterEventMetrics(reg, "ingest_events_total", "events logged by level")
 	return c
@@ -282,6 +295,9 @@ type Stats struct {
 	Transfers       int64 `json:"transfers,omitempty"`
 	TransferDevices int64 `json:"transfer_devices,omitempty"`
 	TransferErrors  int64 `json:"transfer_errors,omitempty"`
+	// Fenced is true once this node's state was handed off to survivors
+	// and it stopped serving streams.
+	Fenced bool `json:"fenced,omitempty"`
 
 	// Checkpoint is present when durability is enabled.
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`

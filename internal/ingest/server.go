@@ -9,8 +9,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netenergy/internal/analysis"
@@ -48,6 +51,13 @@ type Config struct {
 	// CheckpointInterval is the persistence cadence (default: 10s). A
 	// crash loses at most this much progress — clients retransmit it.
 	CheckpointInterval time.Duration
+	// DurableFIN, with checkpointing enabled, makes a FIN acknowledgement
+	// mean durable: the session's final records are checkpointed (batched
+	// across concurrently-finishing sessions, one fsync per batch) before
+	// the delivery receipt is written. Closes the completed-session loss
+	// window — a crash after a FIN ack can no longer lose that stream —
+	// at the cost of one group-commit checkpoint latency per FIN.
+	DurableFIN bool
 
 	// RateLimit, when positive, caps per-device connection admissions to
 	// this many per second (token bucket of RateBurst). Excess handshakes
@@ -75,6 +85,17 @@ type Config struct {
 	// reassignment. The cluster package supplies this from its live ring;
 	// the hook keeps ingest free of any dependency on cluster.
 	Route func(device string) (addr string, self bool)
+
+	// ClusterEpoch, when set, supplies the current cluster epoch for the
+	// fence stamped into every checkpoint (the prober's flip counter). Nil
+	// (standalone mode) stamps epoch 0.
+	ClusterEpoch func() uint64
+
+	// OnFenced is invoked (once, from its own goroutine) when the server
+	// fences itself: its durable state was already shipped to survivors, so
+	// it has archived its checkpoint dir and stopped serving streams. The
+	// daemon typically logs loudly and waits for the operator/supervisor.
+	OnFenced func(reason string)
 
 	// Opts is the energy accounting configuration (default:
 	// energy.DefaultOptions with KeepPackets off).
@@ -133,6 +154,17 @@ type Server struct {
 	ckptDone chan struct{}
 	ckptOnce sync.Once
 
+	// incarnation uniquely names this process lifetime; it is stamped into
+	// every checkpoint's fence. restoredFence/restoredGen remember the fence
+	// of the checkpoint this process restored at Start, so an aggregator
+	// fence probe can recognize state that was restored from an
+	// already-shipped file even when the tombstone write itself was lost.
+	incarnation   string
+	restoredFence checkpoint.Fence
+	restoredGen   uint64
+	fenced        atomic.Bool
+	finb          finBatcher
+
 	// retiredMu guards mergedRetired: the content CRCs of retired
 	// aggregates this node has already merged via RestoreTransfer. A drain
 	// handoff and an aggregator death-handoff can legitimately ship the
@@ -154,12 +186,19 @@ type Server struct {
 // NewServer builds a Server; Start brings up the listeners.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	node := cfg.NodeID
+	if node == "" {
+		node = "node"
+	}
 	s := &Server{
 		cfg:      cfg,
 		ring:     newRing(cfg.Shards),
 		counters: newCounters(),
 		devices:  newDeviceRegistry(),
 		conns:    map[net.Conn]struct{}{},
+		// PID + wall clock make the incarnation unique across restarts of
+		// the same node ID; it only ever needs to be distinct, not ordered.
+		incarnation: fmt.Sprintf("%s.%d.%d", node, os.Getpid(), time.Now().UnixNano()),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, s.counters, s.devices))
@@ -201,6 +240,38 @@ func (s *Server) Start() error {
 			return fmt.Errorf("ingest: open checkpoint dir: %w", err)
 		}
 		s.ckpt = st
+
+		// Rejoin fencing, disk side: a tombstone covering the newest
+		// generation means this state was already shipped to survivors —
+		// restoring it would double-count every record it holds. Archive and
+		// start clean instead of relying on an operator wiping the dir.
+		tomb, err := checkpoint.LoadTombstone(s.cfg.CheckpointDir)
+		if err != nil {
+			return fmt.Errorf("ingest: read handoff tombstone: %w", err)
+		}
+		if tomb != nil {
+			if tomb.Generation >= st.Generation() {
+				sub, err := st.ArchiveShipped(tomb)
+				if err != nil {
+					return fmt.Errorf("ingest: archive shipped checkpoints: %w", err)
+				}
+				s.counters.fenceArchives.Add(1)
+				s.counters.events.Logf(obs.LevelInfo,
+					"checkpoint dir was handed off (tombstone gen %d, epoch %d): archived to %s, starting clean",
+					tomb.Generation, tomb.Epoch, sub)
+			} else {
+				// Generations newer than the shipped one exist: the previous
+				// process kept checkpointing after the handoff (the residual
+				// race DESIGN.md §10 documents). The newer state is kept —
+				// dropping it would lose records that were never shipped —
+				// but the shipped prefix may double-count fleet-wide.
+				s.counters.events.Logf(obs.LevelError,
+					"stale handoff tombstone (shipped gen %d < newest gen %d): keeping newer unshipped state; the shipped prefix may be double-counted",
+					tomb.Generation, st.Generation())
+				os.Remove(filepath.Join(s.cfg.CheckpointDir, checkpoint.TombstoneName)) //nolint:errcheck // best effort
+			}
+		}
+
 		snap, gen, err := st.LoadLatest(s.validateSnapshot)
 		if err != nil {
 			return fmt.Errorf("ingest: load checkpoint: %w", err)
@@ -209,6 +280,8 @@ func (s *Server) Start() error {
 			if err := s.restore(snap); err != nil {
 				return fmt.Errorf("ingest: restore checkpoint gen %d: %w", gen, err)
 			}
+			s.restoredFence = snap.Fence
+			s.restoredGen = gen
 			s.counters.ckptGen.Set(int64(gen))
 			s.counters.ckptUnixNano.Set(time.Now().UnixNano())
 			s.counters.events.Logf(obs.LevelInfo, "recovered checkpoint generation %d (%d devices)", gen, len(snap.Devices))
@@ -264,6 +337,15 @@ func (s *Server) validateSnapshot(snap *checkpoint.Snapshot) error {
 			return fmt.Errorf("retired aggregate: %w", err)
 		}
 	}
+	for i := range snap.Ledger {
+		r := &snap.Ledger[i]
+		if r.Seq < 0 {
+			return fmt.Errorf("retired device %q: negative seq", r.Device)
+		}
+		if _, err := analysis.DecodeStreamResult(r.Blob); err != nil {
+			return fmt.Errorf("retired device %q: %w", r.Device, err)
+		}
+	}
 	return nil
 }
 
@@ -288,12 +370,28 @@ func (s *Server) restore(snap *checkpoint.Snapshot) error {
 		s.counters.records.Add(d.Seq)
 		s.devices.get(d.Device).records.Add(d.Seq)
 	}
+	for i := range snap.Ledger {
+		r := &snap.Ledger[i]
+		res, err := analysis.DecodeStreamResult(r.Blob)
+		if err != nil {
+			return err
+		}
+		sh := s.shard[s.ring.shard(r.Device)]
+		sh.seqs[r.Device] = r.Seq
+		sh.ledger[r.Device] = &ledgerEntry{seq: r.Seq, crc: r.CRC, blob: append([]byte(nil), r.Blob...)}
+		sh.retired.Merge(res)
+		s.counters.records.Add(r.Seq)
+		s.devices.get(r.Device).records.Add(r.Seq)
+	}
 	if snap.Retired != nil {
 		res, err := analysis.DecodeStreamResult(snap.Retired)
 		if err != nil {
 			return err
 		}
+		// Unattributed (pre-ledger) finalized state: serve it and carry it
+		// forward as the legacy aggregate in future checkpoints.
 		s.shard[0].retired.Merge(res)
+		s.shard[0].retiredLegacy.Merge(res)
 	}
 	return nil
 }
@@ -366,6 +464,14 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err != nil {
 		s.counters.helloErrors.Add(1)
 		s.counters.events.Logf(obs.LevelWarn, "invalid hello from %s", conn.RemoteAddr())
+		return
+	}
+
+	// A fenced node's state has already been shipped to survivors: anything
+	// it accepted now would be acked but never counted fleet-wide. Refuse
+	// with a draining ack so the session walks its ring to a live owner.
+	if s.fenced.Load() {
+		s.writeAckTimed(conn, ackDraining, 0) //nolint:errcheck
 		return
 	}
 
@@ -475,6 +581,19 @@ func (s *Server) handleConn(conn net.Conn) {
 			finc := make(chan int64, 1)
 			sh.ch <- shardReq{fin: &finReq{device: device, reply: finc}}
 			final := <-finc
+			if s.cfg.DurableFIN && s.ckpt != nil {
+				// Group commit: the FIN above is already applied by the
+				// shard, so joining the next checkpoint batch guarantees the
+				// finalized stream reaches disk before the receipt. On
+				// failure the ack is withheld — the client re-sends its FIN
+				// (idempotent against a finalized stream) and retries the
+				// durability barrier on a fresh connection.
+				if err := s.finb.wait(s); err != nil {
+					sever("durable fin checkpoint failed: " + err.Error())
+					return
+				}
+				s.counters.finDurable.Add(1)
+			}
 			s.writeAckTimed(conn, ackOK, uint64(final)) //nolint:errcheck
 			return
 		}
@@ -596,13 +715,155 @@ func (s *Server) stopCheckpointLoop() {
 	<-s.ckptDone
 }
 
+// finBatch is one group-committed durable-FIN checkpoint: everyone who
+// joined it before the leader detached shares the result of one save.
+type finBatch struct {
+	done     chan struct{}
+	err      error
+	sessions int
+}
+
+// finBatcher coalesces concurrently-finishing sessions into shared durable
+// checkpoints. The first waiter becomes the batch leader and runs
+// SaveCheckpoint; everyone who joins before the leader detaches the batch
+// rides the same fsync. Coalescing happens naturally under load: ckptMu
+// serializes saves, so FINs arriving during an in-flight save pile onto the
+// next batch instead of each paying its own fsync. There is no artificial
+// delay — an idle server durably acks a lone FIN at checkpoint latency.
+type finBatcher struct {
+	mu   sync.Mutex
+	next *finBatch
+}
+
+// wait joins the next durable-FIN batch and blocks until its checkpoint is
+// on disk. Safe to call only after the caller's FIN has been applied by the
+// owning shard: the leader detaches the batch before collecting shard
+// state, so every joined waiter's finalized stream is covered by the save.
+func (b *finBatcher) wait(s *Server) error {
+	b.mu.Lock()
+	batch := b.next
+	if batch == nil {
+		batch = &finBatch{done: make(chan struct{})}
+		b.next = batch
+		go func() {
+			b.mu.Lock()
+			b.next = nil
+			b.mu.Unlock()
+			// After the detach no new waiter can join, so sessions is
+			// stable and the snapshot below covers every member's FIN.
+			batch.err = s.SaveCheckpoint()
+			s.counters.finBatchSessions.Observe(float64(batch.sessions))
+			close(batch.done)
+		}()
+	}
+	batch.sessions++
+	b.mu.Unlock()
+	<-batch.done
+	return batch.err
+}
+
+// fenceStamp is the fence written into every checkpoint: this process's
+// incarnation under the current cluster epoch.
+func (s *Server) fenceStamp() checkpoint.Fence {
+	var epoch uint64
+	if s.cfg.ClusterEpoch != nil {
+		epoch = s.cfg.ClusterEpoch()
+	}
+	return checkpoint.Fence{Epoch: epoch, Incarnation: s.incarnation}
+}
+
+// Incarnation returns this process lifetime's unique fence identifier.
+func (s *Server) Incarnation() string { return s.incarnation }
+
+// Fenced reports whether this node has fenced itself: its durable state was
+// shipped to survivors, so it no longer serves streams or checkpoints.
+func (s *Server) Fenced() bool { return s.fenced.Load() }
+
+// FenceRequest asks a node to fence itself because the checkpoint written
+// by the named incarnation (up to Generation) was handed off to survivors.
+// The aggregator posts it to a member that turns up alive again while a
+// handoff tombstone for it is on record.
+type FenceRequest struct {
+	Incarnation string `json:"incarnation"`
+	Generation  uint64 `json:"generation"`
+}
+
+// FenceResponse reports the node's fence state and current incarnation; an
+// aggregator clears its tombstone when a different incarnation answers
+// unfenced (a clean successor that already archived on Start).
+type FenceResponse struct {
+	NodeID      string `json:"node_id"`
+	Incarnation string `json:"incarnation"`
+	Fenced      bool   `json:"fenced"`
+}
+
+// HandleFence processes a fence probe. The request matches when the shipped
+// incarnation is this process (a partitioned node whose state was handed
+// off while it was unreachable — the partition-heal case) or the
+// incarnation this process restored its state from (a rejoin that raced the
+// tombstone write). Either way the node's contribution already lives on the
+// survivors, so it fences: stops checkpointing, severs its sessions (they
+// resume on the live owners), archives its checkpoint dir and refuses new
+// streams. Fencing a live partitioned node is lossless when -durable-fin is
+// on; without it, completed-session tails since the shipped generation
+// existed only here (see DESIGN.md §10).
+func (s *Server) HandleFence(req FenceRequest) FenceResponse {
+	match := req.Incarnation != "" &&
+		(req.Incarnation == s.incarnation || req.Incarnation == s.restoredFence.Incarnation)
+	if match {
+		s.fence(fmt.Sprintf("incarnation %s shipped to survivors at generation %d", req.Incarnation, req.Generation), req.Generation)
+	}
+	return FenceResponse{NodeID: s.cfg.NodeID, Incarnation: s.incarnation, Fenced: s.fenced.Load()}
+}
+
+// fence transitions the server into the fenced state (idempotent).
+func (s *Server) fence(reason string, shippedGen uint64) {
+	if !s.fenced.CompareAndSwap(false, true) {
+		return
+	}
+	s.counters.fenced.Set(1)
+	s.counters.events.Logf(obs.LevelError, "node fenced: %s", reason)
+	// Stop persisting before archiving: a checkpoint written after the
+	// archive would resurrect state the fleet already counted elsewhere.
+	// (SaveCheckpoint also refuses once the flag is set.)
+	s.stopCheckpointLoop()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if s.ckpt != nil {
+		s.ckptMu.Lock()
+		tomb := checkpoint.Tombstone{
+			Node: s.cfg.NodeID, Incarnation: s.incarnation,
+			Generation: shippedGen, UnixNano: time.Now().UnixNano(),
+		}
+		if err := checkpoint.WriteTombstone(s.cfg.CheckpointDir, tomb); err != nil {
+			s.counters.events.Logf(obs.LevelError, "fence: tombstone write failed: %v", err)
+		}
+		if sub, err := s.ckpt.ArchiveShipped(&tomb); err != nil {
+			s.counters.events.Logf(obs.LevelError, "fence: archive failed: %v", err)
+		} else {
+			s.counters.fenceArchives.Add(1)
+			s.counters.events.Logf(obs.LevelInfo, "fence: checkpoints archived to %s", sub)
+		}
+		s.ckptMu.Unlock()
+	}
+	if s.cfg.OnFenced != nil {
+		go s.cfg.OnFenced(reason)
+	}
+}
+
 // SaveCheckpoint collects every shard's durable state and writes one
 // checkpoint generation. It is safe to call concurrently with ingest (the
 // shards serialize their own state between batches) and is a no-op while
-// draining or when durability is disabled.
+// draining, fenced, or when durability is disabled.
 func (s *Server) SaveCheckpoint() error {
 	if s.ckpt == nil {
 		return errors.New("ingest: checkpointing disabled")
+	}
+	if s.fenced.Load() {
+		return errors.New("ingest: fenced")
 	}
 	s.mu.RLock()
 	if s.drain {
@@ -622,9 +883,11 @@ func (s *Server) SaveCheckpoint() error {
 	for _, c := range replies {
 		ck := <-c
 		snap.Devices = append(snap.Devices, ck.devices...)
+		snap.Ledger = append(snap.Ledger, ck.ledger...)
 		retired.Merge(ck.retired)
 	}
 	snap.Retired = retired.AppendBinary(nil)
+	snap.Fence = s.fenceStamp()
 	return s.writeCheckpoint(&snap)
 }
 
@@ -643,14 +906,17 @@ type TransferResult struct {
 // the ownership-handoff receive path. Devices this node does not own (per
 // Route) are skipped — the same checkpoint is shipped to every survivor and
 // each keeps only its share, so no device is stranded and none lands twice.
-// Owned entries go through the shard queues and are applied under the
-// positional rule (incoming seq strictly ahead wins), which makes
-// re-delivery idempotent and safe to race with live re-streams from
-// redirected clients. The retired aggregate is merged only when
-// includeRetired is set — exactly one survivor per handoff may receive it,
-// or finalized energy would be double-counted fleet-wide — and is further
-// deduplicated by content CRC, so re-delivery of the same checkpoint file
-// (a drain handoff racing an aggregator death-handoff) merges it once.
+// Owned entries — live accumulators and retirement-ledger entries alike —
+// go through the shard queues and are applied under the positional rule
+// (incoming seq strictly ahead wins), which makes re-delivery idempotent
+// and safe to race with live re-streams from redirected clients; in
+// particular a device that was finalized on the dead node AND fully
+// re-streamed here dedups to exactly-once via its ledger seq. The legacy
+// (unattributed) retired aggregate is merged only when includeRetired is
+// set — exactly one survivor per handoff may receive it, or its finalized
+// energy would double-count fleet-wide — and is further deduplicated by
+// content CRC, so re-delivery of the same checkpoint file (a drain handoff
+// racing an aggregator death-handoff) merges it once.
 //
 // Every opaque blob is decoded before any state is mutated: a transfer
 // either applies cleanly or severs with no effect.
@@ -680,6 +946,29 @@ func (s *Server) RestoreTransfer(snap *checkpoint.Snapshot, includeRetired bool)
 			groups[si] = g
 		}
 		g.entries = append(g.entries, transferEntry{device: d.Device, seq: d.Seq, acc: acc})
+	}
+	for i := range snap.Ledger {
+		r := &snap.Ledger[i]
+		if s.cfg.Route != nil {
+			if _, self := s.cfg.Route(r.Device); !self {
+				res.SkippedNotOwned++
+				continue
+			}
+		}
+		decoded, err := analysis.DecodeStreamResult(r.Blob)
+		if err != nil {
+			return TransferResult{NodeID: s.cfg.NodeID}, fmt.Errorf("ingest: transfer retired device %q: %w", r.Device, err)
+		}
+		si := s.ring.shard(r.Device)
+		g := groups[si]
+		if g == nil {
+			g = &restoreReq{}
+			groups[si] = g
+		}
+		g.ledger = append(g.ledger, retiredTransfer{
+			device: r.Device, seq: r.Seq, crc: r.CRC,
+			blob: append([]byte(nil), r.Blob...), res: decoded,
+		})
 	}
 	var retiredCRC uint32
 	if includeRetired && snap.Retired != nil {
@@ -754,6 +1043,11 @@ func (s *Server) RestoreTransfer(snap *checkpoint.Snapshot, includeRetired bool)
 func (s *Server) writeCheckpoint(snap *checkpoint.Snapshot) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	// Re-checked under ckptMu: a save that raced the fence transition must
+	// not write a fresh generation into the just-archived directory.
+	if s.fenced.Load() {
+		return errors.New("ingest: fenced")
+	}
 	t0 := time.Now()
 	_, gen, err := s.ckpt.Save(snap)
 	s.counters.ckptSeconds.Observe(time.Since(t0).Seconds())
@@ -767,6 +1061,9 @@ func (s *Server) writeCheckpoint(snap *checkpoint.Snapshot) error {
 	var size int64
 	for i := range snap.Devices {
 		size += int64(len(snap.Devices[i].Acc) + len(snap.Devices[i].Device) + 16)
+	}
+	for i := range snap.Ledger {
+		size += int64(len(snap.Ledger[i].Blob) + len(snap.Ledger[i].Device) + 24)
 	}
 	s.counters.ckptBytes.Set(size + int64(len(snap.Retired)))
 	s.counters.events.Logf(obs.LevelDebug, "checkpoint generation %d saved (%d devices)", gen, len(snap.Devices))
@@ -803,6 +1100,7 @@ func (s *Server) Stats(perDevice bool) Stats {
 		Transfers:       s.counters.transfers.Load(),
 		TransferDevices: s.counters.transferDevices.Load(),
 		TransferErrors:  s.counters.transferErrors.Load(),
+		Fenced:          s.fenced.Load(),
 	}
 	if s.ckpt != nil {
 		ck := &CheckpointStats{
@@ -871,6 +1169,7 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 	s.mu.Unlock()
 	agg := analysis.NewStreamResult("fleet")
 	var snap checkpoint.Snapshot
+	legacy := analysis.NewStreamResult("fleet")
 	for _, sh := range s.shard {
 		select {
 		case <-sh.done:
@@ -878,12 +1177,22 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 			return nil, ctx.Err()
 		}
 		agg.Merge(sh.retired)
-		// The worker has exited; its maps are safe to read. Every device
-		// is finalized now, so the checkpoint carries bare seqs.
+		// The worker has exited; its maps are safe to read. Every device is
+		// finalized now: each carries a ledger entry with its final result,
+		// except skip-advanced or v1-restored devices, which keep bare seqs
+		// with their contribution in the legacy aggregate.
 		if s.ckpt != nil {
 			for dev, seq := range sh.seqs {
-				snap.Devices = append(snap.Devices, checkpoint.DeviceState{Device: dev, Seq: seq})
+				if sh.ledger[dev] == nil {
+					snap.Devices = append(snap.Devices, checkpoint.DeviceState{Device: dev, Seq: seq})
+				}
 			}
+			for dev, e := range sh.ledger {
+				snap.Ledger = append(snap.Ledger, checkpoint.RetiredRecord{
+					Device: dev, Seq: e.seq, CRC: e.crc, Blob: e.blob,
+				})
+			}
+			legacy.Merge(sh.retiredLegacy)
 		}
 	}
 
@@ -893,8 +1202,9 @@ func (s *Server) Shutdown(ctx context.Context) (*analysis.StreamResult, error) {
 	s.counters.events.Logf(obs.LevelInfo, "drain complete: %d records over %d devices",
 		s.counters.records.Load(), s.devices.len())
 
-	if s.ckpt != nil {
-		snap.Retired = agg.AppendBinary(nil)
+	if s.ckpt != nil && !s.fenced.Load() {
+		snap.Retired = legacy.AppendBinary(nil)
+		snap.Fence = s.fenceStamp()
 		s.writeCheckpoint(&snap) //nolint:errcheck // counted in ckptErrors
 	}
 	if s.admin != nil {

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"hash/crc32"
 	"hash/fnv"
 	"strconv"
 	"time"
@@ -78,10 +79,34 @@ type skipReq struct {
 }
 
 // shardCkpt is one shard's contribution to a checkpoint: the durable state
-// of every device it owns plus a clone of its retired aggregate.
+// of every live device it owns, one ledger entry per finalized device, and
+// a clone of its legacy (unattributed) retired aggregate — state restored
+// from pre-ledger checkpoints, which has no per-device breakdown.
 type shardCkpt struct {
 	devices []checkpoint.DeviceState
+	ledger  []checkpoint.RetiredRecord
 	retired *analysis.StreamResult
+}
+
+// ledgerEntry is a shard's record of one finalized device: the sequence its
+// stream closed at and the device's serialized final StreamResult. The blob
+// is what a handoff receiver merges; the seq is what makes that merge dedup
+// positionally like any live entry.
+type ledgerEntry struct {
+	seq  int64
+	crc  uint32
+	blob []byte
+}
+
+// retiredTransfer is one ledger entry adopted from a checkpoint handoff,
+// with the blob decoded by the server (decode-before-mutate) so the shard
+// worker only merges.
+type retiredTransfer struct {
+	device string
+	seq    int64
+	crc    uint32
+	blob   []byte
+	res    *analysis.StreamResult
 }
 
 // transferEntry is one device's state adopted from a checkpoint handoff:
@@ -101,7 +126,12 @@ type transferEntry struct {
 // seq wins only if it is strictly ahead of what this shard has accepted.
 type restoreReq struct {
 	entries []transferEntry
-	retired *analysis.StreamResult // merged once, nil on all but one request
+	// ledger carries the transfer's per-device retirement entries owned by
+	// this shard; each is adopted with the same strictly-ahead rule as a
+	// live entry, so a device that was re-streamed in full locally (the
+	// lost-FIN-ack scenario) dedups to exactly-once.
+	ledger  []retiredTransfer
+	retired *analysis.StreamResult // legacy aggregate, merged once; nil on all but one request
 	reply   chan<- transferReply
 }
 
@@ -140,25 +170,33 @@ type shard struct {
 	// high-water mark: the authoritative dedup/resume point, retained even
 	// after a device finalizes so a replayed FIN or late duplicate stays
 	// idempotent. It is only written here (and during single-threaded
-	// checkpoint restore, before the worker starts).
-	live    map[string]*analysis.StreamAccumulator
-	seqs    map[string]int64
-	retired *analysis.StreamResult
+	// checkpoint restore, before the worker starts). retired is the serving
+	// aggregate (everything finalized, however it arrived); ledger holds the
+	// per-device attribution behind it; retiredLegacy is the slice of retired
+	// that has no attribution (v1 restores, legacy-blob transfers) and is
+	// what checkpoints re-emit as the blind aggregate.
+	live          map[string]*analysis.StreamAccumulator
+	seqs          map[string]int64
+	retired       *analysis.StreamResult
+	retiredLegacy *analysis.StreamResult
+	ledger        map[string]*ledgerEntry
 
 	done chan struct{}
 }
 
 func newShard(id, queueDepth int, opts energy.Options, c *counters, reg *deviceRegistry) *shard {
 	return &shard{
-		id:       id,
-		ch:       make(chan shardReq, queueDepth),
-		opts:     opts,
-		counters: c,
-		reg:      reg,
-		live:     map[string]*analysis.StreamAccumulator{},
-		seqs:     map[string]int64{},
-		retired:  analysis.NewStreamResult("fleet"),
-		done:     make(chan struct{}),
+		id:            id,
+		ch:            make(chan shardReq, queueDepth),
+		opts:          opts,
+		counters:      c,
+		reg:           reg,
+		live:          map[string]*analysis.StreamAccumulator{},
+		seqs:          map[string]int64{},
+		retired:       analysis.NewStreamResult("fleet"),
+		retiredLegacy: analysis.NewStreamResult("fleet"),
+		ledger:        map[string]*ledgerEntry{},
+		done:          make(chan struct{}),
 	}
 }
 
@@ -172,10 +210,7 @@ func (s *shard) run() {
 		case req.batch != nil:
 			s.feed(req.batch)
 		case req.fin != nil:
-			if acc := s.live[req.fin.device]; acc != nil {
-				s.retired.Merge(acc.Finish())
-				delete(s.live, req.fin.device)
-			}
+			s.retire(req.fin.device)
 			req.fin.reply <- s.seqs[req.fin.device]
 		case req.seq != nil:
 			req.seq.reply <- s.seqs[req.seq.device]
@@ -192,10 +227,25 @@ func (s *shard) run() {
 			req.ckpt <- s.checkpoint()
 		}
 	}
-	for dev, acc := range s.live {
-		s.retired.Merge(acc.Finish())
-		delete(s.live, dev)
+	for dev := range s.live {
+		s.retire(dev)
 	}
+}
+
+// retire finalizes a live device stream: its result is merged into the
+// serving aggregate and recorded in the retirement ledger under the
+// device's final sequence number. Idempotent — a re-sent FIN for an
+// already-finalized device is a no-op.
+func (s *shard) retire(dev string) {
+	acc := s.live[dev]
+	if acc == nil {
+		return
+	}
+	res := acc.Finish()
+	blob := res.AppendBinary(nil)
+	s.retired.Merge(res)
+	s.ledger[dev] = &ledgerEntry{seq: s.seqs[dev], crc: crc32.ChecksumIEEE(blob), blob: blob}
+	delete(s.live, dev)
 }
 
 // feed applies a batch positionally: a record is accepted only when its
@@ -268,8 +318,38 @@ func (s *shard) adopt(r *restoreReq) transferReply {
 		rep.accepted++
 		rep.records += delta
 	}
+	for i := range r.ledger {
+		e := &r.ledger[i]
+		if s.ledger[e.device] != nil {
+			// Retirement is terminal: this shard already holds the device's
+			// finalized contribution (first retirement wins), so the entry is
+			// a replay — the re-streamed-then-handed-off double-count window.
+			rep.stale++
+			continue
+		}
+		cur := s.seqs[e.device]
+		if e.seq <= cur {
+			// The device's records were all re-delivered here live (and will
+			// retire locally when its session FINs); merging the blob on top
+			// would double-count them.
+			rep.stale++
+			continue
+		}
+		s.retired.Merge(e.res)
+		s.ledger[e.device] = &ledgerEntry{seq: e.seq, crc: e.crc, blob: e.blob}
+		// Any partial local re-stream is a strict subset of the finalized
+		// blob; discard it.
+		delete(s.live, e.device)
+		delta := e.seq - cur
+		s.seqs[e.device] = e.seq
+		s.counters.records.Add(delta)
+		s.reg.get(e.device).records.Add(delta)
+		rep.accepted++
+		rep.records += delta
+	}
 	if r.retired != nil {
 		s.retired.Merge(r.retired)
+		s.retiredLegacy.Merge(r.retired)
 	}
 	return rep
 }
@@ -285,19 +365,26 @@ func (s *shard) snapshot() *analysis.StreamResult {
 }
 
 // checkpoint serializes the shard's durable state: live accumulators with
-// their sequence numbers, bare sequence numbers for finalized devices, and
-// a clone of the retired aggregate (the server merges and encodes those).
+// their sequence numbers, one ledger entry per finalized device, bare
+// sequence numbers for devices in neither set (skip-advanced or
+// v1-restored finals), and a clone of the legacy unattributed aggregate
+// (the server merges and encodes those).
 func (s *shard) checkpoint() shardCkpt {
-	ck := shardCkpt{retired: s.retired.Clone()}
+	ck := shardCkpt{retired: s.retiredLegacy.Clone()}
 	for dev, acc := range s.live {
 		ck.devices = append(ck.devices, checkpoint.DeviceState{
 			Device: dev, Seq: s.seqs[dev], Acc: acc.AppendState(nil),
 		})
 	}
 	for dev, seq := range s.seqs {
-		if s.live[dev] == nil {
+		if s.live[dev] == nil && s.ledger[dev] == nil {
 			ck.devices = append(ck.devices, checkpoint.DeviceState{Device: dev, Seq: seq})
 		}
+	}
+	for dev, e := range s.ledger {
+		ck.ledger = append(ck.ledger, checkpoint.RetiredRecord{
+			Device: dev, Seq: e.seq, CRC: e.crc, Blob: e.blob,
+		})
 	}
 	return ck
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Benchmark suite runner: executes the hot-path benchmarks (wire protocol,
 # shard apply, streaming analyzer, checkpoint store, obs primitives, e2e
-# ingest) and records the results as BENCH_<date>.json in the repo root.
+# ingest, durable-FIN session pair, handoff retry) and records the results
+# as BENCH_<date>.json in the repo root — including the derived
+# durable_fin_overhead_pct (price of -durable-fin per session) and
+# handoff_retry_total (retries per shipped handoff under a flaky survivor).
 #
 # The apply pair (BenchmarkApplyInstrumented vs BenchmarkApplyBare) is the
 # instrumentation budget check from DESIGN.md: the instrumented shard apply
@@ -96,6 +99,22 @@ echo "bench: trace container decode (benchtime=$TRACE_BENCHTIME count=$TRACE_COU
 go test -run '^$' -bench 'BenchmarkDecode' -benchmem \
   -benchtime="$TRACE_BENCHTIME" -count="$TRACE_COUNT" ./internal/trace/ | tee -a "$RAW" >&2
 
+# Durable FIN cost pair: identical session workloads with the FIN-ack
+# checkpoint commit on and off. Fixed iterations: each op is 8 concurrent
+# real TCP sessions ending in a (possibly fsynced) FIN commit, so a
+# time-based budget would wildly vary b.N between the two variants.
+FIN_BENCHTIME=${FIN_BENCHTIME:-30x}
+echo "bench: durable FIN pair (benchtime=$FIN_BENCHTIME count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkFin(Durable|Volatile)$' -benchmem \
+  -benchtime="$FIN_BENCHTIME" -count="$COUNT" ./internal/ingest/ | tee -a "$RAW" >&2
+
+# Dead-member handoff with a flaky survivor: each op ships a checkpoint
+# through one 503-then-succeed retry; handoff_retry_total records retries
+# per shipped handoff.
+echo "bench: checkpoint handoff retry (benchtime=5x count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkShipCheckpointRetry$' -benchmem \
+  -benchtime=5x -count="$COUNT" ./internal/cluster/ | tee -a "$RAW" >&2
+
 # Fleet merge cycle: aggregatord's pull-and-merge loop against three
 # in-process nodes. Reports aggregate_merge_ms (wall time of one full
 # cycle), which bounds fleet-headline staleness at a given pull interval;
@@ -128,12 +147,15 @@ BEGIN { n = 0 }
   name = $1
   sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
   ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""; mbps = ""; merge_ms = ""
+  fin_ms = ""; retry = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     else if ($(i+1) == "B/op") bop = $i
     else if ($(i+1) == "allocs/op") aop = $i
     else if ($(i+1) == "decode_mbps") mbps = $i
     else if ($(i+1) == "aggregate_merge_ms") merge_ms = $i
+    else if ($(i+1) == "fin_session_ms") fin_ms = $i
+    else if ($(i+1) == "handoff_retry_total") retry = $i
     else if ($(i+1) ~ /\//) { extra_k = $(i+1); extra_v = $i }
   }
   if (ns == "") next
@@ -145,6 +167,8 @@ BEGIN { n = 0 }
     if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
     if (mbps != "") line = line sprintf(", \"decode_mbps\": %s", mbps)
     if (merge_ms != "") line = line sprintf(", \"aggregate_merge_ms\": %s", merge_ms)
+    if (fin_ms != "") line = line sprintf(", \"fin_session_ms\": %s", fin_ms)
+    if (retry != "") line = line sprintf(", \"handoff_retry_total\": %s", retry)
     if (extra_k != "") line = line sprintf(", \"%s\": %s", extra_k, extra_v)
     line = line "}"
     out[key] = line
@@ -152,6 +176,8 @@ BEGIN { n = 0 }
   }
   if (name == "BenchmarkApplyInstrumented") instr = best[key]
   if (name == "BenchmarkApplyBare") bare = best[key]
+  if (name == "BenchmarkFinDurable") fin_dur = best[key]
+  if (name == "BenchmarkFinVolatile") fin_vol = best[key]
 }
 END {
   printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, gover
@@ -161,6 +187,15 @@ END {
     if (pct < 0) pct = 0
     printf "  \"apply_instrumentation_overhead_pct\": %.2f,\n", pct
     printf "  \"apply_overhead_budget_pct\": 3.0,\n"
+  }
+  # The -durable-fin cost: extra per-session latency of the FIN-ack group
+  # commit, as a percentage of the volatile session. Dominated by fsync, so
+  # it is an absolute-latency trade (see fin_session_ms), not a throughput
+  # budget like the apply pair.
+  if (fin_vol + 0 > 0 && fin_dur != "") {
+    pct = 100 * (fin_dur - fin_vol) / fin_vol
+    if (pct < 0) pct = 0
+    printf "  \"durable_fin_overhead_pct\": %.2f,\n", pct
   }
   printf "  \"benchmarks\": [\n"
   for (i = 0; i < n; i++) printf "%s%s\n", out[order[i]], (i < n - 1 ? "," : "")

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# End-to-end ingest smoke test, four phases:
+# End-to-end ingest smoke test, five phases:
 #   1. golden: batch and streamed analysis must still reproduce
 #      testdata/golden.json;
 #   2. clean: stream a 200-device synthetic fleet into a local ingestd and
@@ -15,7 +15,14 @@
 #      checkpoint must hand off to the survivors, the sessions must walk
 #      their ring preference and resume, and the merged fleet headline
 #      must equal the single-node reference from phase 2 — ints exactly,
-#      floats within 1e-6 relative.
+#      floats within 1e-6 relative;
+#   5. chaos-cluster: same fleet across a fresh three-node -durable-fin
+#      cluster, with one node SIGSTOP'd mid-run — the partition analogue: the
+#      process stays alive holding its state while the fleet routes around
+#      it. Its checkpoint hands off to the survivors; on SIGCONT the zombie
+#      resurfaces and the aggregator must fence it (not merge it twice). The
+#      settled fleet headline must again equal the phase-2 reference, and
+#      the fenced node must still drain cleanly.
 # Run via `make smoke` (needs ./bin built).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +67,30 @@ run_phase() { # name, extra fleetsim flags...
 # jfield extracts one numeric field from an indented JSON headline.
 jfield() { # file key
   grep -o "\"$2\":[[:space:]]*[-0-9.eE+]*" "$1" | head -1 | sed 's/.*:[[:space:]]*//'
+}
+
+# require_headline_match compares a fleet headline against the phase-2
+# single-node reference: ints exactly, floats within 1e-6 relative.
+require_headline_match() { # fleet headline file
+  local f=$1 k a b
+  for k in devices records; do
+    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$f" "$k")
+    if [ "$a" != "$b" ]; then
+      echo "smoke: fleet headline $k = $b, single-node reference $a" >&2
+      exit 1
+    fi
+  done
+  for k in total_energy_j background_fraction first_minute_fraction; do
+    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$f" "$k")
+    if ! awk -v a="$a" -v b="$b" 'BEGIN {
+      d = a - b; if (d < 0) d = -d
+      m = a; if (m < 0) m = -m
+      exit (d <= 1e-6 * (1 + m) ? 0 : 1)
+    }'; then
+      echo "smoke: fleet headline $k = $b, single-node reference $a (>1e-6 relative)" >&2
+      exit 1
+    fi
+  done
 }
 
 run_cluster() {
@@ -138,26 +169,7 @@ run_cluster() {
   fi
   curl -fsS "http://$AGG/headline" > "$WORK/fleet.json"
 
-  # The merged fleet headline must equal the single-node reference.
-  local k a b
-  for k in devices records; do
-    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$WORK/fleet.json" "$k")
-    if [ "$a" != "$b" ]; then
-      echo "smoke: fleet headline $k = $b, single-node reference $a" >&2
-      exit 1
-    fi
-  done
-  for k in total_energy_j background_fraction first_minute_fraction; do
-    a=$(jfield "$WORK/ref.json" "$k"); b=$(jfield "$WORK/fleet.json" "$k")
-    if ! awk -v a="$a" -v b="$b" 'BEGIN {
-      d = a - b; if (d < 0) d = -d
-      m = a; if (m < 0) m = -m
-      exit (d <= 1e-6 * (1 + m) ? 0 : 1)
-    }'; then
-      echo "smoke: fleet headline $k = $b, single-node reference $a (>1e-6 relative)" >&2
-      exit 1
-    fi
-  done
+  require_headline_match "$WORK/fleet.json"
   echo "smoke: fleet headline matches single-node reference ($want_records records across survivors)"
 
   # Graceful drain of the survivors and the aggregator: all must exit 0.
@@ -177,6 +189,121 @@ run_cluster() {
   echo "smoke: cluster phase ok"
 }
 
+run_chaos_cluster() {
+  local cluster="n1=127.0.0.1:19911/127.0.0.1:19912,n2=127.0.0.1:19913/127.0.0.1:19914,n3=127.0.0.1:19915/127.0.0.1:19916"
+  local streams="127.0.0.1:19911,127.0.0.1:19913,127.0.0.1:19915"
+  local dirs=("$WORK/c1" "$WORK/c2" "$WORK/c3")
+  mkdir -p "${dirs[@]}"
+
+  local i
+  for i in 1 2 3; do
+    ./bin/ingestd -listen "127.0.0.1:199$((9 + 2 * i))" -admin "127.0.0.1:199$((10 + 2 * i))" \
+      -node-id "n$i" -cluster "$cluster" -shards 4 \
+      -checkpoint-dir "${dirs[$((i - 1))]}" -checkpoint-interval 250ms -durable-fin \
+      -heartbeat 250ms -fail-threshold 2 -handoff-on-drain=false &
+    pids+=($!)
+  done
+  local victim=${pids[1]} # n2, admin 127.0.0.1:19914
+  ./bin/aggregatord -listen "$AGG" -cluster "$cluster" \
+    -handoff-dirs "n1=${dirs[0]},n2=${dirs[1]},n3=${dirs[2]}" \
+    -interval 400ms -heartbeat 250ms -fail-threshold 2 \
+    -pull-attempts 3 -handoff-attempts 4 &
+  pids+=($!)
+
+  # Partition step: freeze n2 (SIGSTOP, sockets stay open, state stays in
+  # memory) the moment it has accepted records and written a checkpoint.
+  # Unlike the kill phase's SIGKILL, the process survives to resurface
+  # later holding already-handed-off state — the zombie the fence exists for.
+  (
+    for _ in $(seq 1 600); do
+      st=$(curl -fsS "http://127.0.0.1:19914/stats" 2>/dev/null || true)
+      recs=$(printf '%s' "$st" | grep -o '"records":[[:space:]]*[0-9]*' | head -1 | tr -dc 0-9)
+      gen=$(printf '%s' "$st" | grep -o '"generation":[[:space:]]*[0-9]*' | head -1 | tr -dc 0-9)
+      if [ -n "${recs:-}" ] && [ "$recs" -gt 0 ] && [ -n "${gen:-}" ] && [ "$gen" -ge 1 ]; then
+        kill -STOP "$victim"
+        exit 0
+      fi
+      sleep 0.05
+    done
+    exit 1
+  ) &
+  local freezer=$!
+
+  # With -durable-fin every FIN ack is backed by a checkpoint, so even the
+  # frozen node's completed sessions survive intact through the handoff:
+  # the fleet must reconcile exactly, not just approximately.
+  ./bin/fleetsim -nodes "$streams" -aggregator "http://$AGG" \
+    -devices "$DEVICES" -days "$DAYS" -seed 7 -deadline 5m -speedup 8640
+
+  if ! wait "$freezer"; then
+    echo "smoke: victim node was never frozen (no records/checkpoint observed on n2)" >&2
+    exit 1
+  fi
+
+  # Wait for the frozen node's checkpoint to hand off to the survivors,
+  # then heal the partition: the zombie resurfaces and must be fenced
+  # before its stale snapshot can re-enter a merge.
+  local m handoffs fenced
+  for _ in $(seq 1 300); do
+    m=$(curl -fsS "http://$AGG/metrics" 2>/dev/null || true)
+    handoffs=$(printf '%s' "$m" | awk '/^aggregator_handoffs_total /{print int($2)}')
+    if [ "${handoffs:-0}" -ge 1 ]; then break; fi
+    sleep 0.1
+  done
+  if [ "${handoffs:-0}" -lt 1 ]; then
+    echo "smoke: frozen node's checkpoint never handed off" >&2
+    exit 1
+  fi
+  kill -CONT "$victim"
+
+  # Settle: the fenced zombie is excluded from the live merge (nodes_live
+  # drops to 2 even though all three processes answer /healthz) and the
+  # record count must hold at the reference — no double count.
+  local want_records live recs
+  want_records=$(jfield "$WORK/ref.json" records)
+  for _ in $(seq 1 300); do
+    m=$(curl -fsS "http://$AGG/metrics" 2>/dev/null || true)
+    live=$(printf '%s' "$m" | awk '/^aggregator_nodes_live /{print int($2)}')
+    recs=$(printf '%s' "$m" | awk '/^aggregator_records /{print int($2)}')
+    fenced=$(printf '%s' "$m" | awk '/^aggregator_fenced_skips_total /{print int($2)}')
+    if [ "${live:-3}" -eq 2 ] && [ "${recs:-0}" -eq "$want_records" ] && [ "${fenced:-0}" -ge 1 ]; then break; fi
+    sleep 0.1
+  done
+  if [ "${live:-3}" -ne 2 ] || [ "${recs:-0}" -ne "$want_records" ] || [ "${fenced:-0}" -lt 1 ]; then
+    echo "smoke: cluster did not settle after heal (nodes_live=${live:-?} records=${recs:-?} fenced_skips=${fenced:-?}, want 2/$want_records/>=1)" >&2
+    exit 1
+  fi
+
+  # Durable FIN must have actually engaged on the survivors.
+  local findur
+  findur=$(curl -fsS "http://127.0.0.1:19912/metrics" "http://127.0.0.1:19916/metrics" 2>/dev/null |
+    awk '/^ingest_fin_durable_total /{n += $2} END {print int(n)}')
+  if [ "${findur:-0}" -lt 1 ]; then
+    echo "smoke: ingest_fin_durable_total = ${findur:-0} across survivors, want >= 1 (-durable-fin not engaged)" >&2
+    exit 1
+  fi
+
+  curl -fsS "http://$AGG/headline" > "$WORK/fleet-chaos.json"
+  require_headline_match "$WORK/fleet-chaos.json"
+  echo "smoke: fleet headline matches single-node reference through freeze + fence ($want_records records)"
+
+  # Graceful drain: every process — including the fenced zombie — must
+  # exit 0. A fenced node skips its final checkpoint (the archive already
+  # holds its history) but still drains its shards cleanly.
+  local p
+  for p in "${pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null || true
+  done
+  for p in "${pids[@]}"; do
+    if ! wait "$p"; then
+      echo "smoke: chaos-cluster process $p did not drain cleanly" >&2
+      exit 1
+    fi
+  done
+  pids=()
+  echo "smoke: chaos-cluster phase ok"
+}
+
 # Golden end-to-end check: batch and streamed analysis of the fixed-seed
 # fleet must still reproduce testdata/golden.json bit-for-bit (ints) /
 # within 1e-9 (floats). Catches silent drift in the numeric pipeline that
@@ -187,6 +314,7 @@ echo "smoke: golden phase ok"
 run_phase clean -headline-json "$WORK/ref.json"
 run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
 run_cluster
+run_chaos_cluster
 trap - EXIT
 rm -rf "$WORK"
 echo "smoke: ok"
