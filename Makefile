@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint repolint build test race cover smoke fuzz fuzz-smoke bench bench-report clean
+.PHONY: ci vet lint repolint build test race cover equiv smoke fuzz fuzz-smoke bench bench-report clean
 
-ci: lint build race cover fuzz-smoke smoke bench-report
+ci: lint build race equiv cover fuzz-smoke smoke bench-report
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,14 @@ cover:
 	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 >= f + 0 ? 0 : 1) }' || \
 	  { echo "coverage $$total% is below the $$floor% floor" >&2; exit 1; }
 
+# Columnar equivalence harness: 120 randomized fixed-seed traces through
+# the per-record, FeedBatch and METR-3 StreamBatches paths must produce
+# bit-identical accumulator state and results (see
+# internal/analysis/equiv_test.go). Run with -count=1 so a cached pass
+# never masks a codec change.
+equiv:
+	$(GO) test -run 'TestColumnarEquivalence' -count=1 ./internal/analysis/
+
 # End-to-end load smoke: 200 synthetic devices stream one trace-day each
 # into a local ingestd — once clean, once through the fault injector;
 # fleetsim exits non-zero on any dropped or rejected record, and ingestd
@@ -53,11 +61,16 @@ cover:
 smoke: build
 	./scripts/smoke.sh
 
-# Short runs of every fuzz target (trace reader, pcap reader, packet
-# parser, ingest frame decoder, checkpoint decoder).
+# Short runs of every fuzz target (trace reader, METR-3 columnar decoder,
+# parallel file reader, LZ codec, pcap reader, packet parser, ingest frame
+# decoder, checkpoint decoder).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzMETR3Decoder -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzReadFileParallel -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/lz/
+	$(GO) test -run=NONE -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) ./internal/lz/
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/pcapio/
 	$(GO) test -run=NONE -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/netparse/
 	$(GO) test -run=NONE -fuzz=FuzzFrameDecoder -fuzztime=$(FUZZTIME) ./internal/ingest/

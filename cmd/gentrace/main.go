@@ -35,7 +35,7 @@ func main() {
 		ndjson   = flag.Bool("ndjson", false, "also write .ndjson sidecars")
 		profiles = flag.String("profiles", "", "JSON file defining the app population (default: built-ins)")
 		compress = flag.Bool("compress", false, "write DEFLATE-compressed traces (auto-detected on read)")
-		format   = flag.String("format", "", "container format: flat, deflate or metr2 (default flat; overrides -compress)")
+		format   = flag.String("format", "", "container format: flat, deflate, metr2 or metr3 (default flat; overrides -compress)")
 		dump     = flag.Bool("dump-profiles", false, "print the built-in case-study profiles as JSON and exit")
 	)
 	flag.Parse()

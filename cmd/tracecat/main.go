@@ -10,7 +10,7 @@
 //	tracecat -trace data/u00.metr -convert u00.metr2 -format metr2
 //
 // With -convert, the trace is rewritten into the container named by
-// -format (flat, deflate or metr2); records survive bit-identically, only
+// -format (flat, deflate, metr2 or metr3); records survive bit-identically, only
 // the container changes.
 package main
 
@@ -31,7 +31,7 @@ func main() {
 		appPkg = flag.String("app", "", "restrict -head output to one app package")
 		ndjson  = flag.Bool("ndjson", false, "dump the whole trace as NDJSON to stdout")
 		convert = flag.String("convert", "", "rewrite the trace into this file using -format")
-		format  = flag.String("format", "", "target container for -convert: flat, deflate or metr2")
+		format  = flag.String("format", "", "target container for -convert: flat, deflate, metr2 or metr3")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -62,7 +62,7 @@ func main() {
 // convertTrace rewrites dt into dst using the named container format.
 func convertTrace(dt *trace.DeviceTrace, src, dst, formatName string) error {
 	if formatName == "" {
-		return fmt.Errorf("-convert requires -format (flat, deflate or metr2)")
+		return fmt.Errorf("-convert requires -format (flat, deflate, metr2 or metr3)")
 	}
 	f, err := trace.ParseFormat(formatName)
 	if err != nil {

@@ -347,6 +347,65 @@ func TestGoldenMETR2(t *testing.T) {
 	cmp.float("metr2.first_minute_fraction", h.FirstMinute.Fraction, want.Batch.FirstMinuteFraction)
 }
 
+// TestGoldenMETR3 routes the same fixed-seed fleet through the columnar
+// METR-3 container on disk: every record must survive the round trip
+// bit-identically, and a Study opened with block-parallel columnar
+// decoding must reproduce the golden batch headline — the end-to-end
+// contract the row formats already carry, now pinned to the column codec.
+func TestGoldenMETR3(t *testing.T) {
+	cfg := synthgen.Small(goldenUsers, goldenDays)
+	cfg.Format = trace.FormatColumnar
+	dir := t.TempDir()
+	fleet, err := synthgen.GenerateFleet(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := synthgen.GenerateInMemory(cfg)
+	if len(fleet.Paths) != len(mem) {
+		t.Fatalf("fleet has %d files, generated %d devices", len(fleet.Paths), len(mem))
+	}
+	for i, path := range fleet.Paths {
+		if f, err := trace.DetectFileFormat(path); err != nil || f != trace.FormatColumnar {
+			t.Fatalf("%s: format %v, err %v", path, f, err)
+		}
+		got, err := trace.ReadFileParallel(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mem[i]
+		if got.Device != want.Device || len(got.Records) != len(want.Records) {
+			t.Fatalf("%s: device %q records %d, want %q %d",
+				path, got.Device, len(got.Records), want.Device, len(want.Records))
+		}
+		for j := range want.Records {
+			a, b := &want.Records[j], &got.Records[j]
+			if a.Type != b.Type || a.TS != b.TS || a.App != b.App || a.Dir != b.Dir ||
+				a.Net != b.Net || a.State != b.State || a.ScreenOn != b.ScreenOn ||
+				a.AppName != b.AppName || !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("%s: record %d differs after METR-3 round trip", path, j)
+			}
+		}
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("no golden file: %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	study, err := core.OpenParallel(dir, 16) // 16 > 5 files: intra-file block parallelism
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := study.Headline()
+	cmp := newGoldenCmp(t)
+	cmp.float("metr3.total_energy_j", h.TotalEnergyJ, want.Batch.TotalEnergyJ)
+	cmp.float("metr3.background_fraction", h.BackgroundFraction, want.Batch.BackgroundFraction)
+	cmp.float("metr3.first_minute_fraction", h.FirstMinute.Fraction, want.Batch.FirstMinuteFraction)
+}
+
 // goldenCmp compares quantities with a relative float tolerance and exact
 // integers, reporting every mismatch by name.
 type goldenCmp struct{ t *testing.T }

@@ -1,0 +1,193 @@
+package analysis
+
+// Differential equivalence harness for the columnar feed path: randomized
+// fixed-seed traces are pushed through the per-record path (Feed), the
+// columnar path (FeedBatch over randomly cut batches), and the on-disk
+// METR-3 container (StreamBatches over a serialized round trip), and every
+// observable — serialized accumulator state, finished result bytes, the
+// headline numbers — must match bit-for-bit. Feed and FeedBatch share the
+// same feed helpers by construction (stream.go), so any divergence here
+// means the batch materialization or the METR-3 codec changed semantics.
+//
+// `make ci` runs this via the equiv target; equivSeeds fixed-seed traces
+// keep the check deterministic across machines.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netenergy/internal/energy"
+	"netenergy/internal/netparse"
+	"netenergy/internal/trace"
+)
+
+// equivSeeds is how many independent random traces the harness replays.
+const equivSeeds = 120
+
+// genEquivRecords builds a seed-deterministic randomized record stream
+// exercising everything the accumulator consumes: valid TCP/UDP packets
+// across apps, states, directions and networks; junk payloads (decode
+// errors); screen flips; proc-state transitions; app names; UI events.
+// Timestamps advance monotonically across day boundaries so per-day
+// ledgers get multiple keys.
+func genEquivRecords(seed int64) []trace.Record {
+	r := rand.New(rand.NewSource(seed))
+	n := 200 + r.Intn(400)
+	recs := make([]trace.Record, 0, n)
+	ts := trace.Timestamp(1000 + r.Int63n(1e6))
+	buf := make([]byte, 2048)
+	for i := 0; i < n; i++ {
+		// Mostly small steps, occasionally a jump past radio tails or a
+		// day boundary.
+		switch r.Intn(20) {
+		case 0:
+			ts = ts.AddSeconds(float64(r.Intn(90000))) // up to ~a day
+		case 1:
+			ts = ts.AddSeconds(20 + float64(r.Intn(60))) // past the tail
+		default:
+			ts = ts.AddSeconds(r.Float64() * 2)
+		}
+		app := uint32(r.Intn(6))
+		switch p := r.Intn(100); {
+		case p < 8:
+			recs = append(recs, trace.Record{
+				Type: trace.RecScreen, TS: ts, ScreenOn: r.Intn(2) == 0,
+			})
+		case p < 20:
+			recs = append(recs, trace.Record{
+				Type: trace.RecProcState, TS: ts, App: app,
+				State: trace.AllStates[r.Intn(len(trace.AllStates))],
+			})
+		case p < 24:
+			recs = append(recs, trace.Record{
+				Type: trace.RecAppName, TS: ts, App: app,
+				AppName: fmt.Sprintf("app.pkg%d", app),
+			})
+		case p < 28:
+			recs = append(recs, trace.Record{
+				Type: trace.RecUIEvent, TS: ts, App: app,
+				UIKind: trace.UIEventKind(r.Intn(3)),
+			})
+		default:
+			rec := trace.Record{
+				Type: trace.RecPacket, TS: ts, App: app,
+				Dir:   trace.Direction(r.Intn(2)),
+				Net:   trace.Network(r.Intn(2)),
+				State: trace.AllStates[r.Intn(len(trace.AllStates))],
+			}
+			src := [4]byte{10, 0, 0, byte(1 + r.Intn(250))}
+			dst := [4]byte{93, 184, 216, byte(1 + r.Intn(250))}
+			var m int
+			switch r.Intn(10) {
+			case 0:
+				// Junk payload: both paths must count the decode error.
+				m = 1 + r.Intn(40)
+				r.Read(buf[:m])
+			case 1, 2, 3:
+				m, _ = netparse.BuildUDPv4(buf, src, dst,
+					uint16(1024+r.Intn(60000)), 443, r.Intn(1200))
+			default:
+				m, _ = netparse.BuildTCPv4(buf, src, dst,
+					uint16(1024+r.Intn(60000)), 443, r.Uint32(), 0x18, r.Intn(1200))
+			}
+			rec.Payload = append([]byte(nil), buf[:m]...)
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// feedPerRecord drives the canonical per-record path.
+func feedPerRecord(recs []trace.Record, opts energy.Options) *StreamAccumulator {
+	acc := NewStreamAccumulator("equiv-dev", opts)
+	for i := range recs {
+		acc.Feed(&recs[i])
+	}
+	return acc
+}
+
+// feedColumnar drives the batch path: the stream is cut into batches of
+// random length (1..97 records, seed-deterministic) and fed via FeedBatch,
+// mirroring how the ingest shard and the METR-3 reader deliver records.
+func feedColumnar(recs []trace.Record, opts energy.Options, seed int64) *StreamAccumulator {
+	r := rand.New(rand.NewSource(seed ^ 0x5eedba7c))
+	acc := NewStreamAccumulator("equiv-dev", opts)
+	var b trace.RecordBatch
+	for i := 0; i < len(recs); {
+		j := i + 1 + r.Intn(97)
+		if j > len(recs) {
+			j = len(recs)
+		}
+		b.Reset()
+		for k := i; k < j; k++ {
+			b.Append(&recs[k])
+		}
+		acc.FeedBatch(&b)
+		i = j
+	}
+	return acc
+}
+
+// TestColumnarEquivalence is the differential harness proper.
+func TestColumnarEquivalence(t *testing.T) {
+	opts := energy.DefaultOptions()
+	for seed := int64(0); seed < equivSeeds; seed++ {
+		recs := genEquivRecords(seed)
+
+		accA := feedPerRecord(recs, opts)
+		accB := feedColumnar(recs, opts, seed)
+
+		// Serialized accumulator state must be bit-identical before any
+		// finalization — this covers every intermediate field, not just
+		// what the report surfaces.
+		stateA := accA.AppendState(nil)
+		stateB := accB.AppendState(nil)
+		if !bytes.Equal(stateA, stateB) {
+			t.Fatalf("seed %d: accumulator state diverges between Feed and FeedBatch (%d vs %d bytes)",
+				seed, len(stateA), len(stateB))
+		}
+		if accA.Records() != accB.Records() {
+			t.Fatalf("seed %d: record counts diverge: %d vs %d", seed, accA.Records(), accB.Records())
+		}
+
+		resA := accA.Finish()
+		resB := accB.Finish()
+		binA := resA.AppendBinary(nil)
+		if !bytes.Equal(binA, resB.AppendBinary(nil)) {
+			t.Fatalf("seed %d: finished results diverge between Feed and FeedBatch", seed)
+		}
+		// Headlines, spelled out for diagnostics (already covered by the
+		// byte compare above).
+		if resA.Ledger.Total != resB.Ledger.Total {
+			t.Fatalf("seed %d: total energy %v vs %v", seed, resA.Ledger.Total, resB.Ledger.Total)
+		}
+		if resA.Ledger.BackgroundFraction() != resB.Ledger.BackgroundFraction() {
+			t.Fatalf("seed %d: background fraction diverges", seed)
+		}
+		if resA.DecodeErrors != resB.DecodeErrors {
+			t.Fatalf("seed %d: decode errors %d vs %d", seed, resA.DecodeErrors, resB.DecodeErrors)
+		}
+
+		// Third path: through the METR-3 container on disk. StreamBatches
+		// consumes the decoder's zero-copy batches, so this also proves the
+		// codec round-trips every field the accumulator reads.
+		dt := &trace.DeviceTrace{Device: "equiv-dev", Start: recs[0].TS, Records: recs}
+		var buf bytes.Buffer
+		if err := dt.SerializeFormat(&buf, trace.FormatColumnar); err != nil {
+			t.Fatalf("seed %d: serialize: %v", seed, err)
+		}
+		br, err := trace.NewBatchReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: open: %v", seed, err)
+		}
+		resC, err := StreamBatches(br, opts)
+		if err != nil {
+			t.Fatalf("seed %d: stream: %v", seed, err)
+		}
+		if !bytes.Equal(binA, resC.AppendBinary(nil)) {
+			t.Fatalf("seed %d: METR-3 StreamBatches result diverges from per-record path", seed)
+		}
+	}
+}

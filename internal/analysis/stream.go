@@ -191,72 +191,115 @@ func (a *StreamAccumulator) Records() int64 { return a.records }
 // packet: the radio accountant, the process-state snapshot, the screen flag
 // and the aggregate bins advance in lockstep with the stream. The record
 // (and its Payload) may be reused by the caller after Feed returns.
+//
+// Feed and FeedBatch share the per-type helpers below, so feeding a batch
+// is bit-identical — same float operations in the same order — to feeding
+// its records one at a time. The differential harness in equiv_test.go
+// holds the two paths to that standard.
 func (a *StreamAccumulator) Feed(rec *trace.Record) {
 	a.records++
-	res := a.res
 	switch rec.Type {
 	case trace.RecProcState:
-		if a.inFg[rec.App] && !rec.State.IsForeground() {
-			a.lastFgEnd[rec.App] = rec.TS
-		}
-		a.inFg[rec.App] = rec.State.IsForeground()
-		if rec.State.IsForeground() {
-			res.EverForeground[rec.App] = true
-		}
+		a.feedProcState(rec.TS, rec.App, rec.State)
 	case trace.RecScreen:
-		a.screenOn = rec.ScreenOn
+		a.feedScreen(rec.ScreenOn)
 	case trace.RecPacket:
-		if rec.Net != a.opts.Network {
-			return
-		}
-		d, err := a.parser.DecodePacket(rec.Payload)
-		if err != nil {
-			res.DecodeErrors++
-			return
-		}
-		if !a.havePrev {
-			res.Span[0] = rec.TS
-		}
-		res.Span[1] = rec.TS
-		dir := radio.Down
-		if rec.Dir == trace.DirUp {
-			dir = radio.Up
-		}
-		c := a.acct.OnPacket(rec.TS.Seconds(), d.WireLen, dir)
-		day := rec.TS.Day()
-		if c.GapTail > 0 && a.havePrev {
-			res.Ledger.Charge(a.prevApp, a.prevState, a.prevDay, c.GapTail)
-		} else if c.GapTail > 0 {
-			res.Ledger.Charge(rec.App, rec.State, day, c.GapTail)
-		}
-		own := c.Promotion + c.Transfer
-		res.Ledger.Charge(rec.App, rec.State, day, own)
-		res.Ledger.AddPacket(rec.App, day, rec.State, int64(d.WireLen))
-
-		if rec.State.IsBackground() {
-			res.BgBytesByApp[rec.App] += int64(d.WireLen)
-			fgEnd, wasFg := a.lastFgEnd[rec.App]
-			if a.inFg[rec.App] {
-				fgEnd, wasFg = rec.TS, true
-			}
-			if wasFg {
-				since := rec.TS.Sub(fgEnd)
-				res.SinceFg.Add(since, float64(d.WireLen))
-				if since <= 60 {
-					res.EarlyBytesByApp[rec.App] += int64(d.WireLen)
-				}
-			}
-		}
-		if a.screenOn {
-			res.OnBytes += int64(d.WireLen)
-			res.OnEnergy += own + c.GapTail
-		} else {
-			res.OffBytes += int64(d.WireLen)
-			res.OffEnergy += own + c.GapTail
-		}
-		a.prevApp, a.prevState, a.prevDay = rec.App, rec.State, day
-		a.havePrev = true
+		a.feedPacket(rec.TS, rec.App, rec.Dir, rec.Net, rec.State, rec.Payload)
 	}
+}
+
+// FeedBatch advances the accumulator over every record of a batch, reading
+// the columns directly — no Record materialisation. Equivalent to calling
+// Feed on each record in order.
+//
+//repolint:noalloc
+func (a *StreamAccumulator) FeedBatch(b *trace.RecordBatch) {
+	n := b.Len()
+	a.records += int64(n)
+	for i := 0; i < n; i++ {
+		switch b.Types[i] {
+		case trace.RecProcState:
+			a.feedProcState(b.TS[i], b.App[i], trace.ProcState(b.Aux[i]))
+		case trace.RecScreen:
+			a.feedScreen(b.Flags[i]&1 != 0)
+		case trace.RecPacket:
+			f := b.Flags[i]
+			a.feedPacket(b.TS[i], b.App[i], trace.Direction(f&1),
+				trace.Network((f>>1)&1), trace.ProcState(b.Aux[i]), b.Bytes(i))
+		}
+	}
+}
+
+//repolint:noalloc
+func (a *StreamAccumulator) feedProcState(ts trace.Timestamp, app uint32, state trace.ProcState) {
+	if a.inFg[app] && !state.IsForeground() {
+		a.lastFgEnd[app] = ts
+	}
+	a.inFg[app] = state.IsForeground()
+	if state.IsForeground() {
+		a.res.EverForeground[app] = true
+	}
+}
+
+//repolint:noalloc
+func (a *StreamAccumulator) feedScreen(on bool) {
+	a.screenOn = on
+}
+
+//repolint:noalloc
+func (a *StreamAccumulator) feedPacket(ts trace.Timestamp, app uint32, pdir trace.Direction,
+	net trace.Network, state trace.ProcState, payload []byte) {
+	res := a.res
+	if net != a.opts.Network {
+		return
+	}
+	d, err := a.parser.DecodePacket(payload)
+	if err != nil {
+		res.DecodeErrors++
+		return
+	}
+	if !a.havePrev {
+		res.Span[0] = ts
+	}
+	res.Span[1] = ts
+	dir := radio.Down
+	if pdir == trace.DirUp {
+		dir = radio.Up
+	}
+	c := a.acct.OnPacket(ts.Seconds(), d.WireLen, dir)
+	day := ts.Day()
+	if c.GapTail > 0 && a.havePrev {
+		res.Ledger.Charge(a.prevApp, a.prevState, a.prevDay, c.GapTail)
+	} else if c.GapTail > 0 {
+		res.Ledger.Charge(app, state, day, c.GapTail)
+	}
+	own := c.Promotion + c.Transfer
+	res.Ledger.Charge(app, state, day, own)
+	res.Ledger.AddPacket(app, day, state, int64(d.WireLen))
+
+	if state.IsBackground() {
+		res.BgBytesByApp[app] += int64(d.WireLen)
+		fgEnd, wasFg := a.lastFgEnd[app]
+		if a.inFg[app] {
+			fgEnd, wasFg = ts, true
+		}
+		if wasFg {
+			since := ts.Sub(fgEnd)
+			res.SinceFg.Add(since, float64(d.WireLen))
+			if since <= 60 {
+				res.EarlyBytesByApp[app] += int64(d.WireLen)
+			}
+		}
+	}
+	if a.screenOn {
+		res.OnBytes += int64(d.WireLen)
+		res.OnEnergy += own + c.GapTail
+	} else {
+		res.OffBytes += int64(d.WireLen)
+		res.OffEnergy += own + c.GapTail
+	}
+	a.prevApp, a.prevState, a.prevDay = app, state, day
+	a.havePrev = true
 }
 
 // Finish closes the stream — the radio rides its final tail out and the
@@ -300,6 +343,25 @@ func StreamDevice(r *trace.Reader, opts energy.Options) (*StreamResult, error) {
 	return acc.Finish(), nil
 }
 
+// StreamBatches processes a trace stream batch-at-a-time through the
+// columnar feed path: METR-3 blocks are served zero-copy as column
+// batches, row containers are assembled into batches by the reader.
+// Results are bit-identical to StreamDevice over the same records.
+func StreamBatches(br *trace.BatchReader, opts energy.Options) (*StreamResult, error) {
+	acc := NewStreamAccumulator(br.Device(), opts)
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		acc.FeedBatch(b)
+	}
+	return acc.Finish(), nil
+}
+
 // StreamFleet runs StreamDevice over every file of a fleet, merging the
 // aggregate accumulators. Peak memory is one device's O(apps) state.
 func StreamFleet(fleet *trace.Fleet, opts energy.Options) (*StreamResult, error) {
@@ -320,9 +382,9 @@ func streamFile(path string, opts energy.Options) (*StreamResult, error) {
 		return nil, err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	br, err := trace.NewBatchReader(f)
 	if err != nil {
 		return nil, err
 	}
-	return StreamDevice(r, opts)
+	return StreamBatches(br, opts)
 }

@@ -137,6 +137,10 @@ func OpenParallel(dir string, workers int) (*Study, error) {
 				errs[i] = err
 				return
 			}
+			// Everything retained from dt (app table strings, parsed
+			// packet tuples, energy sums) is copied by now, so the
+			// decode buffers can be reused for the next file.
+			dt.Recycle()
 			results[i] = loaded{dev: dd, nets: nets}
 		}(i, path)
 	}

@@ -57,6 +57,17 @@ type Ledger struct {
 	// IdleEnergy is the baseline paging energy over the trace span; it is
 	// reported separately and never attributed to apps.
 	IdleEnergy float64
+
+	// Hot-path memo: packets arrive in runs from one app within one day,
+	// so the inner attribution maps for the last (app, day) pair are
+	// cached, collapsing the nested lookups (and their not-yet-present
+	// checks) to one compare on repeat hits. memoAS == nil means invalid.
+	// Safe across Merge: inner maps and DayStats pointers are only ever
+	// added to, never replaced.
+	memoApp uint32
+	memoDay int
+	memoAS  map[trace.ProcState]float64
+	memoDS  *DayStats
 }
 
 // NewLedger returns an empty Ledger, for callers that accumulate charges
@@ -80,7 +91,7 @@ func (l *Ledger) Charge(app uint32, state trace.ProcState, day int, e float64) {
 
 // AddPacket records a packet's byte accounting (without energy).
 func (l *Ledger) AddPacket(app uint32, day int, state trace.ProcState, wireBytes int64) {
-	ds := l.dayStats(app, day)
+	_, ds := l.hot(app, day)
 	ds.Packets++
 	if state.IsForeground() {
 		ds.FgBytes += wireBytes
@@ -92,22 +103,33 @@ func (l *Ledger) AddPacket(app uint32, day int, state trace.ProcState, wireBytes
 
 // charge adds e joules to the (app, state, day) triple.
 func (l *Ledger) charge(app uint32, state trace.ProcState, day int, e float64) {
+	as, ds := l.hot(app, day)
 	l.Total += e
 	l.ByApp[app] += e
 	l.ByState[state] += e
-	as := l.ByAppState[app]
-	if as == nil {
-		as = make(map[trace.ProcState]float64)
-		l.ByAppState[app] = as
-	}
 	as[state] += e
-	ds := l.dayStats(app, day)
 	ds.Energy += e
 	if state.IsForeground() {
 		ds.FgEnergy += e
 	} else {
 		ds.BgEnergy += e
 	}
+}
+
+// hot returns the (app, day) attribution targets — the per-app state map
+// and per-day stats — through the one-entry memo.
+func (l *Ledger) hot(app uint32, day int) (map[trace.ProcState]float64, *DayStats) {
+	if l.memoAS != nil && app == l.memoApp && day == l.memoDay {
+		return l.memoAS, l.memoDS
+	}
+	as := l.ByAppState[app]
+	if as == nil {
+		as = make(map[trace.ProcState]float64)
+		l.ByAppState[app] = as
+	}
+	ds := l.dayStats(app, day)
+	l.memoApp, l.memoDay, l.memoAS, l.memoDS = app, day, as, ds
+	return as, ds
 }
 
 func (l *Ledger) dayStats(app uint32, day int) *DayStats {
@@ -131,10 +153,14 @@ func (l *Ledger) BackgroundFraction() float64 {
 	if l.Total == 0 {
 		return 0
 	}
+	// Sum in fixed state order, not map order: float addition is not
+	// associative, so map-iteration sums make the headline differ in the
+	// last ulp between identical ledgers (the columnar equivalence harness
+	// compares it bit-for-bit).
 	var bg float64
-	for s, e := range l.ByState {
+	for _, s := range trace.AllStates {
 		if s.IsBackground() {
-			bg += e
+			bg += l.ByState[s]
 		}
 	}
 	return bg / l.Total
@@ -155,10 +181,12 @@ func (l *Ledger) AppBackgroundFraction(app uint32) float64 {
 	if total == 0 {
 		return 0
 	}
+	// Fixed state order for the same reason as BackgroundFraction.
 	var bg float64
-	for s, e := range l.ByAppState[app] {
+	as := l.ByAppState[app]
+	for _, s := range trace.AllStates {
 		if s.IsBackground() {
-			bg += e
+			bg += as[s]
 		}
 	}
 	return bg / total

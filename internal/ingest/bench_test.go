@@ -83,6 +83,51 @@ func BenchmarkFrameDecode(b *testing.B) {
 	}
 }
 
+// TestFrameDecodeAllocFree pins the steady-state allocation behaviour of
+// the frame decode path. Two past leaks are covered: the per-call CRC
+// scratch slice (now the frameReader's crcb field) and the body copy (now
+// served zero-copy from the bufio buffer via the Peek fast path). With a
+// buffer large enough to hold each frame, next()+Decode must not allocate
+// at all.
+func TestFrameDecodeAllocFree(t *testing.T) {
+	dt := benchTrace()
+	enc := trace.NewRecordEncoder(dt.Start)
+	var wire []byte
+	n := len(dt.Records)
+	for i := 0; i < n; i++ {
+		body, err := enc.Encode(&dt.Records[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = appendFrame(wire, int64(i), body)
+	}
+	var fr *frameReader
+	var dec *trace.RecordDecoder
+	i := 0
+	step := func() {
+		if i%n == 0 { // restart the stream (and the timestamp delta chain)
+			fr = newFrameReader(bufio.NewReaderSize(bytes.NewReader(wire), 1<<16))
+			dec = trace.NewRecordDecoder(dt.Start)
+		}
+		_, body, err := fr.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(body); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	step() // warm: reader and decoder buffers
+	// The restart every n steps allocates a fresh reader; amortized over
+	// 2n runs that is the only permitted allocation source, and it stays
+	// well under 1 alloc per frame only if the per-frame path is clean.
+	allocs := testing.AllocsPerRun(2*n, step)
+	if allocs > 0.01 {
+		t.Fatalf("frame decode allocates %.4f times per frame, want ~0", allocs)
+	}
+}
+
 // benchApplyShard returns a warmed shard and a cycling batch feeder: each
 // call hands the shard the next batchSize records of the trace at the
 // shard's current high-water sequence, so every record is accepted.
@@ -180,6 +225,44 @@ func TestApplyAllocFree(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, feed); allocs > 0 {
 		t.Fatalf("instrumented apply path allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestBatchApplyAllocFree extends the zero-allocation policy to the
+// columnar apply path: a pooled RecordBatch through shard.feed
+// (applyBatch, positional dedup, FeedBatch, counters, histograms) must not
+// allocate in steady state. The feeder mirrors handleConn: get a batch
+// from the pool, fill it from the wire records, hand it to the shard,
+// which recycles it back into the pool.
+func TestBatchApplyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool allocates under the race detector")
+	}
+	const batchSize = 128
+	dt := benchTrace()
+	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry())
+	pos := 0
+	batch := &recordBatch{device: dt.Device}
+	feed := func() {
+		if pos+batchSize > len(dt.Records) {
+			pos = 0 // cycle; state stays steady
+		}
+		cols := batchPool.Get().(*trace.RecordBatch)
+		cols.Reset()
+		for i := pos; i < pos+batchSize; i++ {
+			cols.Append(&dt.Records[i])
+		}
+		batch.firstSeq = sh.seqs[dt.Device]
+		batch.cols = cols
+		batch.enqueuedNS = time.Now().UnixNano()
+		sh.feed(batch)
+		pos += batchSize
+	}
+	for i := 0; i < 50; i++ { // settle pool, arena caps and ledger day keys
+		feed()
+	}
+	if allocs := testing.AllocsPerRun(200, feed); allocs > 0 {
+		t.Fatalf("columnar apply path allocates %.2f times per batch, want 0", allocs)
 	}
 }
 

@@ -2,12 +2,25 @@ package ingest
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"time"
 
 	"netenergy/internal/trace"
 )
+
+// defaultMaxBatch is how many records a Client packs into one batch frame
+// before emitting it. Large enough to amortize the frame header, CRC and
+// per-frame decode work; small enough that a paced device's partial batch
+// (flushed before every sleep) still reflects real-time delivery.
+const defaultMaxBatch = 64
+
+// maxBatchBytes flushes a pending batch early when its encoded records
+// grow large (pathological payloads), keeping batch frames well under
+// MaxFrame.
+const maxBatchBytes = 256 << 10
 
 // ackTimeout bounds how long a client waits for the server's handshake or
 // FIN acknowledgement before declaring the connection dead.
@@ -27,6 +40,18 @@ type Client struct {
 	enc   *trace.RecordEncoder
 	frame []byte
 	seq   int64
+
+	// Batch assembly: Send accumulates length-prefixed record bodies in
+	// pending and emits one batch frame (body 0x06 count records...) per
+	// maxBatch records, amortizing the frame header, CRC and buffer write.
+	// Flush and Close emit any partial batch first, so no record is ever
+	// held back across a flush boundary.
+	pending      []byte
+	body         []byte
+	crcb         [4]byte
+	pendingCount int
+	pendingSeq   int64
+	maxBatch     int
 
 	// ResumeSeq is the sequence number the server acknowledged at the
 	// handshake: the seq of the first record it expects on this connection.
@@ -88,30 +113,87 @@ func NewClient(conn net.Conn, device string, start trace.Timestamp, lastSeq int6
 		enc:       trace.NewRecordEncoder(start),
 		seq:       resume,
 		ResumeSeq: resume,
+		maxBatch:  defaultMaxBatch,
 	}, nil
 }
 
 // Seq returns the sequence number the next Send will carry.
 func (c *Client) Seq() int64 { return c.seq }
 
-// Send frames and buffers one record.
+// Send encodes one record into the pending batch, emitting a batch frame
+// once maxBatch records have accumulated. The record is not on the wire
+// (or even in the bufio buffer) until the batch is emitted; Flush and
+// Close always emit the partial batch first.
 func (c *Client) Send(r *trace.Record) error {
 	body, err := c.enc.Encode(r)
 	if err != nil {
 		return err
 	}
-	c.frame = appendFrame(c.frame[:0], c.seq, body)
-	if _, err := c.bw.Write(c.frame); err != nil {
-		return err
+	if c.pendingCount == 0 {
+		c.pendingSeq = c.seq
 	}
+	c.pending = binary.AppendUvarint(c.pending, uint64(len(body)))
+	c.pending = append(c.pending, body...)
+	c.pendingCount++
 	c.seq++
 	c.Records++
-	c.Bytes += int64(len(c.frame))
+	if c.pendingCount >= c.maxBatch || len(c.pending) >= maxBatchBytes {
+		return c.emitBatch()
+	}
 	return nil
 }
 
-// Flush pushes buffered frames to the connection.
-func (c *Client) Flush() error { return c.bw.Flush() }
+// emitBatch frames the pending records as one batch frame and streams it
+// head, records, CRC straight into the write buffer — the record bytes are
+// copied once (into bufio), not assembled through intermediate buffers.
+// The frame's seq names the first record; record j in the body carries
+// pendingSeq+j.
+func (c *Client) emitBatch() error {
+	if c.pendingCount == 0 {
+		return nil
+	}
+	bodyLen := 1 + uvarintLen(uint64(c.pendingCount)) + len(c.pending)
+	c.body = c.body[:0]
+	c.body = binary.AppendUvarint(c.body, uint64(c.pendingSeq))
+	c.body = binary.AppendUvarint(c.body, uint64(bodyLen))
+	c.body = append(c.body, batchByte)
+	c.body = binary.AppendUvarint(c.body, uint64(c.pendingCount))
+	crc := crc32.ChecksumIEEE(c.body)
+	crc = crc32.Update(crc, crc32.IEEETable, c.pending)
+	if _, err := c.bw.Write(c.body); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(c.pending); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(c.crcb[:], crc)
+	if _, err := c.bw.Write(c.crcb[:]); err != nil {
+		return err
+	}
+	c.Bytes += int64(len(c.body) + len(c.pending) + 4)
+	c.pending = c.pending[:0]
+	c.pendingCount = 0
+	return nil
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Flush emits the partial batch and pushes buffered frames to the
+// connection.
+func (c *Client) Flush() error {
+	if err := c.emitBatch(); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
 
 // Close ends the stream cleanly: it sends the FIN frame, waits for the
 // server's acknowledgement that every record (and the finalization) has
@@ -119,6 +201,10 @@ func (c *Client) Flush() error { return c.bw.Flush() }
 // server-acknowledged delivery of the whole stream, not merely "bytes
 // written to a socket".
 func (c *Client) Close() error {
+	if err := c.emitBatch(); err != nil {
+		c.conn.Close()
+		return err
+	}
 	c.frame = appendFrame(c.frame[:0], c.seq, []byte{finByte})
 	if _, err := c.bw.Write(c.frame); err != nil {
 		c.conn.Close()

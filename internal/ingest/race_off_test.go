@@ -1,0 +1,6 @@
+//go:build !race
+
+package ingest
+
+// See race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ingest
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation (notably around sync.Pool) allocates on paths
+// that are allocation-free in a normal build.
+const raceEnabled = true

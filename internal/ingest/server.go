@@ -3,6 +3,7 @@ package ingest
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -526,24 +527,83 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	dec := trace.NewRecordDecoder(start)
 	fr := newFrameReader(br)
-	batch := make([]trace.Record, 0, s.cfg.BatchSize)
+	// Accepted records accumulate column-wise: payloads land in the
+	// batch's shared arena (one amortized copy, no per-record allocation)
+	// and the shard applies the whole run through FeedBatch. Batches are
+	// pooled — the shard returns them after applying.
+	cols := batchPool.Get().(*trace.RecordBatch)
+	cols.Reset()
 	batchFirst := next
 
 	flush := func() {
-		if len(batch) == 0 {
+		if cols.Len() == 0 {
 			return
 		}
 		sh.ch <- shardReq{batch: &recordBatch{
-			device: device, firstSeq: batchFirst, recs: batch,
+			device: device, firstSeq: batchFirst, cols: cols,
 			enqueuedNS: time.Now().UnixNano(),
 		}}
-		batch = make([]trace.Record, 0, s.cfg.BatchSize)
+		cols = batchPool.Get().(*trace.RecordBatch)
+		cols.Reset()
 	}
-	defer flush()
+	defer func() {
+		flush()
+		batchPool.Put(cols)
+	}()
 
 	sever := func(reason string) {
 		s.counters.severs.Add(1)
 		s.counters.events.Logf(obs.LevelWarn, "severed %s: %s", device, reason)
+	}
+
+	// Byte accounting is amortized: accepted bodies sum into pendBytes and
+	// hit the shared atomics once per frame (and once more on the way out),
+	// not once per record — at millions of records a second the per-record
+	// atomic adds were a measurable slice of the apply path.
+	var pendBytes int64
+	flushBytes := func() {
+		if pendBytes != 0 {
+			s.counters.bytes.Add(pendBytes)
+			dev.bytes.Add(pendBytes)
+			pendBytes = 0
+		}
+	}
+	defer flushBytes()
+
+	// applyRecord decodes one record body carrying sequence rseq and
+	// applies the accept/duplicate/poison rules. It returns false when
+	// the connection must be severed (already counted and logged).
+	applyRecord := func(rseq int64, rbody []byte) bool {
+		rec, err := dec.Decode(rbody)
+		if err != nil {
+			s.counters.decodeErrors.Add(1)
+			dev.decodeErrors.Add(1)
+			if rseq == next && dev.notePoison(rseq) >= poisonThreshold {
+				// The same head-of-line record failed on poisonThreshold
+				// consecutive connections: skip it or the stream wedges
+				// in a reconnect loop forever.
+				flush()
+				sh.ch <- shardReq{skip: &skipReq{device: device, seq: rseq}}
+				dev.clearPoison()
+				s.counters.events.Logf(obs.LevelError, "poison record skipped: device %s seq %d", device, rseq)
+			}
+			sever("record decode failure")
+			return false
+		}
+		if rseq < next {
+			// Replay below the resume point (a stale or overly cautious
+			// client): decoded to advance the chain, then dropped here —
+			// and dropped again positionally at the shard if it races.
+			s.counters.duplicates.Add(1)
+			return true
+		}
+		if cols.Len() == 0 {
+			batchFirst = rseq
+		}
+		cols.Append(rec)
+		next++
+		pendBytes += int64(len(rbody))
+		return true
 	}
 
 	for {
@@ -606,44 +666,60 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 
 		t0 := time.Now()
-		rec, err := dec.Decode(body)
-		s.counters.frameSeconds.Observe(time.Since(t0).Seconds())
-		if err != nil {
-			s.counters.decodeErrors.Add(1)
-			dev.decodeErrors.Add(1)
-			if seq == next && dev.notePoison(seq) >= poisonThreshold {
-				// The same head-of-line record failed on poisonThreshold
-				// consecutive connections: skip it or the stream wedges
-				// in a reconnect loop forever.
-				flush()
-				sh.ch <- shardReq{skip: &skipReq{device: device, seq: seq}}
-				dev.clearPoison()
-				s.counters.events.Logf(obs.LevelError, "poison record skipped: device %s seq %d", device, seq)
+		if len(body) > 0 && body[0] == batchByte {
+			// Batch body: count, then count length-prefixed records where
+			// record j carries seq+j. The run is contiguous, so the
+			// accept/duplicate split falls out of the same positional rule
+			// as single-record frames.
+			payload := body[1:]
+			count, un := binary.Uvarint(payload)
+			if un <= 0 || count == 0 || count > maxBatchRecords {
+				s.counters.frameErrors.Add(1)
+				sever("malformed batch header")
+				return
 			}
-			sever("record decode failure")
-			return
+			payload = payload[un:]
+			ok := true
+			for j := int64(0); j < int64(count); j++ {
+				rl, rn := binary.Uvarint(payload)
+				if rn <= 0 || rl > uint64(len(payload)-rn) {
+					s.counters.frameErrors.Add(1)
+					sever("malformed batch record")
+					ok = false
+					break
+				}
+				rbody := payload[rn : rn+int(rl)]
+				payload = payload[rn+int(rl):]
+				if !applyRecord(seq+j, rbody) {
+					ok = false
+					break
+				}
+			}
+			s.counters.frameSeconds.Observe(time.Since(t0).Seconds())
+			if !ok {
+				return
+			}
+			if len(payload) != 0 {
+				s.counters.frameErrors.Add(1)
+				sever("trailing bytes after batch")
+				return
+			}
+		} else {
+			ok := applyRecord(seq, body)
+			s.counters.frameSeconds.Observe(time.Since(t0).Seconds())
+			if !ok {
+				return
+			}
 		}
-		if seq < next {
-			// Replay below the resume point (a stale or overly cautious
-			// client): decoded to advance the chain, then dropped here —
-			// and dropped again positionally at the shard if it races.
-			s.counters.duplicates.Add(1)
-			continue
+		if pendBytes != 0 {
+			// At least one record accepted this frame, so any head-of-line
+			// poison tracking is moot; clearing once per frame is equivalent
+			// to the old per-record clear (a mid-frame decode failure severs
+			// before reaching here, and notePoison resets on a new seq).
+			dev.clearPoison()
+			flushBytes()
 		}
-		dev.clearPoison()
-
-		cp := *rec
-		if len(rec.Payload) > 0 {
-			cp.Payload = append([]byte(nil), rec.Payload...)
-		}
-		if len(batch) == 0 {
-			batchFirst = seq
-		}
-		batch = append(batch, cp)
-		next++
-		s.counters.bytes.Add(int64(len(body)))
-		dev.bytes.Add(int64(len(body)))
-		if len(batch) >= s.cfg.BatchSize {
+		if cols.Len() >= s.cfg.BatchSize {
 			flush()
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"hash/crc32"
 	"hash/fnv"
 	"strconv"
+	"sync"
 	"time"
 
 	"netenergy/internal/analysis"
@@ -44,15 +45,27 @@ func hash64(s string) uint64 {
 
 // recordBatch is a chunk of decoded records for one device, with payloads
 // copied out of the connection's frame buffer so they survive the channel
-// crossing. recs[i] carries sequence number firstSeq+i — the handler only
+// crossing. Record i carries sequence number firstSeq+i — the handler only
 // batches contiguous accepted frames. enqueuedNS stamps the hand-off so the
 // shard can report queue latency (the backpressure gauge with a time axis).
+//
+// Exactly one of cols and recs is set. cols is the hot path: a pooled
+// columnar batch whose payload bytes live in its shared arena; the shard
+// returns it to batchPool after applying. recs is the row form kept for
+// the instrumentation benchmarks and any future non-columnar producer.
 type recordBatch struct {
 	device     string
 	firstSeq   int64
+	cols       *trace.RecordBatch
 	recs       []trace.Record
 	enqueuedNS int64
 }
+
+// batchPool recycles the columnar batches that carry accepted records from
+// connection handlers to shard workers. Handlers Get, shard workers Put
+// after FeedBatch; steady-state ingest therefore reuses a handful of
+// arenas instead of allocating per record.
+var batchPool = sync.Pool{New: func() any { return new(trace.RecordBatch) }}
 
 // finReq asks the shard to finalize a device stream; the reply is the
 // device's accepted-record count, which the handler echoes to the client
@@ -263,6 +276,10 @@ func (s *shard) feed(b *recordBatch) {
 	if b.enqueuedNS > 0 {
 		s.counters.applySeconds.Observe(float64(time.Now().UnixNano()-b.enqueuedNS) / 1e9)
 	}
+	if b.cols != nil {
+		s.applyBatch(b)
+		return
+	}
 	s.counters.batchRecords.Observe(float64(len(b.recs)))
 	exp := s.seqs[b.device]
 	var acc *analysis.StreamAccumulator
@@ -285,6 +302,43 @@ func (s *shard) feed(b *recordBatch) {
 		dev.records.Add(1)
 	}
 	s.seqs[b.device] = exp
+}
+
+// applyBatch is the columnar twin of the recs loop in feed: the handler
+// guarantees the batch is one contiguous run starting at firstSeq, so the
+// positional rule collapses to window arithmetic — everything before the
+// high-water mark is a replay, everything from it on feeds the accumulator
+// in one FeedBatch call. The batch goes back to batchPool afterwards.
+//
+//repolint:noalloc
+func (s *shard) applyBatch(b *recordBatch) {
+	n := b.cols.Len()
+	s.counters.batchRecords.Observe(float64(n))
+	exp := s.seqs[b.device]
+	k := exp - b.firstSeq
+	if k < 0 || k >= int64(n) {
+		// Entirely behind the high-water mark (a resumed connection's
+		// replay racing a newer one) or entirely ahead (a gap the handler
+		// should have severed on): every record drops positionally.
+		s.counters.duplicates.Add(int64(n))
+		batchPool.Put(b.cols)
+		return
+	}
+	if k > 0 {
+		s.counters.duplicates.Add(k)
+	}
+	acc := s.live[b.device]
+	if acc == nil {
+		acc = analysis.NewStreamAccumulator(b.device, s.opts)
+		s.live[b.device] = acc
+	}
+	view := b.cols.Slice(int(k), n)
+	acc.FeedBatch(&view)
+	accepted := int64(n) - k
+	s.seqs[b.device] = exp + accepted
+	s.counters.records.Add(accepted)
+	s.reg.get(b.device).records.Add(accepted)
+	batchPool.Put(b.cols)
 }
 
 // adopt applies a checkpoint handoff to the shard's live state. Each entry

@@ -75,6 +75,20 @@ func Capture(n int) func() int {
 	return func() int { return n } // want "closure captures \"n\""
 }
 
+type pool struct{}
+
+func (pool) Put(v interface{}) {}
+
+// MethodBoxing mirrors the pooled-batch idiom on the ingest hot path:
+// recycling a *RecordBatch through sync.Pool.Put is free (a pointer fits
+// the interface word), but putting a value type would box per call.
+//
+//repolint:noalloc
+func MethodBoxing(p pool, n int, b *buf) {
+	p.Put(b) // pointer: fine
+	p.Put(n) // want "non-pointer value boxed into interface argument"
+}
+
 // Allowed shows the per-line escape hatch.
 //
 //repolint:noalloc

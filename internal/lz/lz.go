@@ -1,0 +1,299 @@
+// Package lz implements a dependency-free byte-oriented LZ77 codec used
+// by the METR-3 columnar trace container. The format is LZ4-flavoured:
+// a stream of sequences, each a token byte whose high nibble is the
+// literal length and low nibble the match length minus minMatch, with
+// 255-run extension bytes for either field, the literals themselves,
+// and a 2-byte little-endian match offset. The final sequence carries
+// literals only (no offset). Decompression writes into a caller-sized
+// destination and fails closed: any read or write that would leave the
+// declared bounds returns ErrCorrupt, so a hostile block can never make
+// the decoder allocate or write beyond what the container header
+// already promised.
+package lz
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt is returned when a compressed block is malformed: a
+// truncated sequence, an offset pointing before the start of output, or
+// a declared output size that the stream does not exactly produce.
+var ErrCorrupt = errors.New("lz: corrupt block")
+
+const (
+	minMatch = 4      // shortest encodable match
+	maxDist  = 0xffff // 2-byte offsets
+	hashBits = 15
+	hashLen  = 1 << hashBits
+)
+
+// hash4 maps a 4-byte sequence to a table slot. The multiplier is the
+// usual Knuth/Fibonacci constant truncated to 32 bits.
+func hash4(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// Appender is the subset of compressor state that callers may reuse
+// across blocks to keep the hash table allocation out of the hot path.
+type Appender struct {
+	table [hashLen]int32 // candidate position + 1; 0 = empty
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. The same Appender must not be used concurrently.
+//
+//repolint:noalloc
+func (a *Appender) Compress(dst, src []byte) []byte {
+	for i := range a.table {
+		a.table[i] = 0
+	}
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	var (
+		pos     int // next byte to examine
+		litHead int // start of pending literal run
+	)
+	// Leave a 12-byte tail uncompressed so match extension below never
+	// needs per-byte bounds checks near the end of the block.
+	limit := n - 12
+	for pos < limit {
+		seq := load32(src, pos)
+		slot := hash4(seq)
+		cand := int(a.table[slot]) - 1
+		a.table[slot] = int32(pos) + 1
+		if cand < 0 || pos-cand > maxDist || load32(src, cand) != seq {
+			pos++
+			continue
+		}
+		// Extend the match forward.
+		mlen := minMatch
+		for pos+mlen < limit && src[cand+mlen] == src[pos+mlen] {
+			mlen++
+		}
+		dst = appendSeq(dst, src[litHead:pos], pos-cand, mlen)
+		// Seed the table inside the match so overlapping repeats are found.
+		end := pos + mlen
+		for p := pos + 1; p < end && p < limit; p += 2 {
+			a.table[hash4(load32(src, p))] = int32(p) + 1
+		}
+		pos = end
+		litHead = pos
+	}
+	// Final literal-only sequence.
+	return appendSeq(dst, src[litHead:], 0, 0)
+}
+
+// appendSeq encodes one sequence: token, length extensions, literals,
+// and (when mlen > 0) the 2-byte offset. mlen == 0 marks the
+// terminal literal-only sequence.
+//
+//repolint:noalloc
+func appendSeq(dst, lits []byte, dist, mlen int) []byte {
+	llen := len(lits)
+	tok := byte(0)
+	if llen < 15 {
+		tok = byte(llen) << 4
+	} else {
+		tok = 15 << 4
+	}
+	if mlen > 0 {
+		m := mlen - minMatch
+		if m < 15 {
+			tok |= byte(m)
+		} else {
+			tok |= 15
+		}
+	}
+	dst = append(dst, tok)
+	if llen >= 15 {
+		dst = appendExt(dst, llen-15)
+	}
+	dst = append(dst, lits...)
+	if mlen > 0 {
+		dst = append(dst, byte(dist), byte(dist>>8))
+		if m := mlen - minMatch; m >= 15 {
+			dst = appendExt(dst, m-15)
+		}
+	}
+	return dst
+}
+
+//repolint:noalloc
+func appendExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress fills dst exactly from the compressed stream src. dst must
+// be sized to the block's declared uncompressed length; any mismatch,
+// truncation, or out-of-range offset returns ErrCorrupt. dst is the
+// only buffer written, so decompression cost is bounded by len(dst) +
+// len(src) regardless of stream contents.
+//
+//repolint:noalloc
+func Decompress(dst, src []byte) error {
+	if len(src) == 0 {
+		if len(dst) != 0 {
+			return ErrCorrupt
+		}
+		return nil
+	}
+	var d, s int
+	for {
+		if s >= len(src) {
+			return ErrCorrupt
+		}
+		tok := src[s]
+		s++
+		llen := int(tok >> 4)
+		if llen == 15 {
+			var err error
+			llen, s, err = readExt(src, s, llen)
+			if err != nil {
+				return err
+			}
+		}
+		if llen > len(src)-s || llen > len(dst)-d {
+			return ErrCorrupt
+		}
+		copy(dst[d:], src[s:s+llen])
+		d += llen
+		s += llen
+		if s == len(src) {
+			// Terminal sequence: token must not promise a match.
+			if tok&0x0f != 0 || d != len(dst) {
+				return ErrCorrupt
+			}
+			return nil
+		}
+		if len(src)-s < 2 {
+			return ErrCorrupt
+		}
+		dist := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		mlen := int(tok & 0x0f)
+		if mlen == 15 {
+			var err error
+			mlen, s, err = readExt(src, s, mlen)
+			if err != nil {
+				return err
+			}
+		}
+		mlen += minMatch
+		if dist == 0 || dist > d || mlen > len(dst)-d {
+			return ErrCorrupt
+		}
+		if dist >= mlen {
+			// Non-overlapping match. Short matches dominate generic
+			// data, so copy them with a pair of fixed-width loads and
+			// stores (the second pair overlaps the first rather than
+			// overshooting past d+mlen) instead of paying a memmove
+			// call per match.
+			m := d - dist
+			switch {
+			case mlen <= 8:
+				x := binary.LittleEndian.Uint32(dst[m:])
+				y := binary.LittleEndian.Uint32(dst[m+mlen-4:])
+				binary.LittleEndian.PutUint32(dst[d:], x)
+				binary.LittleEndian.PutUint32(dst[d+mlen-4:], y)
+			case mlen <= 16:
+				x := binary.LittleEndian.Uint64(dst[m:])
+				y := binary.LittleEndian.Uint64(dst[m+mlen-8:])
+				binary.LittleEndian.PutUint64(dst[d:], x)
+				binary.LittleEndian.PutUint64(dst[d+mlen-8:], y)
+			default:
+				copy(dst[d:d+mlen], dst[m:])
+			}
+			d += mlen
+		} else {
+			// Overlapping match: a run with period dist.
+			start := d - dist
+			end := d + mlen
+			switch {
+			case end-start < 16:
+				// Too short for any vector trick; a bounded byte loop
+				// beats a memmove call.
+				for d < end {
+					dst[d] = dst[d-dist]
+					d++
+				}
+			case dist <= 8:
+				// Small period: seed one 8-byte pattern window, then
+				// lay it down with 8-byte stores advanced by the
+				// period (or by 8 when the period divides 8), each
+				// phase-aligned to the run so overlapping stores write
+				// identical bytes. Stores are bounded by end, so the
+				// run never spills past the match even when dst is a
+				// shared arena window.
+				for d < start+8 {
+					dst[d] = dst[d-dist]
+					d++
+				}
+				v := binary.LittleEndian.Uint64(dst[start:])
+				step := dist
+				if 8%dist == 0 {
+					step = 8
+				}
+				w := start + step
+				for w+8 <= end {
+					binary.LittleEndian.PutUint64(dst[w:], v)
+					w += step
+				}
+				d = w - step + 8
+				for d < end {
+					dst[d] = dst[d-dist]
+					d++
+				}
+			default:
+				// Wide period: seed the window to a multiple of the
+				// period, then replicate by doubling. Source [start:d]
+				// ends exactly where the destination begins, so each
+				// copy is non-overlapping and the window doubles per
+				// pass while preserving the run's phase.
+				if dist < 32 {
+					seedEnd := start + (31/dist+1)*dist
+					if seedEnd > end {
+						seedEnd = end
+					}
+					for d < seedEnd {
+						dst[d] = dst[d-dist]
+						d++
+					}
+				}
+				for d < end {
+					d += copy(dst[d:end], dst[start:d])
+				}
+			}
+		}
+	}
+}
+
+// readExt accumulates 255-run extension bytes onto base.
+//
+//repolint:noalloc
+func readExt(src []byte, s, base int) (int, int, error) {
+	for {
+		if s >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[s]
+		s++
+		base += int(b)
+		if base < 0 { // overflow from a hostile run
+			return 0, 0, ErrCorrupt
+		}
+		if b != 255 {
+			return base, s, nil
+		}
+	}
+}

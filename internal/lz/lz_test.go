@@ -1,0 +1,169 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+
+	"netenergy/internal/rng"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	var a Appender
+	comp := a.Compress(nil, src)
+	dst := make([]byte, len(src))
+	if err := Decompress(dst, comp); err != nil {
+		t.Fatalf("decompress (%d bytes -> %d): %v", len(src), len(comp), err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dst))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []byte{})
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	roundTrip(t, []byte("a"))
+	roundTrip(t, []byte("hello world"))
+	roundTrip(t, []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 4000; i++ {
+		b.WriteString("packet-flow-record-")
+		b.WriteByte(byte(i % 7))
+	}
+	src := b.Bytes()
+	var a Appender
+	comp := a.Compress(nil, src)
+	if len(comp) >= len(src)/4 {
+		t.Fatalf("repetitive data barely compressed: %d -> %d", len(src), len(comp))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripIncompressible(t *testing.T) {
+	r := rng.New(7)
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(r.Intn(256))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripLongRuns(t *testing.T) {
+	// Long literal runs (> 15+255) and long matches exercise the
+	// 255-run extension encoding on both fields.
+	r := rng.New(11)
+	lit := make([]byte, 5000)
+	for i := range lit {
+		lit[i] = byte(r.Intn(256))
+	}
+	src := append(append([]byte{}, lit...), bytes.Repeat([]byte{0xAB}, 9000)...)
+	src = append(src, lit...)
+	roundTrip(t, src)
+}
+
+func TestRoundTripRandomizedSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		r := rng.New(seed)
+		n := r.Intn(20000)
+		src := make([]byte, n)
+		mode := r.Intn(3)
+		for i := range src {
+			switch mode {
+			case 0:
+				src[i] = byte(r.Intn(256))
+			case 1:
+				src[i] = byte(r.Intn(4))
+			default:
+				src[i] = byte(i % (1 + r.Intn(40)))
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		dst  int
+		src  []byte
+	}{
+		{"empty stream nonzero dst", 4, nil},
+		{"truncated literals", 8, []byte{0x50, 'a', 'b'}},
+		{"literal overrun dst", 2, []byte{0x50, 'a', 'b', 'c', 'd', 'e'}},
+		{"match with zero offset", 8, []byte{0x40, 'a', 'b', 'c', 'd', 0, 0, 0x00}},
+		{"offset before start", 8, []byte{0x11, 'a', 0xff, 0xff, 0x00}},
+		{"match overruns dst", 5, []byte{0x4f, 'a', 'b', 'c', 'd', 1, 0, 200, 0x00}},
+		{"terminal with match nibble", 4, []byte{0x41, 'a', 'b', 'c', 'd'}},
+		{"short output", 16, []byte{0x20, 'a', 'b'}},
+		{"truncated offset", 8, []byte{0x11, 'a', 0x01}},
+		{"truncated extension", 8, []byte{0xf1}},
+		{"extension overflow", 8, append([]byte{0xf0}, bytes.Repeat([]byte{255}, 1<<20)...)},
+	}
+	for _, tc := range cases {
+		dst := make([]byte, tc.dst)
+		if err := Decompress(dst, tc.src); err != ErrCorrupt {
+			t.Errorf("%s: got %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+func TestCompressAllocFree(t *testing.T) {
+	r := rng.New(3)
+	src := make([]byte, 32<<10)
+	for i := range src {
+		src[i] = byte(r.Intn(8))
+	}
+	var a Appender
+	comp := a.Compress(nil, src)
+	dst := make([]byte, len(src))
+	buf := comp[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = a.Compress(buf[:0], src)
+		if err := Decompress(dst, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state compress+decompress allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	r := rng.New(3)
+	src := make([]byte, 256<<10)
+	for i := range src {
+		src[i] = byte(r.Intn(16))
+	}
+	var a Appender
+	buf := a.Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = a.Compress(buf[:0], src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	r := rng.New(3)
+	src := make([]byte, 256<<10)
+	for i := range src {
+		src[i] = byte(r.Intn(16))
+	}
+	var a Appender
+	comp := a.Compress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Decompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

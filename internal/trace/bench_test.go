@@ -32,7 +32,7 @@ func benchSetup(b *testing.B) {
 		benchTrace.dir = dir
 		benchTrace.paths = make(map[Format]string)
 		dt := &DeviceTrace{Device: "bench-00", Start: 1000, Records: benchTrace.recs}
-		for _, f := range []Format{FormatFlat, FormatDeflate, FormatBlocked} {
+		for _, f := range []Format{FormatFlat, FormatDeflate, FormatBlocked, FormatColumnar} {
 			var buf bytes.Buffer
 			if err := dt.SerializeFormat(&buf, f); err != nil {
 				panic(err)
@@ -66,6 +66,9 @@ func benchDecode(b *testing.B, format Format, workers int) {
 		if len(dt.Records) != want {
 			b.Fatalf("decoded %d records, want %d", len(dt.Records), want)
 		}
+		// Steady-state decode loop, as core.OpenParallel runs it: fold
+		// the trace, recycle its buffers, move to the next file.
+		dt.Recycle()
 	}
 	b.StopTimer()
 	mbps := float64(benchTrace.flatBytes) / 1e6 * float64(b.N) / b.Elapsed().Seconds()
@@ -81,6 +84,13 @@ func BenchmarkDecodeMETR2Parallel4(b *testing.B) {
 func BenchmarkDecodeMETR2Parallel8(b *testing.B) {
 	benchDecode(b, FormatBlocked, 8)
 }
+func BenchmarkDecodeMETR3(b *testing.B) { benchDecode(b, FormatColumnar, 1) }
+func BenchmarkDecodeMETR3Parallel4(b *testing.B) {
+	benchDecode(b, FormatColumnar, 4)
+}
+func BenchmarkDecodeMETR3Parallel8(b *testing.B) {
+	benchDecode(b, FormatColumnar, 8)
+}
 
 func BenchmarkEncodeMETR2(b *testing.B) {
 	benchSetup(b)
@@ -90,6 +100,28 @@ func BenchmarkEncodeMETR2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w, err := NewBlockWriter(io.Discard, dt.Device, dt.Start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range dt.Records {
+			if err := w.Write(&dt.Records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeMETR3(b *testing.B) {
+	benchSetup(b)
+	dt := &DeviceTrace{Device: "bench-00", Start: 1000, Records: benchTrace.recs}
+	b.SetBytes(benchTrace.flatBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewColumnWriter(io.Discard, dt.Device, dt.Start)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -207,10 +207,22 @@ func (w *BlockWriter) Flush() error {
 		w.err = err
 		return err
 	}
-	idx := append(w.hdr[:0], indexTag)
-	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
+	idx := appendBlockIndex(w.hdr[:0], w.index, footerMagic)
+	if _, err := w.w.Write(idx); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// appendBlockIndex appends the footer index and trailer shared by the
+// blocked containers (METR-2 and METR-3); magic selects the trailer
+// magic and therefore the format.
+func appendBlockIndex(idx []byte, index []BlockInfo, magic []byte) []byte {
+	idx = append(idx, indexTag)
+	idx = binary.AppendUvarint(idx, uint64(len(index)))
 	prev := int64(0)
-	for _, b := range w.index {
+	for _, b := range index {
 		idx = binary.AppendUvarint(idx, uint64(b.Offset-prev))
 		prev = b.Offset
 		idx = binary.AppendUvarint(idx, uint64(b.UncompLen))
@@ -221,12 +233,7 @@ func (w *BlockWriter) Flush() error {
 	}
 	idx = binary.LittleEndian.AppendUint64(idx, uint64(len(idx)))
 	idx = binary.LittleEndian.AppendUint32(idx, crc32.Checksum(idx[:len(idx)-8], castagnoli))
-	idx = append(idx, footerMagic...)
-	if _, err := w.w.Write(idx); err != nil {
-		w.err = err
-		return err
-	}
-	return nil
+	return append(idx, magic...)
 }
 
 // blockDecoder is the streaming (non-seeking) METR-2 decoder behind
@@ -408,42 +415,56 @@ func decodeFrame(b []byte, last Timestamp, rec *Record) (*Record, Timestamp, int
 	return rec, ts, bodyStart + int(blen), nil
 }
 
-// ReadBlockIndex reads the footer index of a METR-2 file via ra. It
-// returns the device, start timestamp and per-block index, or ok=false if
-// the file is not a METR-2 container or carries no (intact) footer — the
-// caller should fall back to streaming.
+// ReadBlockIndex reads the footer index of a blocked container (METR-2
+// or METR-3) via ra. It returns the device, start timestamp and
+// per-block index, or ok=false if the file is not a blocked container
+// or carries no (intact) footer — the caller should fall back to
+// streaming.
 func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp, blocks []BlockInfo, ok bool, err error) {
+	device, start, blocks, _, ok, err = readBlockIndexFmt(ra, size)
+	return device, start, blocks, ok, err
+}
+
+// readBlockIndexFmt is ReadBlockIndex plus the sniffed container
+// format, which selects the per-block decoder on the parallel path.
+func readBlockIndexFmt(ra io.ReaderAt, size int64) (device string, start Timestamp, blocks []BlockInfo, format Format, ok bool, err error) {
 	var m [6]byte
 	if size < int64(len(magicBlocked))+footerLen {
-		return "", 0, nil, false, nil
+		return "", 0, nil, 0, false, nil
 	}
 	if _, err := ra.ReadAt(m[:], 0); err != nil {
-		return "", 0, nil, false, fmt.Errorf("trace: reading magic: %w", err)
+		return "", 0, nil, 0, false, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if !bytes.Equal(m[:], magicBlocked) {
-		return "", 0, nil, false, nil
+	var wantFooter []byte
+	switch {
+	case bytes.Equal(m[:], magicBlocked):
+		format, wantFooter = FormatBlocked, footerMagic
+	case bytes.Equal(m[:], magicColumnar):
+		format, wantFooter = FormatColumnar, footerMagicColumnar
+	default:
+		return "", 0, nil, 0, false, nil
 	}
 	var foot [footerLen]byte
 	if _, err := ra.ReadAt(foot[:], size-footerLen); err != nil {
-		return "", 0, nil, false, fmt.Errorf("trace: reading footer: %w", err)
+		return "", 0, nil, 0, false, fmt.Errorf("trace: reading footer: %w", err)
 	}
-	if !bytes.Equal(foot[12:], footerMagic) {
-		return "", 0, nil, false, nil // truncated or still being written
+	if !bytes.Equal(foot[12:], wantFooter) {
+		return "", 0, nil, 0, false, nil // truncated or still being written
 	}
 	idxLen := int64(binary.LittleEndian.Uint64(foot[:8]))
 	wantCRC := binary.LittleEndian.Uint32(foot[8:12])
 	if idxLen <= 0 || idxLen > size-footerLen || idxLen > maxBlockLen {
-		return "", 0, nil, false, ErrCorrupt
+		return "", 0, nil, 0, false, ErrCorrupt
 	}
 	idx := make([]byte, idxLen)
 	if _, err := ra.ReadAt(idx, size-footerLen-idxLen); err != nil {
-		return "", 0, nil, false, fmt.Errorf("trace: reading index: %w", err)
+		return "", 0, nil, 0, false, fmt.Errorf("trace: reading index: %w", err)
 	}
 	if crc32.Checksum(idx, castagnoli) != wantCRC {
-		return "", 0, nil, false, fmt.Errorf("trace: index crc mismatch: %w", ErrCorrupt)
+		return "", 0, nil, 0, false, fmt.Errorf("trace: index crc mismatch: %w", ErrCorrupt)
 	}
 	if idx[0] != indexTag {
-		return "", 0, nil, false, ErrCorrupt
+		return "", 0, nil, 0, false, ErrCorrupt
 	}
 	p := idx[1:]
 	readU := func() (uint64, bool) {
@@ -467,7 +488,7 @@ func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp,
 	// can never exceed the index's own size.
 	count, okc := readU()
 	if !okc || count > uint64(idxLen)/6 {
-		return "", 0, nil, false, ErrCorrupt
+		return "", 0, nil, 0, false, ErrCorrupt
 	}
 	// dataEnd is the first byte past the last block (the index tag). Every
 	// field below comes from the (CRC-intact but possibly crafted) index, so
@@ -487,10 +508,10 @@ func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp,
 		rc, ok6 := readU()
 		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 ||
 			ul > maxBlockLen || cl > maxBlockLen || rc > ul/2+1 {
-			return "", 0, nil, false, ErrCorrupt
+			return "", 0, nil, 0, false, ErrCorrupt
 		}
 		if od == 0 || od >= uint64(dataEnd) || int64(od) > dataEnd-1-prev {
-			return "", 0, nil, false, ErrCorrupt
+			return "", 0, nil, 0, false, ErrCorrupt
 		}
 		prev += int64(od)
 		blocks = append(blocks, BlockInfo{Offset: prev, UncompLen: int(ul), CompLen: int(cl),
@@ -504,13 +525,13 @@ func ReadBlockIndex(ra io.ReaderAt, size int64) (device string, start Timestamp,
 	}
 	hdr := make([]byte, hdrEnd)
 	if _, err := ra.ReadAt(hdr, 0); err != nil {
-		return "", 0, nil, false, fmt.Errorf("trace: reading header: %w", err)
+		return "", 0, nil, 0, false, fmt.Errorf("trace: reading header: %w", err)
 	}
 	r, err := newReader(bytes.NewReader(append(hdr, idx...)), 0)
 	if err != nil {
-		return "", 0, nil, false, err
+		return "", 0, nil, 0, false, err
 	}
-	return r.Device(), r.Start(), blocks, true, nil
+	return r.Device(), r.Start(), blocks, format, true, nil
 }
 
 // blockScratch is the pooled per-block decode state shared by the parallel
@@ -636,11 +657,28 @@ func decodeBlockAt(ra io.ReaderAt, b BlockInfo, next int64, dst []Record) error 
 	return nil
 }
 
+// decodeArena holds the two large per-file buffers the parallel METR-3
+// reader fills: the record slice and the byte arena the decoded payloads
+// alias. Buffers are recycled through decodeArenaPool by
+// DeviceTrace.Recycle, which makes a steady-state decode loop (one file
+// after another, as core.OpenParallel runs it) allocation-free for the
+// dominant buffers. Reuse without re-zeroing is safe because every byte
+// of the arena and every record is fully written before the DeviceTrace
+// is returned: lz.Decompress fills each block window exactly, and block
+// materialisation assigns every record.
+type decodeArena struct {
+	recs  []Record
+	arena []byte
+}
+
+var decodeArenaPool = sync.Pool{New: func() any { return new(decodeArena) }}
+
 // ReadFileParallel reads a trace file with up to workers blocks decoded
-// concurrently. METR-2 files with an intact footer index are decoded
-// block-parallel (record order, and therefore the resulting DeviceTrace,
-// is identical to sequential reading); v1 containers — and blocked files
-// whose index is missing — fall back to the streaming path.
+// concurrently. METR-2 and METR-3 files with an intact footer index are
+// decoded block-parallel (record order, and therefore the resulting
+// DeviceTrace, is identical to sequential reading); v1 containers — and
+// blocked files whose index is missing — fall back to the streaming
+// path.
 func ReadFileParallel(path string, workers int) (*DeviceTrace, error) {
 	if workers <= 1 {
 		return ReadFile(path)
@@ -654,7 +692,7 @@ func ReadFileParallel(path string, workers int) (*DeviceTrace, error) {
 	if err != nil {
 		return nil, err
 	}
-	device, start, blocks, ok, err := ReadBlockIndex(f, st.Size())
+	device, start, blocks, format, ok, err := readBlockIndexFmt(f, st.Size())
 	if err != nil {
 		return nil, err
 	}
@@ -679,7 +717,36 @@ func ReadFileParallel(path string, workers int) (*DeviceTrace, error) {
 	for i, b := range blocks {
 		offs[i+1] = offs[i] + b.Count
 	}
-	recs := make([]Record, offs[len(blocks)])
+
+	// The columnar decoder also gets one shared byte arena, sliced into
+	// per-block windows sized from the index: each block decompresses
+	// straight into its window and the decoded payloads alias it, so one
+	// large allocation replaces a buffer per block. Both the arena and
+	// the record slice come from decodeArenaPool — every byte is
+	// overwritten before the trace is returned, so stale pool contents
+	// never escape.
+	var recs []Record
+	var arena []byte
+	var uoffs []int
+	var pooled *decodeArena
+	if format == FormatColumnar {
+		uoffs = make([]int, len(blocks)+1)
+		for i, b := range blocks {
+			uoffs[i+1] = uoffs[i] + b.UncompLen
+		}
+		pooled = decodeArenaPool.Get().(*decodeArena)
+		pooled.recs = sliceCap(pooled.recs, offs[len(blocks)])
+		pooled.arena = sliceCap(pooled.arena, uoffs[len(blocks)])
+		recs, arena = pooled.recs, pooled.arena
+	} else {
+		recs = make([]Record, offs[len(blocks)])
+	}
+	decodeAt := func(i int, next int64) error {
+		if format == FormatColumnar {
+			return decodeColumnBlockAt(f, blocks[i], next, recs[offs[i]:offs[i+1]], arena[uoffs[i]:uoffs[i+1]])
+		}
+		return decodeBlockAt(f, blocks[i], next, recs[offs[i]:offs[i+1]])
+	}
 
 	errs := make([]error, len(blocks))
 	if workers > len(blocks) {
@@ -700,18 +767,21 @@ func ReadFileParallel(path string, workers int) (*DeviceTrace, error) {
 				if i+1 < len(blocks) {
 					next = blocks[i+1].Offset
 				}
-				errs[i] = decodeBlockAt(f, blocks[i], next, recs[offs[i]:offs[i+1]])
+				errs[i] = decodeAt(i, next)
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			if pooled != nil {
+				decodeArenaPool.Put(pooled)
+			}
 			return nil, err
 		}
 	}
 
-	dt := &DeviceTrace{Device: device, Start: start, Apps: NewAppTable(), Records: recs}
+	dt := &DeviceTrace{Device: device, Start: start, Apps: NewAppTable(), Records: recs, pooled: pooled}
 	for i := range recs {
 		if recs[i].Type == RecAppName {
 			dt.Apps.Register(recs[i].App, recs[i].AppName)

@@ -60,9 +60,10 @@ type Format uint8
 // Container formats, oldest first. All are sniffed by NewReader; writers
 // pick one explicitly.
 const (
-	FormatFlat    Format = iota // "METR1": uncompressed record stream
-	FormatDeflate               // "METZ1": one DEFLATE layer around a METR1 stream
-	FormatBlocked               // "METR2": blocked container with per-block CRC + footer index
+	FormatFlat     Format = iota // "METR1": uncompressed record stream
+	FormatDeflate                // "METZ1": one DEFLATE layer around a METR1 stream
+	FormatBlocked                // "METR2": blocked container with per-block CRC + footer index
+	FormatColumnar               // "METR3": columnar blocked container (bitpacked columns + LZ)
 )
 
 // String names the format as accepted by ParseFormat.
@@ -74,6 +75,8 @@ func (f Format) String() string {
 		return "deflate"
 	case FormatBlocked:
 		return "metr2"
+	case FormatColumnar:
+		return "metr3"
 	default:
 		return fmt.Sprintf("format(%d)", uint8(f))
 	}
@@ -88,8 +91,10 @@ func ParseFormat(s string) (Format, error) {
 		return FormatDeflate, nil
 	case "metr2", "blocked", "v2":
 		return FormatBlocked, nil
+	case "metr3", "columnar", "v3":
+		return FormatColumnar, nil
 	default:
-		return 0, fmt.Errorf("trace: unknown format %q (want flat, deflate or metr2)", s)
+		return 0, fmt.Errorf("trace: unknown format %q (want flat, deflate, metr2 or metr3)", s)
 	}
 }
 
@@ -380,13 +385,15 @@ type Reader struct {
 	format Format
 	buf    []byte
 	rec    Record
-	blk    *blockDecoder // non-nil when reading a METR-2 container
+	blk    *blockDecoder  // non-nil when reading a METR-2 container
+	col    *columnDecoder // non-nil when reading a METR-3 container
 }
 
-// NewReader validates the header and returns a streaming Reader. All three
-// containers are accepted: plain ("METR1"), DEFLATE-compressed ("METZ1")
-// and blocked ("METR2"). Blocked files are streamed block by block in file
-// order; use ReadFileParallel for index-driven parallel decoding.
+// NewReader validates the header and returns a streaming Reader. All four
+// containers are accepted: plain ("METR1"), DEFLATE-compressed ("METZ1"),
+// blocked ("METR2") and columnar ("METR3"). Blocked and columnar files are
+// streamed block by block in file order; use ReadFileParallel for
+// index-driven parallel decoding.
 func NewReader(r io.Reader) (*Reader, error) { return newReader(r, 0) }
 
 func newReader(r io.Reader, depth int) (*Reader, error) {
@@ -412,6 +419,16 @@ func newReader(r io.Reader, depth int) (*Reader, error) {
 		}
 		return &Reader{device: device, start: start, format: FormatBlocked,
 			blk: newBlockDecoder(br)}, nil
+	case string(magicColumnar):
+		if depth > 0 {
+			return nil, fmt.Errorf("trace: columnar container inside a compressed container: %w", ErrCorrupt)
+		}
+		device, start, err := readFileHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{device: device, start: start, format: FormatColumnar,
+			col: newColumnDecoder(br)}, nil
 	case string(magic):
 		device, start, err := readFileHeader(br)
 		if err != nil {
@@ -463,6 +480,9 @@ func (r *Reader) Format() Format { return r.format }
 func (r *Reader) Next() (*Record, error) {
 	if r.blk != nil {
 		return r.blk.next()
+	}
+	if r.col != nil {
+		return r.col.next()
 	}
 	tb, err := r.r.ReadByte()
 	if err == io.EOF {

@@ -69,6 +69,28 @@ type DeviceTrace struct {
 	Start   Timestamp
 	Apps    *AppTable
 	Records []Record
+
+	// pooled is set when Records (and the arena its payloads alias) were
+	// drawn from the parallel reader's buffer pool; Recycle returns them.
+	pooled *decodeArena
+}
+
+// Recycle returns the trace's decode buffers to the internal pool so the
+// next parallel read can reuse them without reallocating or re-zeroing.
+// After Recycle the trace's Records — including their payloads — are
+// invalid; the app table and header fields stay usable. Calling it on a
+// trace that owns its records (sequential reads, synthetic traces) is a
+// no-op. Pipelines that fold a trace into accumulators and move on, like
+// core.OpenParallel, call this to make steady-state decoding
+// allocation-free for the two dominant buffers.
+func (d *DeviceTrace) Recycle() {
+	p := d.pooled
+	if p == nil {
+		return
+	}
+	d.pooled = nil
+	d.Records = nil
+	decodeArenaPool.Put(p)
 }
 
 // ReadAll reads an entire METR stream into memory, copying packet payloads.
@@ -124,6 +146,8 @@ func NewFormatWriter(w io.Writer, format Format, device string, start Timestamp)
 		return NewCompressedWriter(w, device, start)
 	case FormatBlocked:
 		return NewBlockWriter(w, device, start)
+	case FormatColumnar:
+		return NewColumnWriter(w, device, start)
 	default:
 		return nil, fmt.Errorf("trace: unknown format %v", format)
 	}
@@ -142,6 +166,11 @@ func (dt *DeviceTrace) SerializeCompressed(w io.Writer) error {
 // SerializeBlocked writes the trace in the METR-2 blocked container.
 func (dt *DeviceTrace) SerializeBlocked(w io.Writer) error {
 	return dt.SerializeFormat(w, FormatBlocked)
+}
+
+// SerializeColumnar writes the trace in the METR-3 columnar container.
+func (dt *DeviceTrace) SerializeColumnar(w io.Writer) error {
+	return dt.SerializeFormat(w, FormatColumnar)
 }
 
 // SerializeFormat writes the trace in the given container format.
@@ -181,6 +210,8 @@ func DetectFileFormat(path string) (Format, error) {
 		return FormatDeflate, nil
 	case string(magicBlocked):
 		return FormatBlocked, nil
+	case string(magicColumnar):
+		return FormatColumnar, nil
 	default:
 		return 0, ErrBadMagic
 	}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# End-to-end ingest smoke test, five phases:
+# End-to-end ingest smoke test, six phases:
 #   1. golden: batch and streamed analysis must still reproduce
 #      testdata/golden.json;
+#   1b. convert: a small generated fleet is rewritten METR-2 -> METR-3 ->
+#      flat with tracecat -convert; every container must report the same
+#      NDJSON record stream, proving the columnar codec round-trips through
+#      the CLI tooling, not just the library tests;
 #   2. clean: stream a 200-device synthetic fleet into a local ingestd and
 #      require zero dropped records and a clean SIGTERM drain (the final
 #      headline is kept as the cluster phase's reference);
@@ -310,6 +314,25 @@ run_chaos_cluster() {
 # the load phases below cannot see.
 go test -run '^TestGolden$' -count=1 .
 echo "smoke: golden phase ok"
+
+# Convert phase: METR-2 -> METR-3 -> flat through the CLI; the NDJSON dump
+# of every container must be byte-identical.
+gen_dir="$WORK/convert"
+./bin/gentrace -out "$gen_dir" -users 2 -days 2 -seed 7 -format metr2
+for f in "$gen_dir"/*.metr; do
+  base=$(basename "$f" .metr)
+  ./bin/tracecat -trace "$f" -convert "$gen_dir/$base.metr3" -format metr3
+  ./bin/tracecat -trace "$gen_dir/$base.metr3" -convert "$gen_dir/$base.flat" -format flat
+  ./bin/tracecat -trace "$f" -ndjson > "$gen_dir/$base.a.ndjson"
+  ./bin/tracecat -trace "$gen_dir/$base.metr3" -ndjson > "$gen_dir/$base.b.ndjson"
+  ./bin/tracecat -trace "$gen_dir/$base.flat" -ndjson > "$gen_dir/$base.c.ndjson"
+  if ! cmp -s "$gen_dir/$base.a.ndjson" "$gen_dir/$base.b.ndjson" ||
+     ! cmp -s "$gen_dir/$base.a.ndjson" "$gen_dir/$base.c.ndjson"; then
+    echo "smoke: $base: records differ across metr2/metr3/flat containers" >&2
+    exit 1
+  fi
+done
+echo "smoke: convert phase ok (metr2 -> metr3 -> flat round trip)"
 
 run_phase clean -headline-json "$WORK/ref.json"
 run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
