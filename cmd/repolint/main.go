@@ -1,9 +1,15 @@
 // Command repolint runs the repo's static-analysis suite (internal/lint):
-// determinism, noalloc, severerr, units and obscopy. It speaks two
-// protocols:
+// determinism, noalloc, severerr, units, obscopy, plus the dataflow
+// analyzers wiresize, goexit and lockhold. It speaks two protocols:
 //
 //	repolint [packages]           standalone: load via the go command and
 //	                              analyze the matched packages (default ./...)
+//	repolint -json [packages]     standalone, machine-readable: one JSON
+//	                              array of findings on stdout, suppressed
+//	                              findings included with their justification
+//	repolint -audit [packages]    list every //repolint: directive (test
+//	                              files included) with its justification;
+//	                              exit 1 if any escape hatch lacks one
 //	go vet -vettool=$(pwd)/bin/repolint ./...
 //	                              vettool: analyze one compilation unit per
 //	                              .cfg file handed over by go vet, riding
@@ -19,16 +25,25 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"netenergy/internal/lint"
 )
 
 func main() {
+	// One-shot process: the whole-module parse and type-check allocate
+	// furiously and almost nothing dies before the process does, so GC
+	// cycles are pure overhead. Keep the collector nearly idle unless the
+	// caller asked for something specific.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 	os.Exit(run(os.Args[1:]))
 }
 
@@ -38,6 +53,8 @@ func run(args []string) int {
 	version := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
 	printFlags := fs.Bool("flags", false, "print the tool's extra flags as JSON and exit (go vet protocol)")
 	listAnalyzers := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (suppressed findings included)")
+	audit := fs.Bool("audit", false, "list every //repolint: directive with its justification; exit 1 on any missing one")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repolint [packages]   (default ./...)\n")
 		fmt.Fprintf(os.Stderr, "       go vet -vettool=/abs/path/to/repolint [packages]\n\n")
@@ -68,7 +85,10 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVet(rest[0])
 	}
-	return runStandalone(rest)
+	if *audit {
+		return runAudit(rest)
+	}
+	return runStandalone(rest, *jsonOut)
 }
 
 // runVet analyzes the single compilation unit go vet described in cfg.
@@ -85,21 +105,75 @@ func runVet(cfg string) int {
 }
 
 // runStandalone loads the patterns through the go command and analyzes
-// every matched package.
-func runStandalone(patterns []string) int {
+// every matched package. With jsonOut the full diagnostic set — suppressed
+// findings included — goes to stdout as a JSON array; the exit status is
+// still decided by the active (unsuppressed) findings alone.
+func runStandalone(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, fset, err := lint.Run(".", patterns, lint.All())
+	diags, fset, err := lint.RunAll(".", patterns, lint.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 		return 2
 	}
+	active := 0
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		if !d.Suppressed {
+			active++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.Findings(diags, fset)); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", active)
+		return 1
+	}
+	return 0
+}
+
+// runAudit lists every //repolint: directive in the matched packages, test
+// files included. The audit fails (exit 1) when an escape hatch carries no
+// written justification.
+func runAudit(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	sups, err := lint.Audit(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 2
+	}
+	bad := 0
+	for _, s := range sups {
+		why := s.Justification
+		if why == "" {
+			why = "(no justification)"
+			if s.NeedsJustification() {
+				bad++
+			}
+		}
+		name := s.Directive
+		if s.Analyzer != "" {
+			name += " " + s.Analyzer
+		}
+		fmt.Printf("%s:%d: %-20s %s\n", s.File, s.Line, name, why)
+	}
+	fmt.Printf("repolint: %d suppression(s), %d missing justification\n", len(sups), bad)
+	if bad > 0 {
 		return 1
 	}
 	return 0

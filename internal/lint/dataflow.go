@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the forward-dataflow half of the engine: a worklist solver
+// over the funcCFG of cfg.go. An analysis supplies three things — a state
+// lattice (clone/join), a transfer function over the nodes of a block, and
+// an edge refinement that learns facts from branch conditions. Reporting
+// happens inside the transfer function once the solver has reached a
+// fixpoint, so diagnostics see the join of every path into their block.
+
+// flowState is one analysis's abstract state at a program point.
+type flowState interface {
+	// clone returns an independent copy.
+	clone() flowState
+	// join folds other into the receiver (lattice join) and reports
+	// whether the receiver changed. other is never mutated.
+	join(other flowState) bool
+}
+
+// flowAnalysis defines the semantics of one dataflow problem.
+type flowAnalysis interface {
+	// transfer applies the effect of one node to st in place. report is
+	// true on the final reporting pass, false while solving.
+	transfer(n ast.Node, st flowState, report bool)
+	// refine applies what an edge's branch condition being val teaches
+	// about st, in place. cond is never nil.
+	refine(cond ast.Expr, val bool, st flowState)
+}
+
+// maxFlowIterations bounds the solver; real decode/serve functions
+// converge in a handful of passes, so hitting the cap means a lattice bug
+// and the analysis degrades to whatever was computed (no diagnostics are
+// invented, some may be missed).
+const maxFlowIterations = 64
+
+// runFlow solves the dataflow problem over cfg starting from entry and
+// then makes one reporting pass with transfer(report=true) over every
+// reached block's fixpoint in-state.
+func runFlow(cfg *funcCFG, an flowAnalysis, entry flowState) {
+	in := map[*cfgBlock]flowState{cfg.entry: entry}
+	work := []*cfgBlock{cfg.entry}
+	queued := map[*cfgBlock]bool{cfg.entry: true}
+	for rounds := 0; len(work) > 0 && rounds < maxFlowIterations*len(cfg.blocks); rounds++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		st := in[blk].clone()
+		for _, n := range blk.nodes {
+			an.transfer(n, st, false)
+		}
+		for _, e := range blk.succs {
+			next := st.clone()
+			if e.cond != nil {
+				an.refine(e.cond, e.val, next)
+			}
+			if prev, ok := in[e.to]; !ok {
+				in[e.to] = next
+				if !queued[e.to] {
+					work = append(work, e.to)
+					queued[e.to] = true
+				}
+			} else if prev.join(next) {
+				if !queued[e.to] {
+					work = append(work, e.to)
+					queued[e.to] = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass: apply transfers once more over the solved in-states.
+	for _, blk := range cfg.blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		st = st.clone()
+		for _, n := range blk.nodes {
+			an.transfer(n, st, true)
+		}
+	}
+}
+
+// funcBodies yields every function body in the file in source order —
+// declarations first, then each nested function literal as its own unit —
+// so an analysis can treat closures as independent functions.
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt, decl *ast.FuncDecl, lit *ast.FuncLit)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body, n, nil)
+			}
+		case *ast.FuncLit:
+			fn(n.Body, nil, n)
+		}
+		return true
+	})
+}

@@ -49,11 +49,16 @@ type Pass struct {
 	dirs *directiveIndex
 }
 
-// A Diagnostic is one finding at a source position.
+// A Diagnostic is one finding at a source position. Suppressed marks a
+// finding covered by a //repolint:allow directive (with its written
+// justification); CheckPackage drops suppressed findings, CheckPackageAll
+// keeps them for the -json archive.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos           token.Pos
+	Analyzer      string
+	Message       string
+	Suppressed    bool
+	Justification string
 }
 
 // Position resolves the diagnostic's position against a file set.
@@ -188,23 +193,23 @@ func (idx *directiveIndex) at(fset *token.FileSet, pos token.Pos, name string) *
 	return nil
 }
 
-// allows reports whether a diagnostic by analyzer at pos is suppressed.
-// "ordered" is accepted as sugar for "allow determinism" so a map-range
-// justification reads naturally at the loop.
-func (idx *directiveIndex) allows(fset *token.FileSet, d Diagnostic) bool {
+// allowing returns the directive suppressing a diagnostic by analyzer at
+// pos, or nil. "ordered" is accepted as sugar for "allow determinism" so a
+// map-range justification reads naturally at the loop.
+func (idx *directiveIndex) allowing(fset *token.FileSet, d Diagnostic) *directive {
 	p := fset.Position(d.Pos)
 	lines := idx.byLine[p.Filename]
 	for _, line := range []int{p.Line, p.Line - 1} {
 		for _, dir := range lines[line] {
 			if dir.name == "allow" && dir.arg == d.Analyzer {
-				return true
+				return dir
 			}
 			if dir.name == "ordered" && d.Analyzer == "determinism" {
-				return true
+				return dir
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 // validate reports malformed directives: unknown names, allow without a
@@ -239,7 +244,9 @@ func (idx *directiveIndex) validate(known map[string]bool) []Diagnostic {
 	return out
 }
 
-// All returns the full repolint analyzer suite.
+// All returns the full repolint analyzer suite: the five AST-level
+// analyzers from PR 4 plus the three dataflow analyzers (wiresize, goexit,
+// lockhold) built on the cfg.go/dataflow.go engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -247,6 +254,9 @@ func All() []*Analyzer {
 		SeverErr,
 		Units,
 		ObsCopy,
+		WireSize,
+		GoExit,
+		LockHold,
 	}
 }
 
@@ -254,6 +264,24 @@ func All() []*Analyzer {
 // the surviving diagnostics, sorted by position: analyzer findings minus
 // //repolint:allow suppressions, plus any malformed-directive findings.
 func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := CheckPackageAll(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	active := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			active = append(active, d)
+		}
+	}
+	return active, nil
+}
+
+// CheckPackageAll is CheckPackage keeping suppressed diagnostics: findings
+// covered by a //repolint:allow directive are returned with Suppressed set
+// and the directive's justification attached, which is what `repolint
+// -json` archives so CI can track the escape-hatch population over time.
+func CheckPackageAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs := parseDirectives(fset, files)
 	known := map[string]bool{}
 	for _, a := range analyzers {
@@ -273,8 +301,9 @@ func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			if d.Analyzer == "" {
 				d.Analyzer = a.Name
 			}
-			if dirs.allows(fset, d) {
-				return
+			if dir := dirs.allowing(fset, d); dir != nil {
+				d.Suppressed = true
+				d.Justification = dir.why
 			}
 			diags = append(diags, d)
 		}

@@ -1,10 +1,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -38,7 +40,8 @@ func testExports(t *testing.T) map[string]string {
 	t.Helper()
 	exportsOnce.Do(func() {
 		pkgs, err := goList(repoRoot, []string{
-			"errors", "fmt", "io", "log", "math/rand", "time",
+			"bytes", "context", "encoding/binary", "errors", "fmt", "io",
+			"log", "math/rand", "sync", "time",
 			"netenergy/internal/obs", "netenergy/internal/radio",
 		})
 		if err != nil {
@@ -149,6 +152,30 @@ func runCase(t *testing.T, a *Analyzer, dir, importPath string) {
 	}
 }
 
+// runCaseNoWants re-checks a fixture under an out-of-scope import path and
+// requires zero diagnostics, ignoring the in-scope want annotations.
+func runCaseNoWants(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	srcDir := filepath.Join("testdata", "src", dir)
+	matches, err := filepath.Glob(filepath.Join(srcDir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no testdata in %s (%v)", srcDir, err)
+	}
+	sort.Strings(matches)
+	fset, exports := token.NewFileSet(), testExports(t)
+	pkg, err := typeCheck(fset, importPath, ".", matches, exports, "")
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", srcDir, err)
+	}
+	diags, err := CheckPackage(fset, pkg.Files, pkg.Types, pkg.Info, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", srcDir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: unexpected out-of-scope diagnostic: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	// In scope: the fake import path is one of the deterministic pipeline
 	// packages, so the wall-clock/rand/map-order rules apply.
@@ -175,6 +202,40 @@ func TestSeverErrCluster(t *testing.T) {
 
 func TestSeverErrOutOfScope(t *testing.T) {
 	runCase(t, SeverErr, "severerr_out", "netenergy/internal/flows")
+}
+
+func TestSeverErrLZ(t *testing.T) {
+	runCase(t, SeverErr, "severerr_lz", "netenergy/internal/lz")
+}
+
+func TestSeverErrTrace(t *testing.T) {
+	runCase(t, SeverErr, "severerr_trace", "netenergy/internal/trace")
+}
+
+func TestWireSize(t *testing.T) {
+	runCase(t, WireSize, "wiresize", "netenergy/internal/trace")
+}
+
+func TestWireSizeOutOfScope(t *testing.T) {
+	// The same unguarded shape outside the decoder packages is clean.
+	runCase(t, WireSize, "wiresize_out", "netenergy/internal/analysis")
+}
+
+func TestGoExit(t *testing.T) {
+	runCase(t, GoExit, "goexit", "netenergy/internal/ingest")
+}
+
+func TestGoExitOutOfScope(t *testing.T) {
+	// Outside the serving tier the same launches are nobody's business.
+	runCaseNoWants(t, GoExit, "goexit", "netenergy/internal/flows")
+}
+
+func TestLockHold(t *testing.T) {
+	runCase(t, LockHold, "lockhold", "netenergy/internal/ingest")
+}
+
+func TestLockHoldOutOfScope(t *testing.T) {
+	runCaseNoWants(t, LockHold, "lockhold", "netenergy/internal/flows")
 }
 
 func TestUnits(t *testing.T) {
@@ -223,4 +284,71 @@ func TestRepolintBinarySmoke(t *testing.T) {
 // themselves diagnostics, and unknown directives are rejected.
 func TestDirectiveValidation(t *testing.T) {
 	runCase(t, Determinism, "directives", "netenergy/internal/synthgen")
+}
+
+// TestJSONRoundTrip runs `repolint -json` over a package that carries
+// suppressed findings and decodes the output back into []lint.Finding: the
+// machine-readable archive must round-trip losslessly, keep suppressed
+// findings, and carry their justifications.
+func TestJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs cmd/repolint")
+	}
+	cmd := exec.Command("go", "run", "./cmd/repolint", "-json", "./internal/ingest/")
+	cmd.Dir = repoRoot
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("repolint -json: %v\n%s", err, out)
+	}
+	var findings []Finding
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("repolint -json ./internal/ingest/ returned no findings; the suppressed goexit/lockhold findings must be archived")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding in -json output: %+v", f)
+		}
+		if !f.Suppressed {
+			t.Errorf("active finding on a clean tree: %+v", f)
+		}
+		if f.Suppressed && f.Justification == "" {
+			t.Errorf("suppressed finding with no justification: %+v", f)
+		}
+	}
+	// Round-trip: re-encoding must reproduce the decoded value.
+	re, err := json.Marshal(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again []Finding
+	if err := json.Unmarshal(re, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(findings, again) {
+		t.Error("findings do not round-trip through encoding/json")
+	}
+}
+
+// TestAuditJustified is the escape-hatch audit: every //repolint: allow or
+// ordered directive anywhere in the repo — test files included — must carry
+// a written justification.
+func TestAuditJustified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	sups, err := Audit(repoRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if len(sups) == 0 {
+		t.Fatal("audit found no //repolint: directives; the repo is known to carry suppressions")
+	}
+	for _, s := range sups {
+		if s.NeedsJustification() && s.Justification == "" {
+			t.Errorf("%s:%d: repolint:%s %s has no written justification", s.File, s.Line, s.Directive, s.Analyzer)
+		}
+	}
 }

@@ -13,7 +13,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // This file is the standalone package loader: it resolves patterns with
@@ -24,14 +26,16 @@ import (
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	Dir        string
-	ImportPath string
-	Name       string
-	Export     string
-	Match      []string
-	GoFiles    []string
-	Standard   bool
-	Module     *struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	Match        []string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	Module       *struct {
 		Path      string
 		GoVersion string
 	}
@@ -86,19 +90,21 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 }
 
 // parseOne parses a single file with comments (directives live there).
+// Legacy ast.Object resolution is skipped: every analyzer resolves
+// identifiers through types.Info, never Ident.Obj.
 func parseOne(fset *token.FileSet, name string) (*ast.File, error) {
-	return parser.ParseFile(fset, name, nil, parser.ParseComments)
+	return parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 }
 
-// newInfo allocates a fully-populated types.Info.
+// newInfo allocates a types.Info with exactly the maps the analyzers
+// read: Types, Defs, Uses (ObjectOf/TypeOf) and Selections. Implicits,
+// Instances and Scopes are left nil so the checker skips recording them —
+// the whole-module load is the suite's dominant cost.
 func newInfo() *types.Info {
 	return &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
-		Implicits:  map[ast.Node]types.Object{},
-		Instances:  map[*ast.Ident]types.Instance{},
-		Scopes:     map[ast.Node]*types.Scope{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 }
@@ -146,8 +152,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			exports[p.ImportPath] = p.Export
 		}
 	}
-	var out []*Package
-	fset := token.NewFileSet()
+	var matched []*listedPackage
 	for _, p := range listed {
 		if len(p.Match) == 0 {
 			continue // dependency, not a match for the patterns
@@ -158,15 +163,35 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Name == "" || len(p.GoFiles) == 0 {
 			continue
 		}
-		goVersion := ""
-		if p.Module != nil {
-			goVersion = p.Module.GoVersion
-		}
-		pkg, err := typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, exports, goVersion)
+		matched = append(matched, p)
+	}
+
+	// Parse and type-check the matched packages in parallel. A token.FileSet
+	// is safe for concurrent use, and each package gets its own importer, so
+	// the only shared mutable state is the file set's internal table. Results
+	// land by index, keeping the output order deterministic (go list order).
+	fset := token.NewFileSet()
+	out := make([]*Package, len(matched))
+	errs := make([]error, len(matched))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range matched {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			goVersion := ""
+			if p.Module != nil {
+				goVersion = p.Module.GoVersion
+			}
+			out[i], errs[i] = typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, exports, goVersion)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, pkg)
 	}
 	return out, nil
 }
@@ -174,19 +199,55 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 // Run loads the patterns and applies the analyzers to every matched
 // package, returning all surviving diagnostics sorted per package.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	diags, fset, err := RunAll(dir, patterns, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	active := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			active = append(active, d)
+		}
+	}
+	return active, fset, nil
+}
+
+// RunAll is Run keeping suppressed diagnostics (Suppressed set, with the
+// directive's justification attached) — the input of `repolint -json`.
+// Packages are analyzed in parallel; diagnostics keep package load order.
+func RunAll(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, nil, err
 	}
+	fset := token.NewFileSet()
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			diags, err := CheckPackageAll(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %v", pkg.Path, err)
+				return
+			}
+			perPkg[i] = diags
+		}()
+	}
+	wg.Wait()
 	var all []Diagnostic
-	var fset *token.FileSet
-	for _, pkg := range pkgs {
-		fset = pkg.Fset
-		diags, err := CheckPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %v", pkg.Path, err)
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
 		}
-		all = append(all, diags...)
+		all = append(all, perPkg[i]...)
 	}
 	return all, fset, nil
 }

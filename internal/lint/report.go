@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the machine-readable half of the suite: the Finding record
+// `repolint -json` emits (one per diagnostic, suppressed ones included so
+// CI can track the escape-hatch population over time), and the suppression
+// audit behind `repolint -audit`, which lists every //repolint: directive
+// in the repo — test files included — with its written justification.
+
+// A Finding is one diagnostic in the -json output. Suppressed findings are
+// kept (with the directive's justification) so the archive records not just
+// what fired but what was waved through and why.
+type Finding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Column        int    `json:"column"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// Findings resolves diagnostics into the portable Finding shape.
+func Findings(diags []Diagnostic, fset *token.FileSet) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		out = append(out, Finding{
+			File:          p.Filename,
+			Line:          p.Line,
+			Column:        p.Column,
+			Analyzer:      d.Analyzer,
+			Message:       d.Message,
+			Suppressed:    d.Suppressed,
+			Justification: d.Justification,
+		})
+	}
+	return out
+}
+
+// A Suppression is one //repolint: directive found by the audit: where it
+// is, what it suppresses, and the justification it carries. An empty
+// Justification on an "allow" or "ordered" directive is an audit failure.
+type Suppression struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Directive     string `json:"directive"` // "allow", "ordered", "noalloc"
+	Analyzer      string `json:"analyzer,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// NeedsJustification reports whether this directive class requires a
+// written reason: every escape hatch does; noalloc opts in to stricter
+// checking and is its own statement of intent.
+func (s Suppression) NeedsJustification() bool {
+	return s.Directive == "allow" || s.Directive == "ordered"
+}
+
+// Audit lists every //repolint: directive in the packages matched by
+// patterns. Unlike analysis, the audit covers _test.go files too: a
+// suppression is a suppression wherever it lives, and each one must carry
+// a justification a reviewer can read.
+func Audit(dir string, patterns []string) ([]Suppression, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Suppression
+	for _, p := range listed {
+		if len(p.Match) == 0 || p.Standard {
+			continue
+		}
+		var files []string
+		files = append(files, p.GoFiles...)
+		files = append(files, p.TestGoFiles...)
+		files = append(files, p.XTestGoFiles...)
+		for _, name := range files {
+			full := name
+			if !filepath.IsAbs(full) {
+				full = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("audit: %v", err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					d := parseDirective(c.Pos(), c.Text)
+					pos := fset.Position(c.Pos())
+					out = append(out, Suppression{
+						File:          pos.Filename,
+						Line:          pos.Line,
+						Directive:     d.name,
+						Analyzer:      d.arg,
+						Justification: d.why,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

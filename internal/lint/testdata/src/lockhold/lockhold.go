@@ -1,0 +1,114 @@
+// Fixture for the lockhold analyzer, type-checked under the in-scope
+// import path netenergy/internal/ingest: no mutex may be held across a
+// blocking operation.
+package ingest
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+// sendLocked parks on a channel send while holding the lock.
+func (s *store) sendLocked(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// recvLocked parks on a receive while holding the read lock.
+func (s *store) recvLocked() int {
+	s.rw.RLock()
+	v := <-s.ch // want "channel receive while holding s.rw"
+	s.rw.RUnlock()
+	return v
+}
+
+// sleepDeferred: a deferred Unlock keeps the lock held to return, which is
+// exactly the window under scrutiny.
+func (s *store) sleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+}
+
+// selectLocked blocks on a default-less select under the lock.
+func (s *store) selectLocked() {
+	s.mu.Lock()
+	select { // want "select with no default while holding s.mu"
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// waitLocked parks on a WaitGroup under the lock.
+func (s *store) waitLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "WaitGroup.Wait while holding s.mu"
+	s.mu.Unlock()
+}
+
+// drainLocked ranges over a channel under the lock.
+func (s *store) drainLocked() {
+	s.mu.Lock()
+	for v := range s.ch { // want "range over channel while holding s.mu"
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// bothHeld: the lock survives the join of both branches, so the send after
+// the if is still under it.
+func (s *store) bothHeld(v int, alt bool) {
+	s.mu.Lock()
+	if alt {
+		v++
+	}
+	s.ch <- v // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// sendUnlocked releases before blocking: clean.
+func (s *store) sendUnlocked(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// trySend: a select with a default never parks: clean.
+func (s *store) trySend(v int) {
+	s.mu.Lock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// oneBranchReleases: must-hold semantics — the lock is not provably held
+// after the if (one path released it), so the send is clean by design.
+func (s *store) oneBranchReleases(v int, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	}
+	s.ch <- v
+	if !fast {
+		s.mu.Unlock()
+	}
+}
+
+// suppressed carries the justified escape hatch the serving tier uses for
+// its guarded shard-queue sends.
+func (s *store) suppressed(v int) {
+	s.mu.Lock()
+	//repolint:allow lockhold — fixture: the consumer never takes this lock, so the send always drains
+	s.ch <- v
+	s.mu.Unlock()
+}

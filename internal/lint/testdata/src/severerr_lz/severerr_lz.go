@@ -1,0 +1,62 @@
+// Fixture for the severerr analyzer under the import path
+// netenergy/internal/lz, added to the scope in PR 9: block decode errors in
+// the LZ codec are trust boundaries — a swallowed corrupt-block error
+// propagates garbage bytes into every downstream consumer.
+package lz
+
+import (
+	"errors"
+	"log"
+)
+
+var errBlock = errors.New("lz: corrupt block")
+
+func decodeBlock(dst, src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, errBlock
+	}
+	return len(src), nil
+}
+
+func readBlockLen(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, errBlock
+	}
+	return int(src[0]), nil
+}
+
+func consume(n int) {}
+
+// DiscardedDecode drops the decode error on the floor.
+func DiscardedDecode(dst, src []byte) {
+	decodeBlock(dst, src) // want "error from decodeBlock discarded"
+}
+
+// LoggedBatch is the batch-decode shape: the loop logs a corrupt block and
+// keeps feeding the output.
+func LoggedBatch(dst []byte, blocks [][]byte) {
+	for _, src := range blocks {
+		n, err := decodeBlock(dst, src)
+		if err != nil { // want "error from decodeBlock logged-and-continued"
+			log.Printf("lz: %v", err)
+		}
+		consume(n)
+	}
+}
+
+// SeveredBatch abandons the corrupt block: clean.
+func SeveredBatch(dst []byte, blocks [][]byte) error {
+	for _, src := range blocks {
+		n, err := decodeBlock(dst, src)
+		if err != nil {
+			return err
+		}
+		consume(n)
+	}
+	return nil
+}
+
+// PropagatedLen: returning the error severs by propagation: clean.
+func PropagatedLen(src []byte) (int, error) {
+	return readBlockLen(src)
+}

@@ -1,0 +1,67 @@
+// Fixture for the severerr analyzer under the import path
+// netenergy/internal/trace, added to the scope in PR 9: the container's
+// block and batch decode paths read untrusted files, so a CRC or header
+// error must sever the stream, never be blended into the decoded output.
+package trace
+
+import (
+	"errors"
+	"io"
+	"log"
+)
+
+var errHeader = errors.New("trace: bad block header")
+
+func readBlockHeader(b []byte) (int, error) {
+	if len(b) < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return int(b[0]), nil
+}
+
+func checkBlockCRC(b []byte) error {
+	if len(b) == 0 {
+		return errHeader
+	}
+	return nil
+}
+
+func emit(n int) {}
+
+// UncheckedHeader binds the error and never looks at it.
+func UncheckedHeader(b []byte) {
+	n, err := readBlockHeader(b) // want "error from readBlockHeader never checked"
+	emit(n)
+	_ = err
+}
+
+// LoggedCRC verifies the block checksum, logs a mismatch, and keeps the
+// block anyway.
+func LoggedCRC(b []byte) {
+	n, err := readBlockHeader(b)
+	if err != nil {
+		return
+	}
+	if err := checkBlockCRC(b); err != nil { // want "error from checkBlockCRC logged-and-continued"
+		log.Printf("trace: %v", err)
+	}
+	emit(n)
+}
+
+// SeveredNext is the Reader.Next shape: every failure path leaves the
+// loop: clean.
+func SeveredNext(b []byte) error {
+	for {
+		n, err := readBlockHeader(b)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := checkBlockCRC(b); err != nil {
+			return err
+		}
+		emit(n)
+	}
+}

@@ -1,0 +1,117 @@
+// Fixture for the wiresize analyzer, type-checked under the in-scope
+// import path netenergy/internal/trace. The positive cases reconstruct the
+// two bug shapes the analyzer exists to catch: the PR 5 crafted-index OOM
+// (a record count read straight off the wire sizing an allocation) and the
+// PR 8 width overflow (a per-column width byte sizing a decode buffer).
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	maxEntries = 1 << 16
+	maxWidth   = 8
+)
+
+var errCorrupt = errors.New("corrupt")
+
+type blockInfo struct {
+	off, n uint64
+}
+
+// indexOOM is the PR 5 shape: a ~30-byte file can declare a 2^50 entry
+// count and the allocation happens before any bound is checked.
+func indexOOM(buf []byte) []blockInfo {
+	count, _ := binary.Uvarint(buf)
+	return make([]blockInfo, 0, count) // want "make sized by count, which derives from untrusted wire/file bytes"
+}
+
+// indexGuarded is the fixed shape: the count passes an upper-bound guard
+// before it sizes anything.
+func indexGuarded(buf []byte) ([]blockInfo, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 || count > maxEntries {
+		return nil, errCorrupt
+	}
+	return make([]blockInfo, 0, count), nil
+}
+
+// widthOOM is the PR 8 shape: a width byte read from the header sizes the
+// decode buffer unguarded.
+func widthOOM(hdr []byte) []uint64 {
+	n := int(hdr[0])
+	return make([]uint64, n) // want "make sized by n, which derives from untrusted wire/file bytes"
+}
+
+func widthGuarded(hdr []byte) ([]uint64, error) {
+	n := int(hdr[0])
+	if n > maxWidth {
+		return nil, errCorrupt
+	}
+	return make([]uint64, n), nil
+}
+
+// growOOM exercises the bytes.Buffer.Grow sink.
+func growOOM(buf []byte) *bytes.Buffer {
+	n, _ := binary.Uvarint(buf)
+	var b bytes.Buffer
+	b.Grow(int(n)) // want "bytes.Grow sized by int\\(n\\)"
+	return &b
+}
+
+// modBounded: x % m with an untainted modulus is a recognized clamp.
+func modBounded(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n%4096)
+}
+
+// minClamped: min(x, cap) with an untainted cap is the sanctioned clamp.
+func minClamped(buf []byte) []int {
+	n := int(buf[0])
+	return make([]int, min(n, maxWidth))
+}
+
+// helperChecked: passing the value to a check*/valid* helper vouches for it.
+func helperChecked(buf []byte) ([]byte, error) {
+	n, _ := binary.Uvarint(buf)
+	if err := checkLen(n); err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}
+
+func checkLen(n uint64) error {
+	if n > maxEntries {
+		return errCorrupt
+	}
+	return nil
+}
+
+// lowerBoundOnly: n > 0 is not an upper bound; the allocation stays flagged.
+func lowerBoundOnly(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	if n == 0 {
+		return nil
+	}
+	return make([]byte, n) // want "make sized by n, which derives from untrusted wire/file bytes"
+}
+
+// rangeTaint: bytes ranged out of a wire buffer taint what they feed.
+func rangeTaint(buf []byte) []byte {
+	total := 0
+	for _, b := range buf {
+		total += int(b)
+	}
+	return make([]byte, total) // want "make sized by total, which derives from untrusted wire/file bytes"
+}
+
+// suppressed: the allow directive absorbs the finding (CheckPackage drops
+// it), so this line carries no want.
+func suppressed(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	//repolint:allow wiresize — fixture: the caller validated n against the footer length
+	return make([]byte, n)
+}

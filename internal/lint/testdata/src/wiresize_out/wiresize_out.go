@@ -1,0 +1,12 @@
+// The same unguarded-allocation shape as the wiresize fixture, but
+// type-checked under an import path outside the analyzer's scope: analysis
+// packages consume already-validated records, so the rule does not apply
+// and no diagnostics are expected.
+package analysis
+
+import "encoding/binary"
+
+func indexLike(buf []byte) []uint64 {
+	count, _ := binary.Uvarint(buf)
+	return make([]uint64, 0, count)
+}

@@ -216,9 +216,11 @@ fi
 
 # Trajectory gate: compare against the previous run. The apply pair may
 # not get >15% slower (ns_per_op up), no decode throughput may drop >15%
-# (decode_mbps down), and the aggregator merge cycle may not stretch >15%
-# (aggregate_merge_ms up); metrics absent from either side are skipped,
-# so the first run that introduces a benchmark just records its baseline.
+# (decode_mbps down), the aggregator merge cycle may not stretch >15%
+# (aggregate_merge_ms up), and the static-analysis suite may not slow >15%
+# (repolint_seconds up — new analyzers must pay for themselves with
+# parallelism); metrics absent from either side are skipped, so the first
+# run that introduces a benchmark just records its baseline.
 if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
   echo "bench: comparing against $PREV_NAME (fail on >15% regression; -no-compare skips)" >&2
   awk '
@@ -259,6 +261,15 @@ if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
   }
   END { exit bad ? 1 : 0 }
   ' "$PREV" "$OUT" || { echo "bench: FAIL regression vs $PREV_NAME" >&2; exit 1; }
+  old_rs=$(awk -F'[:,]' '/"repolint_seconds"/ {print $2; exit}' "$PREV" | tr -d ' ')
+  new_rs=$(awk -F'[:,]' '/"repolint_seconds"/ {print $2; exit}' "$OUT" | tr -d ' ')
+  if [ -n "$old_rs" ] && [ -n "$new_rs" ]; then
+    awk -v a="$old_rs" -v b="$new_rs" 'BEGIN {
+      pct = 100 * (b - a) / a
+      printf "bench: repolint_seconds %s -> %s (%+.1f%%)\n", a, b, pct > "/dev/stderr"
+      exit (pct <= 15 ? 0 : 1)
+    }' || { echo "bench: FAIL repolint wall time regressed >15% vs $PREV_NAME" >&2; exit 1; }
+  fi
 elif [ "$COMPARE" = 1 ]; then
   echo "bench: no previous BENCH_*.json to compare against" >&2
 fi
