@@ -15,6 +15,13 @@
 //	curl http://localhost:9020/headline   # merged fleet headline
 //	curl http://localhost:9020/metrics    # aggregator_* exposition
 //	curl http://localhost:9020/nodes      # membership status + epoch
+//	curl 'http://localhost:9020/query?last=-1h&window=hour&topn=10'
+//
+// GET /query fans the time-series query out to every live member's
+// segment store and merges the answers: with no parameters it returns the
+// fleet-wide per-app energy ranking over the last hour; add topn=N,
+// window=hour|day, from/to/last bounds and app filters exactly as on the
+// single-node ingestd /query endpoint (members must run -segment-dir).
 package main
 
 import (

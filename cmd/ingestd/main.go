@@ -7,10 +7,17 @@
 //
 //	ingestd -listen :9009 -admin :9010
 //	ingestd -checkpoint-dir /var/lib/ingestd   # crash-safe: resumes on restart
+//	ingestd -segment-dir /var/lib/ingestd-seg  # on-disk history, enables /query
 //	curl http://localhost:9010/headline   # live fleet headline
 //	curl http://localhost:9010/stats      # counters, rates, queue depths
 //	curl http://localhost:9010/metrics    # Prometheus text exposition
 //	curl http://localhost:9010/events     # recent structured events
+//	curl 'http://localhost:9010/query?last=-1h&window=hour&topn=10'
+//
+// With -segment-dir every accepted record is also appended to per-device
+// METR-3 segment files, and the admin /query endpoint answers windowed,
+// filtered time-series queries over that history (sealed segments plus
+// the live, still-open tail). See the tsq package and DESIGN.md §12.
 //
 // With -checkpoint-dir the daemon periodically persists every device
 // stream's analysis state and sequence number; after a crash (SIGKILL,
@@ -69,6 +76,8 @@ func main() {
 		timeout = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 
+		segDir       = flag.String("segment-dir", "", "directory for METR-3 history segments (empty: /query disabled)")
+		segMax       = flag.Int64("segment-max-bytes", 0, "roll a device's segment file past this size (0: 64 MiB)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe checkpoints (empty: durability off)")
 		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second, "checkpoint cadence (max progress lost to a crash)")
 		durableFIN   = flag.Bool("durable-fin", false, "checkpoint a session's final records before acking its FIN (needs -checkpoint-dir; closes the FIN-ack durability window at some ack latency cost)")
@@ -92,6 +101,8 @@ func main() {
 		QueueDepth:         *queue,
 		BatchSize:          *batch,
 		ReadTimeout:        *timeout,
+		SegmentDir:         *segDir,
+		SegmentMaxBytes:    *segMax,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptInterval,
 		DurableFIN:         *durableFIN,
@@ -156,6 +167,9 @@ func main() {
 		fmt.Printf(", admin on http://%s", a)
 	}
 	fmt.Printf(" (%d shards)\n", *shards)
+	if *segDir != "" {
+		fmt.Printf("ingestd: writing history segments to %s (/query enabled)\n", *segDir)
+	}
 	if *ckptDir != "" {
 		st := srv.Stats(false)
 		if st.Checkpoint != nil && st.Checkpoint.Generation > 0 {

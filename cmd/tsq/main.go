@@ -1,0 +1,132 @@
+// Command tsq runs time-series queries over an on-disk METR segment
+// directory offline — the same engine that backs the ingestd admin
+// /query endpoint, pointed at the files directly. It also applies the
+// retention policy: sealed segments older than a cutoff are folded into
+// the directory's downsampled rollup and deleted.
+//
+// Usage:
+//
+//	tsq -dir /var/lib/ingestd-seg                      # last hour, all apps
+//	tsq -dir seg/ -from 2012-12-01T00:00:00Z -to 2012-12-02T00:00:00Z
+//	tsq -dir seg/ -last -24h -window hour -topn 10
+//	tsq -dir seg/ -apps 3,17 -json                     # raw Result JSON
+//	tsq -dir seg/ -retain 720h -retain-window day      # fold month-old history
+//
+// Time bounds accept RFC3339, raw unix microseconds, or an offset
+// relative to now ("-24h"); -window accepts "hour", "day" or a Go
+// duration. The flags are assembled into the exact query-string grammar
+// the HTTP endpoint speaks, so tsq and curl answers are interchangeable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"time"
+
+	"netenergy/internal/energy"
+	"netenergy/internal/trace"
+	"netenergy/internal/tsq"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "segment directory to query (required)")
+		from    = flag.String("from", "", "range start: RFC3339, unix microseconds, or offset like -24h")
+		to      = flag.String("to", "", "range end (exclusive), same forms as -from")
+		last    = flag.String("last", "", "shorthand for -from <offset> -to now (e.g. -last -6h)")
+		window  = flag.String("window", "", "rollup width: hour, day, or a duration (empty: whole-range totals)")
+		apps    = flag.String("apps", "", "comma-separated app IDs to keep (empty: all)")
+		topn    = flag.Int("topn", 0, "keep only the N highest-energy apps (0: all)")
+		jsonOut = flag.Bool("json", false, "print the raw Result JSON instead of the table")
+
+		retain       = flag.Duration("retain", 0, "retention mode: fold sealed segments older than this into the rollup and delete them")
+		retainWindow = flag.String("retain-window", "day", "rollup window width for -retain")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tsq: -dir is required")
+		os.Exit(1)
+	}
+	now := time.Now()
+	eng := tsq.Engine{Opts: energy.DefaultOptions()}
+
+	if *retain > 0 {
+		q, err := tsq.ParseQuery(url.Values{"window": {*retainWindow}}, now)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsq:", err)
+			os.Exit(1)
+		}
+		cutoff := trace.TimestampOf(now.Add(-*retain))
+		rep, err := eng.ApplyRetention(*dir, cutoff, q.Window)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsq: retention:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tsq: folded %d records from %d segments into the rollup (%d segments kept)\n",
+			rep.RecordsFolded, rep.FilesRemoved, rep.FilesKept)
+		return
+	}
+
+	// Assemble the flags into the HTTP query grammar: ParseQuery is the
+	// single source of validation and defaulting.
+	vals := url.Values{}
+	for k, v := range map[string]string{
+		"from": *from, "to": *to, "last": *last, "window": *window, "apps": *apps,
+	} {
+		if v != "" {
+			vals.Set(k, v)
+		}
+	}
+	if *topn > 0 {
+		vals.Set("topn", fmt.Sprint(*topn))
+	}
+	q, err := tsq.ParseQuery(vals, now)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsq:", err)
+		os.Exit(1)
+	}
+	res, err := eng.QueryDir(*dir, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsq:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "tsq:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *tsq.Result) {
+	fmt.Printf("range   [%s, %s)\n", fmtUS(res.FromUS), fmtUS(res.ToUS))
+	fmt.Printf("scanned %d devices, %d records (%d/%d blocks pruned by the seek index)\n",
+		res.Devices, res.Records, res.Scan.BlocksSkipped, res.Scan.BlocksTotal)
+	if res.Downsampled {
+		fmt.Println("note    result includes downsampled rollup history (window-granular bounds)")
+	}
+	fmt.Printf("total   %.3f J attributed, %d wire bytes\n", res.TotalEnergyJ, res.TotalBytes)
+	if len(res.Apps) > 0 {
+		fmt.Printf("\n%-8s %-24s %14s %14s\n", "app", "name", "energy (J)", "bytes")
+		for _, a := range res.Apps {
+			fmt.Printf("%-8d %-24s %14.3f %14d\n", a.App, a.Name, a.EnergyJ, a.Bytes)
+		}
+	}
+	for _, w := range res.Windows {
+		fmt.Printf("\nwindow [%s, %s): %.3f J, %d bytes\n", fmtUS(w.StartUS), fmtUS(w.EndUS), w.EnergyJ, w.Bytes)
+		for _, a := range w.Apps {
+			fmt.Printf("  %-8d %-24s %14.3f %14d\n", a.App, a.Name, a.EnergyJ, a.Bytes)
+		}
+	}
+}
+
+func fmtUS(us int64) string {
+	return time.UnixMicro(us).UTC().Format(time.RFC3339)
+}

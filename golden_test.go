@@ -29,9 +29,11 @@ import (
 	"time"
 
 	"netenergy/internal/core"
+	"netenergy/internal/energy"
 	"netenergy/internal/ingest"
 	"netenergy/internal/synthgen"
 	"netenergy/internal/trace"
+	"netenergy/internal/tsq"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden.json with freshly computed values")
@@ -92,12 +94,27 @@ type goldenStream struct {
 	ScreenOffByteShare  float64 `json:"screen_off_byte_share"`
 }
 
+// goldenQuery pins the tsq engine's answer over the same fixed-seed
+// fleet written to METR-3 segment files: whole-span totals, the top-app
+// ranking, and a narrow sub-window that must exercise block pushdown.
+type goldenQuery struct {
+	Records      int64        `json:"records"`
+	Devices      int          `json:"devices"`
+	TotalEnergyJ float64      `json:"total_energy_j"`
+	TotalBytes   int64        `json:"total_bytes"`
+	TopApps      []tsq.AppRow `json:"top_apps"`
+	HourWindows  int          `json:"hour_windows"`
+	SubRecords   int64        `json:"sub_records"`
+	SubEnergyJ   float64      `json:"sub_energy_j"`
+}
+
 type goldenFile struct {
 	Users  int          `json:"users"`
 	Days   int          `json:"days"`
 	Seed   uint64       `json:"seed"`
 	Batch  goldenBatch  `json:"batch"`
 	Stream goldenStream `json:"stream"`
+	Query  goldenQuery  `json:"query"`
 }
 
 func computeGoldenBatch(t *testing.T, cfg synthgen.Config) goldenBatch {
@@ -197,6 +214,81 @@ func computeGoldenStream(t *testing.T, cfg synthgen.Config) goldenStream {
 	}
 }
 
+// computeGoldenQuery writes the fleet to per-device METR-3 segment files
+// and runs the tsq engine over them offline — the same code path the
+// ingestd /query endpoint and the tsq CLI use.
+func computeGoldenQuery(t *testing.T, cfg synthgen.Config) goldenQuery {
+	t.Helper()
+	mem := synthgen.GenerateInMemory(cfg)
+	dir := t.TempDir()
+	minTS := trace.Timestamp(math.MaxInt64)
+	var maxTS trace.Timestamp
+	for _, dt := range mem {
+		for i := range dt.Records {
+			if dt.Records[i].TS < minTS {
+				minTS = dt.Records[i].TS
+			}
+			if dt.Records[i].TS > maxTS {
+				maxTS = dt.Records[i].TS
+			}
+		}
+		f, err := os.Create(filepath.Join(dir, dt.Device+"-000000.metr3"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.NewColumnWriter(f, dt.Device, dt.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dt.Records {
+			if err := w.Write(&dt.Records[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng := tsq.Engine{Opts: energy.DefaultOptions()}
+	hour := trace.Timestamp(time.Hour / time.Microsecond)
+	// Totals come from the unwindowed query: windowed results restart the
+	// radio accountant at each window edge (per-window restricted-run
+	// semantics), so their sum differs from the whole-trace total by the
+	// energy of radio tails cut at window boundaries.
+	full, err := eng.QueryDir(dir, tsq.Query{From: minTS, To: maxTS + 1, TopN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := eng.QueryDir(dir, tsq.Query{From: minTS, To: maxTS + 1, Window: hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A six-hour slice from the middle of the span must prune blocks via
+	// the per-block firstTS/lastTS seek index.
+	span := maxTS + 1 - minTS
+	sub, err := eng.QueryDir(dir, tsq.Query{From: minTS + span/4, To: minTS + span/4 + 6*hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Scan.BlocksSkipped == 0 {
+		t.Errorf("sub-window query skipped no blocks: %+v", sub.Scan)
+	}
+	return goldenQuery{
+		Records:      full.Records,
+		Devices:      full.Devices,
+		TotalEnergyJ: full.TotalEnergyJ,
+		TotalBytes:   full.TotalBytes,
+		TopApps:      full.Apps,
+		HourWindows:  len(win.Windows),
+		SubRecords:   sub.Records,
+		SubEnergyJ:   sub.TotalEnergyJ,
+	}
+}
+
 func TestGolden(t *testing.T) {
 	cfg := synthgen.Small(goldenUsers, goldenDays)
 	got := goldenFile{
@@ -205,6 +297,7 @@ func TestGolden(t *testing.T) {
 		Seed:   cfg.Seed,
 		Batch:  computeGoldenBatch(t, cfg),
 		Stream: computeGoldenStream(t, cfg),
+		Query:  computeGoldenQuery(t, cfg),
 	}
 
 	if *update {
@@ -283,9 +376,33 @@ func TestGolden(t *testing.T) {
 	cmp.float("stream.fig6_spike_10m", s.Fig6Spike10m, ws.Fig6Spike10m)
 	cmp.float("stream.screen_off_byte_share", s.ScreenOffByteShare, ws.ScreenOffByteShare)
 
-	// The two pipelines must agree with each other, not just with the file.
+	qr, wq := got.Query, want.Query
+	cmp.ints("query.records", qr.Records, wq.Records)
+	cmp.ints("query.devices", int64(qr.Devices), int64(wq.Devices))
+	cmp.float("query.total_energy_j", qr.TotalEnergyJ, wq.TotalEnergyJ)
+	cmp.ints("query.total_bytes", qr.TotalBytes, wq.TotalBytes)
+	cmp.ints("query.hour_windows", int64(qr.HourWindows), int64(wq.HourWindows))
+	cmp.ints("query.sub_records", qr.SubRecords, wq.SubRecords)
+	cmp.float("query.sub_energy_j", qr.SubEnergyJ, wq.SubEnergyJ)
+	if len(qr.TopApps) != len(wq.TopApps) {
+		t.Fatalf("query.top_apps rows = %d, golden %d", len(qr.TopApps), len(wq.TopApps))
+	}
+	for i := range qr.TopApps {
+		pfx := fmt.Sprintf("query.top_apps[%d]", i)
+		cmp.ints(pfx+".app", int64(qr.TopApps[i].App), int64(wq.TopApps[i].App))
+		if qr.TopApps[i].Name != wq.TopApps[i].Name {
+			t.Errorf("%s.name = %q, golden %q", pfx, qr.TopApps[i].Name, wq.TopApps[i].Name)
+		}
+		cmp.float(pfx+".energy_j", qr.TopApps[i].EnergyJ, wq.TopApps[i].EnergyJ)
+		cmp.ints(pfx+".bytes", qr.TopApps[i].Bytes, wq.TopApps[i].Bytes)
+	}
+
+	// The pipelines must agree with each other, not just with the file:
+	// batch Study, streamed ingest, and the segment query engine all
+	// attribute the same total over the same fleet.
 	cmp.float("batch-vs-stream total_energy_j", got.Batch.TotalEnergyJ, got.Stream.TotalEnergyJ)
 	cmp.float("batch-vs-stream background_fraction", got.Batch.BackgroundFraction, got.Stream.BackgroundFraction)
+	cmp.float("query-vs-batch total_energy_j", got.Query.TotalEnergyJ, got.Batch.TotalEnergyJ)
 }
 
 // TestGoldenMETR2 routes the same fixed-seed fleet through the blocked

@@ -15,6 +15,7 @@ import (
 	"netenergy/internal/ingest"
 	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/obs"
+	"netenergy/internal/tsq"
 )
 
 // AggregatorConfig tunes the fleet aggregator. Zero values select defaults.
@@ -100,6 +101,8 @@ type Aggregator struct {
 	handoffRetries *obs.Counter
 	fencePosts     *obs.Counter
 	fencedSkips    *obs.Counter
+	fleetQueries   *obs.Counter
+	queryNodeErrs  *obs.Counter
 	gRecords       *obs.Gauge
 	gDevices       *obs.Gauge
 	gNodesLive     *obs.Gauge
@@ -158,6 +161,8 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 		handoffRetries: reg.Counter("aggregator_handoff_retries_total", "handoff transfer attempts beyond the first"),
 		fencePosts:     reg.Counter("aggregator_fence_posts_total", "fence requests posted to resurrected members"),
 		fencedSkips:    reg.Counter("aggregator_fenced_skips_total", "pull cycles that excluded a fenced member"),
+		fleetQueries:   reg.Counter("aggregator_queries_total", "fleet query fan-outs served"),
+		queryNodeErrs:  reg.Counter("aggregator_query_node_errors_total", "member /query fetches dropped from a fleet query"),
 		gRecords:       reg.Gauge("aggregator_records", "fleet records at the last merge"),
 		gDevices:       reg.Gauge("aggregator_devices", "fleet devices at the last merge"),
 		gNodesLive:     reg.Gauge("aggregator_nodes_live", "live members at the last merge"),
@@ -503,6 +508,78 @@ func (a *Aggregator) handoff(deadID string, survivors []Member) bool {
 	return true
 }
 
+// FleetQueryResult is the aggregator's /query document: the merged
+// per-node tsq results, stamped with the membership epoch and the IDs of
+// the members that actually contributed — a partial answer (some member
+// unreachable or running without a segment store) is visible, never
+// silent.
+type FleetQueryResult struct {
+	tsq.Result
+	Epoch     uint64   `json:"epoch"`
+	NodesLive int      `json:"nodes_live"`
+	Nodes     []string `json:"nodes"`
+}
+
+// QueryFleet fans q out to every live member's admin /query endpoint and
+// merges the per-node results into one fleet document. Top-N truncation
+// is deliberately NOT pushed down (Values(false)): a per-node top-N could
+// drop an app that ranks fleet-wide, so every node returns its full app
+// table and the cut happens once, after the merge. A member that cannot
+// answer — unreachable, no segment store, or a malformed response — is
+// dropped from this query and counted in
+// aggregator_query_node_errors_total.
+//
+// Queries read each node's local segment store, so unlike /headline the
+// answer covers only records that survived on disk where they were first
+// ingested: checkpoint handoff moves accumulator state, not segment
+// files (see DESIGN.md §12 for the exact guarantee).
+func (a *Aggregator) QueryFleet(q tsq.Query) (FleetQueryResult, error) {
+	live := a.cfg.Prober.Live()
+	out := FleetQueryResult{Epoch: a.cfg.Prober.Epoch(), NodesLive: len(live), Nodes: []string{}}
+	vals := q.Values(false)
+	first := true
+	for _, m := range live {
+		res, err := a.queryNode(m, vals.Encode())
+		if err != nil {
+			a.queryNodeErrs.Inc()
+			a.events.Logf(obs.LevelWarn, "query %s: %v", m.ID, err)
+			continue
+		}
+		if first {
+			out.Result = res
+			first = false
+		} else {
+			out.Result.Merge(&res)
+		}
+		out.Nodes = append(out.Nodes, m.ID)
+	}
+	if first {
+		return out, fmt.Errorf("no live member answered the query (%d live)", len(live))
+	}
+	out.Result.Node = "fleet"
+	out.Result.Finalize(q.TopN)
+	a.fleetQueries.Inc()
+	return out, nil
+}
+
+// queryNode fetches one member's /query answer.
+func (a *Aggregator) queryNode(m Member, rawQuery string) (tsq.Result, error) {
+	var res tsq.Result
+	resp, err := a.client.Get("http://" + m.Admin + "/query?" + rawQuery)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return res, fmt.Errorf("query status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return res, fmt.Errorf("query body: %w", err)
+	}
+	return res, nil
+}
+
 // Headline returns the last merged fleet headline; ok is false before the
 // first completed cycle.
 func (a *Aggregator) Headline() (FleetHeadline, bool) {
@@ -516,6 +593,10 @@ func (a *Aggregator) Headline() (FleetHeadline, bool) {
 //	GET /healthz  -> 200 "ok"
 //	GET /metrics  -> Prometheus text exposition (aggregator_* families)
 //	GET /headline -> FleetHeadline JSON (503 before the first merge)
+//	GET /query    -> FleetQueryResult JSON: the tsq query fanned out to
+//	                 every live member and merged (same parameters as the
+//	                 ingest /query endpoint; defaults to the last hour;
+//	                 400 on a bad query, 503 when no member answers)
 //	GET /nodes    -> membership status JSON ({epoch, nodes: [...]})
 func (a *Aggregator) Mux() http.Handler {
 	mux := http.NewServeMux()
@@ -533,6 +614,19 @@ func (a *Aggregator) Mux() http.Handler {
 			return
 		}
 		writeJSON(w, h)
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := tsq.ParseQuery(r.URL.Query(), time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := a.QueryFleet(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, res)
 	})
 	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, struct {

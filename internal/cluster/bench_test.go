@@ -108,8 +108,8 @@ func BenchmarkShipCheckpointRetry(b *testing.B) {
 
 	var retries int64
 	policy := ShipPolicy{
-		Attempts: 3,
-		Backoff:  ingest.Backoff{Base: 100 * time.Microsecond, Max: 100 * time.Microsecond},
+		Attempts:  3,
+		Backoff:   ingest.Backoff{Base: 100 * time.Microsecond, Max: 100 * time.Microsecond},
 		OnAttempt: func(string, int, error) { retries++ },
 	}
 	b.ResetTimer()

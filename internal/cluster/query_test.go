@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/ingest"
+	"netenergy/internal/synthgen"
+	"netenergy/internal/trace"
+	"netenergy/internal/tsq"
+)
+
+// TestFleetQuery: a tsq query fanned out over two nodes, each holding a
+// disjoint half of a fixed-seed fleet in its segment store, must merge to
+// the same totals as the fleet headline — and top-N truncation must
+// happen after the merge, so the fleet ranking is a prefix of the full
+// fleet ranking, not a blend of per-node prefixes.
+func TestFleetQuery(t *testing.T) {
+	s1 := startIngest(t, ingest.Config{NodeID: "n1", Shards: 2, QueueDepth: 16, BatchSize: 8, SegmentDir: t.TempDir()})
+	s2 := startIngest(t, ingest.Config{NodeID: "n2", Shards: 2, QueueDepth: 16, BatchSize: 8, SegmentDir: t.TempDir()})
+	defer s1.Kill()
+	defer s2.Kill()
+
+	dts := synthgen.GenerateInMemory(synthgen.Small(4, 1))
+	var sent int64
+	var maxTS trace.Timestamp
+	minTS := trace.Timestamp(math.MaxInt64)
+	for i, dt := range dts {
+		sent += int64(len(dt.Records))
+		for j := range dt.Records {
+			if dt.Records[j].TS > maxTS {
+				maxTS = dt.Records[j].TS
+			}
+			if dt.Records[j].TS < minTS {
+				minTS = dt.Records[j].TS
+			}
+		}
+		if i%2 == 0 {
+			streamAll(t, s1.Addr().String(), dt)
+		} else {
+			streamAll(t, s2.Addr().String(), dt)
+		}
+	}
+
+	members := []Member{
+		{ID: "n1", Stream: s1.Addr().String(), Admin: s1.AdminAddr().String()},
+		{ID: "n2", Stream: s2.Addr().String(), Admin: s2.AdminAddr().String()},
+		{ID: "n3", Stream: "127.0.0.1:1", Admin: "127.0.0.1:1"}, // nothing listens here
+	}
+	p := NewProber(ProberConfig{Members: members, Interval: time.Hour})
+	agg := NewAggregator(AggregatorConfig{Prober: p, Timeout: 2 * time.Second})
+	head := agg.PullOnce()
+
+	q := tsq.Query{From: 0, To: maxTS + 1}
+	res, err := agg.QueryFleet(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != sent || res.Devices != len(dts) {
+		t.Fatalf("fleet query %d devices / %d records, want %d / %d", res.Devices, res.Records, len(dts), sent)
+	}
+	if d := math.Abs(res.TotalEnergyJ - head.TotalEnergyJ); d > 1e-6*(1+head.TotalEnergyJ) {
+		t.Fatalf("fleet query total %v vs fleet headline %v", res.TotalEnergyJ, head.TotalEnergyJ)
+	}
+	if res.Node != "fleet" || res.Epoch != 1 || res.NodesLive != 3 {
+		t.Errorf("fleet stamp: node=%q epoch=%d nodes_live=%d", res.Node, res.Epoch, res.NodesLive)
+	}
+	if len(res.Nodes) != 2 || res.Nodes[0] != "n1" || res.Nodes[1] != "n2" {
+		t.Errorf("contributing nodes %v, want [n1 n2]", res.Nodes)
+	}
+
+	// Top-N is a prefix of the untruncated fleet ranking.
+	top, err := agg.QueryFleet(tsq.Query{From: 0, To: maxTS + 1, TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) > 2 && len(top.Apps) != 2 {
+		t.Fatalf("top-2 query returned %d apps", len(top.Apps))
+	}
+	for i := range top.Apps {
+		if top.Apps[i] != res.Apps[i] {
+			t.Fatalf("top-N row %d: %+v != full ranking %+v", i, top.Apps[i], res.Apps[i])
+		}
+	}
+
+	// Windowed fan-out: per-node windows are epoch-aligned, so the merged
+	// rows partition the total exactly. (From must be the true span start
+	// here — from=0 with hour windows would blow the window-count cap.)
+	win, err := agg.QueryFleet(tsq.Query{From: minTS, To: maxTS + 1, Window: trace.Timestamp(time.Hour / time.Microsecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range win.Windows {
+		sum += w.EnergyJ
+	}
+	if d := math.Abs(sum - res.TotalEnergyJ); d > 1e-6*(1+res.TotalEnergyJ) {
+		t.Fatalf("window sum %v vs total %v", sum, res.TotalEnergyJ)
+	}
+
+	m := scrapeAgg(t, agg)
+	if m["aggregator_query_node_errors_total"] != 3 { // n3 unreachable, 3 queries
+		t.Errorf("aggregator_query_node_errors_total = %v, want 3", m["aggregator_query_node_errors_total"])
+	}
+	if m["aggregator_queries_total"] != 3 {
+		t.Errorf("aggregator_queries_total = %v, want 3", m["aggregator_queries_total"])
+	}
+
+	// The HTTP surface: an explicit window answers, and the parameterless
+	// default (last hour, wall clock) parses fine and returns zero rows
+	// for 2012-dated data.
+	ts := httptest.NewServer(agg.Mux())
+	defer ts.Close()
+	var doc FleetQueryResult
+	resp, err := http.Get(ts.URL + "/query?from=0&to=" + strconv.FormatInt(int64(maxTS+1), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Records != sent || doc.Node != "fleet" {
+		t.Errorf("/query = %d records node=%q", doc.Records, doc.Node)
+	}
+	resp2, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var empty FleetQueryResult
+	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || empty.Records != 0 {
+		t.Errorf("default /query: status %d, %d records", resp2.StatusCode, empty.Records)
+	}
+	resp3, err := http.Get(ts.URL + "/query?from=10&to=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("inverted /query range: status %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestFleetQueryNoSegmentStore: members running without -segment-dir
+// answer /query with 503; with no member able to answer, the fleet query
+// fails loudly instead of returning a silent zero.
+func TestFleetQueryNoSegmentStore(t *testing.T) {
+	s := startIngest(t, ingest.Config{NodeID: "n1", Shards: 1})
+	defer s.Kill()
+	p := NewProber(ProberConfig{
+		Members:  []Member{{ID: "n1", Stream: s.Addr().String(), Admin: s.AdminAddr().String()}},
+		Interval: time.Hour,
+	})
+	agg := NewAggregator(AggregatorConfig{Prober: p, Timeout: 2 * time.Second})
+	if _, err := agg.QueryFleet(tsq.Query{From: 0, To: 10}); err == nil {
+		t.Fatal("fleet query over store-less members succeeded")
+	}
+	if m := scrapeAgg(t, agg); m["aggregator_query_node_errors_total"] != 1 {
+		t.Errorf("aggregator_query_node_errors_total = %v, want 1", m["aggregator_query_node_errors_total"])
+	}
+}
+
+// TestAggregatorCorruptHeadersSeverPull: a member whose /snapshot reply
+// carries malformed X-Devices or X-Records headers must be severed from
+// the cycle entirely — the body may be CRC-clean, but per-node
+// contribution accounting would silently drift if the headers were
+// guessed at. (internal/lint's severerr analyzer covers this package, so
+// pullNode's header errors must propagate, never be swallowed.)
+func TestAggregatorCorruptHeadersSeverPull(t *testing.T) {
+	body := analysis.NewStreamResult("hx").AppendBinary(nil)
+	crc := strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10)
+
+	cases := map[string]map[string]string{
+		"devices-garbage": {"X-Devices": "12x", "X-Records": "0"},
+		"devices-missing": {"X-Records": "0"},
+		"records-garbage": {"X-Devices": "0", "X-Records": "1e9"},
+		"records-missing": {"X-Devices": "0"},
+	}
+	for name, hdrs := range cases {
+		t.Run(name, func(t *testing.T) {
+			fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("X-Node-ID", "hx")
+				w.Header().Set("X-Snapshot-CRC32", crc)
+				for k, v := range hdrs {
+					w.Header().Set(k, v)
+				}
+				w.Write(body) //nolint:errcheck
+			}))
+			defer fake.Close()
+
+			p := NewProber(ProberConfig{
+				Members:  []Member{{ID: "hx", Admin: strings.TrimPrefix(fake.URL, "http://")}},
+				Interval: time.Hour,
+			})
+			agg := NewAggregator(AggregatorConfig{Prober: p, Timeout: 2 * time.Second, PullAttempts: 1})
+			h := agg.PullOnce()
+			if len(h.Nodes) != 0 || h.Records != 0 {
+				t.Fatalf("corrupt-header node blended into the merge: %+v", h.Nodes)
+			}
+			if m := scrapeAgg(t, agg); m["aggregator_pull_errors_total"] != 1 {
+				t.Errorf("aggregator_pull_errors_total = %v, want 1", m["aggregator_pull_errors_total"])
+			}
+		})
+	}
+}

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"netenergy/internal/analysis"
 	"netenergy/internal/ingest/checkpoint"
 	"netenergy/internal/obs"
 	"netenergy/internal/trace"
+	"netenergy/internal/tsq"
 )
 
 // LiveHeadline is the admin /headline document: the paper's headline
@@ -149,6 +151,32 @@ func (s *Server) adminMux() http.Handler {
 	})
 	mux.HandleFunc("/headline", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Headline())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.SegmentDir == "" {
+			http.Error(w, "segment store disabled (start with -segment-dir)", http.StatusServiceUnavailable)
+			return
+		}
+		q, err := tsq.ParseQuery(r.URL.Query(), time.Now())
+		if err != nil {
+			s.counters.queryErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Flush the live tail so the scan sees every record applied before
+		// this request arrived; sync errors only cost tail freshness (the
+		// affected device's persistence is already disabled and counted).
+		s.SyncSegments() //nolint:errcheck // counted in segErrors
+		res, err := tsq.Engine{Opts: s.cfg.Opts}.QueryDir(s.cfg.SegmentDir, q)
+		if err != nil {
+			s.counters.queryErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res.Node = s.cfg.NodeID
+		s.counters.queries.Add(1)
+		s.counters.queryBlocksSkipped.Add(int64(res.Scan.BlocksSkipped))
+		writeJSON(w, res)
 	})
 	mux.HandleFunc("/device", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")

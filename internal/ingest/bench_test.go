@@ -133,7 +133,7 @@ func TestFrameDecodeAllocFree(t *testing.T) {
 // shard's current high-water sequence, so every record is accepted.
 func benchApplyShard(batchSize int) (*shard, func()) {
 	dt := benchTrace()
-	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry())
+	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry(), nil)
 	pos := 0
 	batch := &recordBatch{device: dt.Device}
 	feed := func() {
@@ -172,7 +172,7 @@ func BenchmarkApplyInstrumented(b *testing.B) {
 func BenchmarkApplyBare(b *testing.B) {
 	const batchSize = 128
 	dt := benchTrace()
-	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry())
+	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry(), nil)
 	pos := 0
 	batch := &recordBatch{device: dt.Device}
 	feed := func() {
@@ -198,6 +198,9 @@ func BenchmarkApplyBare(b *testing.B) {
 				}
 			}
 			acc.Feed(&batch.recs[i])
+			if sh.seg != nil {
+				sh.seg.appendRecord(batch.device, &batch.recs[i])
+			}
 			exp++
 			sh.counters.records.Add(1)
 			dev.records.Add(1)
@@ -240,7 +243,7 @@ func TestBatchApplyAllocFree(t *testing.T) {
 	}
 	const batchSize = 128
 	dt := benchTrace()
-	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry())
+	sh := newShard(0, 1, batchOpts(), newCounters(), newDeviceRegistry(), nil)
 	pos := 0
 	batch := &recordBatch{device: dt.Device}
 	feed := func() {

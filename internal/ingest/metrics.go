@@ -53,6 +53,16 @@ type counters struct {
 	fenced        *obs.Gauge   // 1 once the node has fenced itself
 	fenceArchives *obs.Counter // checkpoint dirs archived (tombstone or fence)
 
+	// Segment store and query engine.
+	segRecords         *obs.Counter // records appended to segment files
+	segRecordsDropped  *obs.Counter // records dropped from segments (clock regressions)
+	segSealed          *obs.Counter // segment files sealed (footer index written)
+	segBytes           *obs.Counter // bytes in sealed segment files
+	segErrors          *obs.Counter // I/O failures that disabled a device's persistence
+	queries            *obs.Counter // GET /query requests served
+	queryErrors        *obs.Counter // GET /query requests rejected or failed
+	queryBlocksSkipped *obs.Counter // blocks pruned by the seek index across queries
+
 	// Hot-path distributions. frameSeconds is the per-frame record-decode
 	// latency; applySeconds is the enqueue→apply latency through a shard
 	// queue (the backpressure signal with a time axis); batchRecords is the
@@ -103,6 +113,15 @@ func newCounters() *counters {
 		finDurable:    reg.Counter("ingest_fin_durable_total", "FIN acks released only after a durable checkpoint"),
 		fenced:        reg.Gauge("ingest_fenced", "1 once this node fenced itself after a handoff"),
 		fenceArchives: reg.Counter("ingest_fence_archives_total", "checkpoint directories archived as already-shipped"),
+
+		segRecords:         reg.Counter("ingest_segment_records_total", "records appended to segment files"),
+		segRecordsDropped:  reg.Counter("ingest_segment_records_dropped_total", "records dropped from segments on timestamp regression"),
+		segSealed:          reg.Counter("ingest_segments_sealed_total", "segment files sealed with a footer index"),
+		segBytes:           reg.Counter("ingest_segment_bytes_total", "bytes in sealed segment files"),
+		segErrors:          reg.Counter("ingest_segment_errors_total", "I/O failures that disabled a device's segment persistence"),
+		queries:            reg.Counter("ingest_queries_total", "GET /query requests served"),
+		queryErrors:        reg.Counter("ingest_query_errors_total", "GET /query requests rejected or failed"),
+		queryBlocksSkipped: reg.Counter("ingest_query_blocks_skipped_total", "blocks pruned by the segment seek index across queries"),
 
 		frameSeconds:     reg.Histogram("ingest_frame_decode_seconds", "per-frame record decode latency", obs.DurationBuckets()),
 		applySeconds:     reg.Histogram("ingest_apply_latency_seconds", "shard enqueue-to-apply latency per batch", obs.DurationBuckets()),

@@ -60,6 +60,16 @@ type Config struct {
 	// at the cost of one group-commit checkpoint latency per FIN.
 	DurableFIN bool
 
+	// SegmentDir enables the on-disk query history: every accepted record
+	// is also appended to per-device METR-3 segment files there, served by
+	// the admin GET /query endpoint (and readable offline with cmd/tsq).
+	// Empty disables segments and /query answers 503.
+	SegmentDir string
+	// SegmentMaxBytes rolls a device's segment to a new file once it
+	// exceeds this size (default: 64 MiB). Sealed files carry the footer
+	// seek index that makes query block-pushdown work.
+	SegmentMaxBytes int64
+
 	// RateLimit, when positive, caps per-device connection admissions to
 	// this many per second (token bucket of RateBurst). Excess handshakes
 	// are refused with an explicit throttle ack and retry-after — load is
@@ -121,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 10 * time.Second
+	}
+	if c.SegmentMaxBytes <= 0 {
+		c.SegmentMaxBytes = 64 << 20
 	}
 	if c.RateLimit > 0 && c.RateBurst <= 0 {
 		c.RateBurst = 3
@@ -201,8 +214,24 @@ func NewServer(cfg Config) *Server {
 		// the same node ID; it only ever needs to be distinct, not ordered.
 		incarnation: fmt.Sprintf("%s.%d.%d", node, os.Getpid(), time.Now().UnixNano()),
 	}
+	var segSeqs map[string]int
+	if cfg.SegmentDir != "" {
+		var err error
+		// Persistence is best-effort: an unusable segment dir disables
+		// segments (and /query) but never blocks ingest — clearing
+		// SegmentDir below abandons the whole subsystem, not just one item.
+		//repolint:allow severerr — clearing SegmentDir abandons the segment subsystem entirely; ingest must start regardless
+		if segSeqs, err = seedSegmentSeqs(cfg.SegmentDir); err != nil {
+			s.counters.events.Logf(obs.LevelError, "segment dir unusable, segments disabled: %v", err)
+			s.cfg.SegmentDir = ""
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, s.counters, s.devices))
+		var seg *segmentStore
+		if s.cfg.SegmentDir != "" {
+			seg = newSegmentStore(s.cfg.SegmentDir, s.cfg.SegmentMaxBytes, segSeqs, s.counters)
+		}
+		s.shard = append(s.shard, newShard(i, cfg.QueueDepth, cfg.Opts, s.counters, s.devices, seg))
 	}
 	// Scrape-time gauges over state that already exists elsewhere.
 	reg := s.counters.reg
@@ -766,6 +795,35 @@ func (s *Server) Snapshot() *analysis.StreamResult {
 		agg.Merge(<-c)
 	}
 	return agg
+}
+
+// SyncSegments asks every shard to flush its open segment files so a
+// reader (GET /query) sees the live tail up to the records applied
+// before the call. Same enqueue discipline as Snapshot.
+func (s *Server) SyncSegments() error {
+	s.mu.RLock()
+	if s.final != nil || s.chClosed {
+		// Drained or draining: every segment is sealed (or about to be) by
+		// the shard exit path; nothing to sync.
+		s.mu.RUnlock()
+		return nil
+	}
+	replies := make([]chan error, len(s.shard))
+	for i, sh := range s.shard {
+		c := make(chan error, 1)
+		replies[i] = c
+		//repolint:allow lockhold — the send drains: shard.run never takes s.mu, and the enqueue must stay under RLock so Shutdown (write lock) cannot close sh.ch mid-send
+		sh.ch <- shardReq{segSync: c}
+	}
+	s.mu.RUnlock()
+
+	var first error
+	for _, c := range replies {
+		if err := <-c; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // checkpointLoop persists shard state every CheckpointInterval until

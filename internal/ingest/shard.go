@@ -163,6 +163,7 @@ type shardReq struct {
 	skip    *skipReq
 	restore *restoreReq
 	query   chan<- *analysis.StreamResult // snapshot-merge request
+	segSync chan<- error                  // flush open segments for a reader
 	ckpt    chan<- shardCkpt
 }
 
@@ -194,10 +195,14 @@ type shard struct {
 	retiredLegacy *analysis.StreamResult
 	ledger        map[string]*ledgerEntry
 
+	// seg, when non-nil, persists accepted records as queryable METR-3
+	// segment files (goroutine-confined like the rest of the state).
+	seg *segmentStore
+
 	done chan struct{}
 }
 
-func newShard(id, queueDepth int, opts energy.Options, c *counters, reg *deviceRegistry) *shard {
+func newShard(id, queueDepth int, opts energy.Options, c *counters, reg *deviceRegistry, seg *segmentStore) *shard {
 	return &shard{
 		id:            id,
 		ch:            make(chan shardReq, queueDepth),
@@ -209,6 +214,7 @@ func newShard(id, queueDepth int, opts energy.Options, c *counters, reg *deviceR
 		retired:       analysis.NewStreamResult("fleet"),
 		retiredLegacy: analysis.NewStreamResult("fleet"),
 		ledger:        map[string]*ledgerEntry{},
+		seg:           seg,
 		done:          make(chan struct{}),
 	}
 }
@@ -236,12 +242,21 @@ func (s *shard) run() {
 			req.restore.reply <- s.adopt(req.restore)
 		case req.query != nil:
 			req.query <- s.snapshot()
+		case req.segSync != nil:
+			if s.seg != nil {
+				req.segSync <- s.seg.sync()
+			} else {
+				req.segSync <- nil
+			}
 		case req.ckpt != nil:
 			req.ckpt <- s.checkpoint()
 		}
 	}
 	for dev := range s.live {
 		s.retire(dev)
+	}
+	if s.seg != nil {
+		s.seg.closeAll()
 	}
 }
 
@@ -259,6 +274,9 @@ func (s *shard) retire(dev string) {
 	s.retired.Merge(res)
 	s.ledger[dev] = &ledgerEntry{seq: s.seqs[dev], crc: crc32.ChecksumIEEE(blob), blob: blob}
 	delete(s.live, dev)
+	if s.seg != nil {
+		s.seg.seal(dev)
+	}
 }
 
 // feed applies a batch positionally: a record is accepted only when its
@@ -297,6 +315,9 @@ func (s *shard) feed(b *recordBatch) {
 			}
 		}
 		acc.Feed(&b.recs[i])
+		if s.seg != nil {
+			s.seg.appendRecord(b.device, &b.recs[i])
+		}
 		exp++
 		s.counters.records.Add(1)
 		dev.records.Add(1)
@@ -334,6 +355,9 @@ func (s *shard) applyBatch(b *recordBatch) {
 	}
 	view := b.cols.Slice(int(k), n)
 	acc.FeedBatch(&view)
+	if s.seg != nil {
+		s.seg.appendBatch(b.device, &view)
+	}
 	accepted := int64(n) - k
 	s.seqs[b.device] = exp + accepted
 	s.counters.records.Add(accepted)

@@ -34,6 +34,7 @@ var deterministicPkgs = map[string]bool{
 	"netenergy/internal/analysis":  true,
 	"netenergy/internal/whatif":    true,
 	"netenergy/internal/core":      true,
+	"netenergy/internal/tsq":       true,
 }
 
 // seededRandCtors are the only math/rand package-level functions allowed in

@@ -120,6 +120,23 @@ func (b *RecordBatch) Record(i int, dst *Record) {
 	}
 }
 
+// AppendFrom appends record i of src, copying its column values and
+// variable-length bytes directly between arenas — no intermediate Record
+// materialisation. The pushdown scan's app filter compacts matching rows
+// with it so filtering stays columnar.
+func (b *RecordBatch) AppendFrom(src *RecordBatch, i int) {
+	if len(b.Off) == 0 {
+		b.Off = append(b.Off, uint32(len(b.Blob)))
+	}
+	b.Types = append(b.Types, src.Types[i])
+	b.TS = append(b.TS, src.TS[i])
+	b.App = append(b.App, src.App[i])
+	b.Flags = append(b.Flags, src.Flags[i])
+	b.Aux = append(b.Aux, src.Aux[i])
+	b.Blob = append(b.Blob, src.Bytes(i)...)
+	b.Off = append(b.Off, uint32(len(b.Blob)))
+}
+
 // Slice returns a read-only view of records [lo, hi), sharing the
 // parent's column arrays and arena.
 func (b *RecordBatch) Slice(lo, hi int) RecordBatch {

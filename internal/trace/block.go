@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,7 @@ type BlockWriter struct {
 	hdr   []byte
 	first Timestamp
 	last  Timestamp
+	prev  Timestamp // last timestamp accepted across the whole file
 	n     int
 	count uint64
 	index []BlockInfo
@@ -125,6 +127,18 @@ func (w *BlockWriter) Write(r *Record) error {
 	if w.err != nil {
 		return w.err
 	}
+	// Monotonicity gate: block headers record positional first/last
+	// timestamps, and range pushdown treats them as min/max when pruning
+	// blocks. A record older than its predecessor would fall outside its
+	// block's advertised range and silently vanish from windowed scans, so
+	// reject it here (equal timestamps are fine). w.last cannot serve as
+	// the reference: it doubles as the delta-encoding base and resets at
+	// each block start.
+	if w.count > 0 && r.TS < w.prev {
+		w.err = fmt.Errorf("trace: record %d (ts=%d) precedes ts=%d: %w",
+			w.count, r.TS, w.prev, ErrOutOfOrder)
+		return w.err
+	}
 	if w.n == 0 {
 		w.first = r.TS
 		w.last = r.TS
@@ -136,6 +150,7 @@ func (w *BlockWriter) Write(r *Record) error {
 	}
 	w.raw = raw
 	w.last = r.TS
+	w.prev = r.TS
 	w.n++
 	w.count++
 	if len(w.raw) >= targetBlockSize {
@@ -300,6 +315,12 @@ func readBlockHeader(br *bufio.Reader) (blockHeader, error) {
 	// must belong to a declared record (trailing undeclared bytes are
 	// rejected after decoding, so a zero-count block cannot smuggle any).
 	if count > ulen/2+1 || (count == 0 && ulen != 0) {
+		return h, ErrCorrupt
+	}
+	// The writers enforce non-decreasing timestamps, so a header whose
+	// first exceeds its last was never produced by them — reject rather
+	// than let an inverted range corrupt pushdown decisions downstream.
+	if count > 0 && first > last {
 		return h, ErrCorrupt
 	}
 	h.ulen, h.clen, h.crc = int(ulen), int(clen), binary.LittleEndian.Uint32(crcb[:])
@@ -499,6 +520,7 @@ func readBlockIndexFmt(ra io.ReaderAt, size int64) (device string, start Timesta
 	dataEnd := size - footerLen - idxLen
 	blocks = make([]BlockInfo, 0, count)
 	prev := int64(0)
+	prevLast := Timestamp(math.MinInt64)
 	for i := uint64(0); i < count; i++ {
 		od, ok1 := readU()
 		ul, ok2 := readU()
@@ -509,6 +531,15 @@ func readBlockIndexFmt(ra io.ReaderAt, size int64) (device string, start Timesta
 		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 ||
 			ul > maxBlockLen || cl > maxBlockLen || rc > ul/2+1 {
 			return "", 0, nil, 0, false, ErrCorrupt
+		}
+		// Writers enforce non-decreasing timestamps, so first > last (or a
+		// block starting before its predecessor ended) is a crafted index;
+		// pushdown pruning relies on these ranges being honest min/max.
+		if rc > 0 {
+			if ft > lt || Timestamp(ft) < prevLast {
+				return "", 0, nil, 0, false, ErrCorrupt
+			}
+			prevLast = Timestamp(lt)
 		}
 		if od == 0 || od >= uint64(dataEnd) || int64(od) > dataEnd-1-prev {
 			return "", 0, nil, 0, false, ErrCorrupt
@@ -586,6 +617,11 @@ func parseBlockHeader(b []byte) (blockHeader, int, error) {
 	}
 	p = p[n5:]
 	if count > ulen/2+1 || (count == 0 && ulen != 0) {
+		return h, 0, ErrCorrupt
+	}
+	// Same ordering invariant readBlockHeader enforces: an inverted
+	// first/last range cannot come from the monotonic writers.
+	if count > 0 && first > last {
 		return h, 0, ErrCorrupt
 	}
 	h.ulen, h.clen, h.crc = int(ulen), int(clen), crc

@@ -373,6 +373,15 @@ func (w *ColumnWriter) Write(r *Record) error {
 		w.err = fmt.Errorf("trace: cannot write record type %v", r.Type)
 		return w.err
 	}
+	// Same monotonicity gate as BlockWriter.Write: pushdown scans treat
+	// the positional first/last block timestamps as min/max, so an
+	// out-of-order record would be silently skipped by windowed queries.
+	// w.last survives block cuts (unlike w.first), so it is the reference.
+	if w.count > 0 && r.TS < w.last {
+		w.err = fmt.Errorf("trace: record %d (ts=%d) precedes ts=%d: %w",
+			w.count, r.TS, w.last, ErrOutOfOrder)
+		return w.err
+	}
 	if w.batch.Len() == 0 {
 		w.first = r.TS
 	}
@@ -434,6 +443,23 @@ func (w *ColumnWriter) Flush() error {
 	}
 	idx := appendBlockIndex(w.hdr[:0], w.index, footerMagicColumnar)
 	if _, err := w.w.Write(idx); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Sync cuts the current partial block and writes it out, so a streaming
+// reader opening the file sees every record written so far. Unlike Flush
+// it writes no index or footer: the file stays unsealed and the writer
+// stays usable — the ingest segment store calls Sync before serving a
+// query over an in-progress segment, whose missing footer routes readers
+// onto the streaming (non-seeking) path.
+func (w *ColumnWriter) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.cutBlock(); err != nil {
 		w.err = err
 		return err
 	}

@@ -32,6 +32,15 @@ var (
 	ErrBadMagic  = errors.New("trace: bad magic (not a METR file)")
 	ErrCorrupt   = errors.New("trace: corrupt record (crc mismatch)")
 	ErrTruncated = errors.New("trace: truncated record")
+
+	// ErrOutOfOrder is returned by the blocked writers (METR-2/METR-3)
+	// when a record's timestamp precedes the previous record's. The block
+	// headers carry positional firstTS/lastTS, and range-pushdown scans
+	// prune blocks by treating those as min/max — an out-of-order record
+	// would silently vanish from every windowed query, so the writers
+	// reject it instead of recording it. The flat v1 container has no seek
+	// index and still accepts any order.
+	ErrOutOfOrder = errors.New("trace: record timestamp out of order")
 )
 
 var (

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"netenergy/internal/lz"
+)
+
+// Range-pushdown scan over a single trace file: the footer index's
+// per-block firstTS/lastTS (honest min/max — the writers reject
+// out-of-order records) prune blocks wholly outside a half-open time
+// window [From, To) before any byte of the block is read or inflated.
+// Within a surviving block, records are trimmed to the window by binary
+// search on the (sorted) timestamp column, and an optional app predicate
+// is applied column-at-a-time before any row assembly. Files without an
+// intact footer — flat v1 containers and blocked files still being
+// written (the ingest segment store's live tail) — fall back to a
+// streaming scan with the same record-level semantics, just without
+// block skips.
+
+// TimeRange is a half-open query window [From, To) in trace timestamps.
+type TimeRange struct {
+	From Timestamp // inclusive
+	To   Timestamp // exclusive
+}
+
+// Contains reports whether ts falls inside the window: From <= ts < To.
+// A record exactly at To is out; a record exactly at From is in.
+func (t TimeRange) Contains(ts Timestamp) bool {
+	return ts >= t.From && ts < t.To
+}
+
+// overlapsBlock reports whether a block spanning [first, last]
+// (inclusive on both ends — these are record timestamps, not bounds)
+// can hold an in-window record. A block whose last == From must still
+// be scanned (that record is in the window); a block whose first == To
+// is skipped (every record is at or past the exclusive bound).
+func (t TimeRange) overlapsBlock(first, last Timestamp) bool {
+	return first < t.To && last >= t.From
+}
+
+// ScanStats counts pushdown effectiveness across one or more scans.
+// BlocksSkipped is the proof the seek index worked: blocks never read,
+// decompressed or decoded because their advertised range missed the
+// window.
+type ScanStats struct {
+	Files          int   // files opened
+	BlocksTotal    int   // index entries examined (indexed files only)
+	BlocksSkipped  int   // blocks pruned by the [From, To) overlap test
+	BlocksScanned  int   // blocks decoded
+	RecordsScanned int64 // records decoded before trimming/filtering
+	RecordsMatched int64 // records delivered to the callback
+}
+
+// Add accumulates o into s (for merging per-file or per-node stats).
+func (s *ScanStats) Add(o ScanStats) {
+	s.Files += o.Files
+	s.BlocksTotal += o.BlocksTotal
+	s.BlocksSkipped += o.BlocksSkipped
+	s.BlocksScanned += o.BlocksScanned
+	s.RecordsScanned += o.RecordsScanned
+	s.RecordsMatched += o.RecordsMatched
+}
+
+// ScanOptions selects the records a scan delivers.
+type ScanOptions struct {
+	// Range is the half-open window; records with Range.Contains(TS)
+	// pass.
+	Range TimeRange
+
+	// Apps, when non-empty, keeps only records attributable to these app
+	// IDs. RecScreen records are device-global (no app column meaning)
+	// and always pass, as do RecAppName registrations for selected apps
+	// — the name table is how query results get labelled.
+	Apps []uint32
+}
+
+// appFilter is the materialised app predicate; nil means "all apps".
+type appFilter map[uint32]struct{}
+
+func newAppFilter(apps []uint32) appFilter {
+	if len(apps) == 0 {
+		return nil
+	}
+	f := make(appFilter, len(apps))
+	for _, a := range apps {
+		f[a] = struct{}{}
+	}
+	return f
+}
+
+// keep reports whether record i of b passes the predicate. The check is
+// purely columnar: type and app columns only.
+func (f appFilter) keep(b *RecordBatch, i int) bool {
+	if f == nil {
+		return true
+	}
+	if b.Types[i] == RecScreen {
+		return true
+	}
+	_, ok := f[b.App[i]]
+	return ok
+}
+
+// ScanFile scans one trace file, delivering the in-window (and
+// app-matching) records to fn as read-only batches valid only for the
+// duration of the call. It returns the device name from the file
+// header. stats may be nil.
+func ScanFile(path string, opt ScanOptions, stats *ScanStats, fn func(*RecordBatch) error) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	if stats != nil {
+		stats.Files++
+	}
+	device, _, blocks, format, ok, err := readBlockIndexFmt(f, st.Size())
+	if err != nil {
+		return device, err
+	}
+	if !ok {
+		return scanStream(f, opt, stats, fn)
+	}
+	return device, scanIndexed(f, st.Size(), blocks, format, opt, stats, fn)
+}
+
+// scanStream is the no-index fallback: decode front to back, trim and
+// filter each batch. Flat v1 files and unsealed (in-progress) segments
+// land here — nothing can be skipped without an index, but the record
+// semantics are identical.
+func scanStream(f *os.File, opt ScanOptions, stats *ScanStats, fn func(*RecordBatch) error) (string, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	br, err := NewBatchReader(bufio.NewReaderSize(f, 256<<10))
+	if err != nil {
+		return "", err
+	}
+	filter := newAppFilter(opt.Apps)
+	var scratch RecordBatch
+	for {
+		b, err := br.Next()
+		if err == io.EOF {
+			return br.Device(), nil
+		}
+		if err != nil {
+			return br.Device(), err
+		}
+		if err := emitTrimmed(b, opt.Range, filter, &scratch, stats, fn); err != nil {
+			return br.Device(), err
+		}
+	}
+}
+
+// scanIndexed prunes blocks via the footer index and decodes only the
+// survivors.
+func scanIndexed(f *os.File, size int64, blocks []BlockInfo, format Format, opt ScanOptions, stats *ScanStats, fn func(*RecordBatch) error) error {
+	// Each block ends where the next begins; the last ends at the index,
+	// whose offset the footer names.
+	var foot [footerLen]byte
+	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+		return err
+	}
+	idxOff := size - footerLen - int64(binary.LittleEndian.Uint64(foot[:8]))
+
+	filter := newAppFilter(opt.Apps)
+	var scratch, out RecordBatch
+	var raw []byte
+	var recs []Record
+	for i, b := range blocks {
+		if stats != nil {
+			stats.BlocksTotal++
+		}
+		if !opt.Range.overlapsBlock(b.First, b.Last) {
+			if stats != nil {
+				stats.BlocksSkipped++
+			}
+			continue
+		}
+		if stats != nil {
+			stats.BlocksScanned++
+		}
+		next := idxOff
+		if i+1 < len(blocks) {
+			next = blocks[i+1].Offset
+		}
+		scratch.Reset()
+		if format == FormatColumnar {
+			var err error
+			raw, err = decodeColumnBatchAt(f, b, next, &scratch, raw)
+			if err != nil {
+				return err
+			}
+		} else {
+			recs = sliceCap(recs, b.Count)
+			if err := decodeBlockAt(f, b, next, recs); err != nil {
+				return err
+			}
+			for j := range recs {
+				scratch.Append(&recs[j])
+			}
+		}
+		if err := emitTrimmed(&scratch, opt.Range, filter, &out, stats, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeColumnBatchAt reads, verifies and decodes one indexed METR-3
+// block straight into dst's columns — the row-assembly-free sibling of
+// decodeColumnBlockAt, so the app filter can run before any Record is
+// built. raw is a reusable decompression buffer; the (possibly grown)
+// buffer is returned and dst's Blob aliases it until the next call.
+func decodeColumnBatchAt(ra io.ReaderAt, b BlockInfo, next int64, dst *RecordBatch, raw []byte) ([]byte, error) {
+	span := next - b.Offset
+	if span <= 0 || span > maxBlockLen+64 {
+		return raw, ErrCorrupt
+	}
+	sc := blockScratchPool.Get().(*blockScratch)
+	defer blockScratchPool.Put(sc)
+	if cap(sc.buf) < int(span) {
+		sc.buf = make([]byte, span)
+	}
+	buf := sc.buf[:span]
+	if _, err := ra.ReadAt(buf, b.Offset); err != nil {
+		return raw, fmt.Errorf("trace: reading block at %d: %w", b.Offset, err)
+	}
+	if buf[0] != blockTag {
+		return raw, ErrCorrupt
+	}
+	h, hdrLen, err := parseBlockHeader(buf[1:])
+	if err != nil {
+		return raw, err
+	}
+	if h.clen != b.CompLen || h.ulen != b.UncompLen || h.count != b.Count {
+		return raw, fmt.Errorf("trace: block header disagrees with index at offset %d: %w", b.Offset, ErrCorrupt)
+	}
+	if len(buf) < 1+hdrLen+h.clen {
+		return raw, ErrTruncated
+	}
+	comp := buf[1+hdrLen : 1+hdrLen+h.clen]
+	if crc32.Checksum(comp, castagnoli) != h.crc {
+		return raw, ErrCorrupt
+	}
+	raw = sliceCap(raw, h.ulen)
+	if err := lz.Decompress(raw, comp); err != nil {
+		return raw, ErrCorrupt
+	}
+	cs := columnScratchPool.Get().(*columnScratch)
+	defer columnScratchPool.Put(cs)
+	if cs.u64, err = decodeColumns(raw, h, dst, cs.u64); err != nil {
+		return raw, err
+	}
+	return raw, nil
+}
+
+// emitTrimmed trims b to the window by binary search on the sorted
+// timestamp column, applies the app filter columnar-ly (compacting into
+// out only when the filter drops rows — the unfiltered in-window run is
+// delivered as a zero-copy view), and hands the result to fn.
+func emitTrimmed(b *RecordBatch, r TimeRange, filter appFilter, out *RecordBatch, stats *ScanStats, fn func(*RecordBatch) error) error {
+	n := b.Len()
+	if stats != nil {
+		stats.RecordsScanned += int64(n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Timestamps within a batch are non-decreasing (writer-enforced), so
+	// the in-window run is contiguous: [lo, hi).
+	lo := sort.Search(n, func(i int) bool { return b.TS[i] >= r.From })
+	hi := sort.Search(n, func(i int) bool { return b.TS[i] >= r.To })
+	if lo >= hi {
+		return nil
+	}
+	if filter == nil {
+		view := b.Slice(lo, hi)
+		if stats != nil {
+			stats.RecordsMatched += int64(view.Len())
+		}
+		return fn(&view)
+	}
+	out.Reset()
+	for i := lo; i < hi; i++ {
+		if filter.keep(b, i) {
+			out.AppendFrom(b, i)
+		}
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	if stats != nil {
+		stats.RecordsMatched += int64(out.Len())
+	}
+	return fn(out)
+}

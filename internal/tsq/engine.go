@@ -1,0 +1,197 @@
+package tsq
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"netenergy/internal/analysis"
+	"netenergy/internal/energy"
+	"netenergy/internal/trace"
+)
+
+// Engine executes queries over segment directories. The zero value is
+// ready to use with default energy options.
+type Engine struct {
+	Opts energy.Options
+}
+
+// QueryDir runs q over every segment file in dir (non-recursive),
+// merging the directory's retention rollup (rollup.json) when its
+// windows intersect the query range. Files are grouped by device and
+// scanned in start-timestamp order, so multi-segment devices replay as
+// one stream per window.
+func (e Engine) QueryDir(dir string, q Query) (*Result, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if strings.HasPrefix(name, ".") || strings.HasSuffix(name, ".json") ||
+			strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	res, err := e.QueryFiles(paths, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := mergeRollup(res, dir, q); err != nil {
+		return nil, err
+	}
+	res.Finalize(q.TopN)
+	return res, nil
+}
+
+// QueryFiles runs q over an explicit file list. The result is finalized
+// (sorted, top-N applied); callers that merge further (the aggregator)
+// re-finalize after merging.
+func (e Engine) QueryFiles(paths []string, q Query) (*Result, error) {
+	res := &Result{
+		FromUS:   int64(q.From),
+		ToUS:     int64(q.To),
+		WindowUS: int64(q.Window),
+	}
+
+	// Pass 1: group files by device (header peek only — no block reads),
+	// ordered by (start timestamp, path) within a device.
+	type fileInfo struct {
+		path  string
+		start trace.Timestamp
+	}
+	byDevice := map[string][]fileInfo{}
+	var devices []string
+	for _, path := range paths {
+		device, start, err := peekHeader(path)
+		if err != nil {
+			return nil, fmt.Errorf("tsq: %s: %w", path, err)
+		}
+		if _, ok := byDevice[device]; !ok {
+			devices = append(devices, device)
+		}
+		byDevice[device] = append(byDevice[device], fileInfo{path: path, start: start})
+	}
+	sort.Strings(devices)
+
+	// Pass 2: scan each device's files in order through a windowed
+	// accumulator; in-window batches arrive trimmed and app-filtered
+	// straight off the columns.
+	opt := trace.ScanOptions{Range: q.Range(), Apps: q.Apps}
+	names := map[uint32]string{}
+	var stats trace.ScanStats
+	for _, device := range devices {
+		files := byDevice[device]
+		sort.Slice(files, func(i, j int) bool {
+			if files[i].start != files[j].start {
+				return files[i].start < files[j].start
+			}
+			return files[i].path < files[j].path
+		})
+		acc := analysis.NewWindowedAccumulator(device, q.Window, e.Opts)
+		before := stats.RecordsMatched
+		for _, fi := range files {
+			if _, err := trace.ScanFile(fi.path, opt, &stats, func(b *trace.RecordBatch) error {
+				harvestNames(b, names)
+				acc.FeedBatch(b)
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("tsq: %s: %w", fi.path, err)
+			}
+		}
+		if stats.RecordsMatched == before {
+			continue // nothing in range on this device
+		}
+		res.Devices++
+		for _, win := range acc.Finish() {
+			addWindow(res, q, win)
+		}
+	}
+	res.Records = stats.RecordsMatched
+	res.Scan = statsOf(stats)
+	fillNames(res, names)
+	res.Finalize(q.TopN)
+	return res, nil
+}
+
+// peekHeader reads just the file header (magic, device, start), never a
+// block.
+func peekHeader(path string) (string, trace.Timestamp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return "", 0, err
+	}
+	return r.Device(), r.Start(), nil
+}
+
+// harvestNames collects app-name registrations from a scanned batch.
+// Only names inside the query window are visible — resolution is
+// best-effort and rows without one carry the numeric ID alone.
+func harvestNames(b *trace.RecordBatch, names map[uint32]string) {
+	for i, typ := range b.Types {
+		if typ == trace.RecAppName {
+			names[b.App[i]] = string(b.Bytes(i))
+		}
+	}
+}
+
+// addWindow folds one device-window stream result into the aggregate.
+// Energy is the attributed total (idle floor excluded), matching the
+// ingest headline's total_energy_j definition so the two are directly
+// comparable.
+func addWindow(res *Result, q Query, win analysis.WindowResult) {
+	led := win.Res.Ledger
+	rows := make([]AppRow, 0, len(led.ByApp))
+	//repolint:ordered collection order is irrelevant: rows are sorted in Finalize before use
+	for app, e := range led.ByApp {
+		rows = append(rows, AppRow{App: app, EnergyJ: e, Bytes: led.BytesByApp[app]})
+	}
+	var bytes int64
+	//repolint:ordered summation into a single scalar is order-insensitive for int64
+	for _, b := range led.BytesByApp {
+		bytes += b
+	}
+	res.TotalEnergyJ += led.Total
+	res.TotalBytes += bytes
+	res.Apps = mergeAppRows(res.Apps, rows)
+	if q.Window > 0 {
+		res.Windows = mergeWindows(res.Windows, []WindowRow{{
+			StartUS: int64(win.Start),
+			EndUS:   int64(win.Start + q.Window),
+			EnergyJ: led.Total,
+			Bytes:   bytes,
+			Apps:    append([]AppRow(nil), rows...),
+		}})
+	}
+}
+
+// fillNames labels rows from the harvested name table.
+func fillNames(res *Result, names map[uint32]string) {
+	if len(names) == 0 {
+		return
+	}
+	label := func(rows []AppRow) {
+		for i := range rows {
+			if rows[i].Name == "" {
+				rows[i].Name = names[rows[i].App]
+			}
+		}
+	}
+	label(res.Apps)
+	for i := range res.Windows {
+		label(res.Windows[i].Apps)
+	}
+}

@@ -1,0 +1,178 @@
+package tsq
+
+import (
+	"sort"
+
+	"netenergy/internal/trace"
+)
+
+// AppRow is one app's aggregate inside a window or a whole result.
+// EnergyJ is radio energy attributed to the app by the accountant
+// (idle floor excluded, matching the ingest headline's total_energy_j);
+// Bytes is the app's wire bytes.
+type AppRow struct {
+	App     uint32  `json:"app"`
+	Name    string  `json:"name,omitempty"`
+	EnergyJ float64 `json:"energy_j"`
+	Bytes   int64   `json:"bytes"`
+}
+
+// WindowRow is one epoch-aligned rollup window [StartUS, EndUS).
+type WindowRow struct {
+	StartUS int64    `json:"start_us"`
+	EndUS   int64    `json:"end_us"`
+	EnergyJ float64  `json:"energy_j"`
+	Bytes   int64    `json:"bytes"`
+	Apps    []AppRow `json:"apps,omitempty"`
+}
+
+// ScanStats mirrors trace.ScanStats with JSON tags: the pushdown
+// counters are part of the result so callers (and tests) can assert
+// that the seek index actually skipped blocks.
+type ScanStats struct {
+	Files          int   `json:"files"`
+	BlocksTotal    int   `json:"blocks_total"`
+	BlocksSkipped  int   `json:"blocks_skipped"`
+	BlocksScanned  int   `json:"blocks_scanned"`
+	RecordsScanned int64 `json:"records_scanned"`
+	RecordsMatched int64 `json:"records_matched"`
+}
+
+func statsOf(s trace.ScanStats) ScanStats {
+	return ScanStats{
+		Files:          s.Files,
+		BlocksTotal:    s.BlocksTotal,
+		BlocksSkipped:  s.BlocksSkipped,
+		BlocksScanned:  s.BlocksScanned,
+		RecordsScanned: s.RecordsScanned,
+		RecordsMatched: s.RecordsMatched,
+	}
+}
+
+func (s *ScanStats) add(o ScanStats) {
+	s.Files += o.Files
+	s.BlocksTotal += o.BlocksTotal
+	s.BlocksSkipped += o.BlocksSkipped
+	s.BlocksScanned += o.BlocksScanned
+	s.RecordsScanned += o.RecordsScanned
+	s.RecordsMatched += o.RecordsMatched
+}
+
+// Result is one query's answer. Rows are sorted by energy descending
+// (app ID ascending on ties) — deterministic for identical inputs.
+type Result struct {
+	// Node attributes the result to one cluster member (empty offline;
+	// the aggregator stamps its merged document "fleet").
+	Node string `json:"node_id,omitempty"`
+
+	FromUS   int64 `json:"from_us"`
+	ToUS     int64 `json:"to_us"`
+	WindowUS int64 `json:"window_us,omitempty"`
+
+	Devices      int     `json:"devices"`
+	Records      int64   `json:"records"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	TotalBytes   int64   `json:"total_bytes"`
+
+	Apps    []AppRow    `json:"apps"`
+	Windows []WindowRow `json:"windows,omitempty"`
+
+	// Downsampled marks results that include retention rollups: those
+	// contributions are window-granular, so a query bound cutting
+	// through a rollup window includes the whole window.
+	Downsampled bool `json:"downsampled,omitempty"`
+
+	Scan ScanStats `json:"scan"`
+}
+
+// Merge folds other into r: app rows merge by ID, windows by start,
+// counters add. Used by the aggregator to combine per-node results —
+// window boundaries are epoch-aligned on every node, so rows line up
+// without re-bucketing. Call Finalize afterwards to re-sort and apply
+// top-N.
+func (r *Result) Merge(other *Result) {
+	if other.FromUS < r.FromUS {
+		r.FromUS = other.FromUS
+	}
+	if other.ToUS > r.ToUS {
+		r.ToUS = other.ToUS
+	}
+	if r.WindowUS == 0 {
+		r.WindowUS = other.WindowUS
+	}
+	r.Devices += other.Devices
+	r.Records += other.Records
+	r.TotalEnergyJ += other.TotalEnergyJ
+	r.TotalBytes += other.TotalBytes
+	r.Apps = mergeAppRows(r.Apps, other.Apps)
+	r.Windows = mergeWindows(r.Windows, other.Windows)
+	r.Downsampled = r.Downsampled || other.Downsampled
+	r.Scan.add(other.Scan)
+}
+
+// Finalize sorts every row list (energy desc, app asc) and truncates to
+// topn (0 = keep all). Idempotent.
+func (r *Result) Finalize(topn int) {
+	r.Apps = sortTruncApps(r.Apps, topn)
+	sort.Slice(r.Windows, func(i, j int) bool { return r.Windows[i].StartUS < r.Windows[j].StartUS })
+	for i := range r.Windows {
+		r.Windows[i].Apps = sortTruncApps(r.Windows[i].Apps, topn)
+	}
+}
+
+func sortTruncApps(rows []AppRow, topn int) []AppRow {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].EnergyJ != rows[j].EnergyJ {
+			return rows[i].EnergyJ > rows[j].EnergyJ
+		}
+		return rows[i].App < rows[j].App
+	})
+	if topn > 0 && len(rows) > topn {
+		rows = rows[:topn]
+	}
+	return rows
+}
+
+func mergeAppRows(a, b []AppRow) []AppRow {
+	if len(b) == 0 {
+		return a
+	}
+	byID := make(map[uint32]int, len(a))
+	for i := range a {
+		byID[a[i].App] = i
+	}
+	for _, row := range b {
+		if i, ok := byID[row.App]; ok {
+			a[i].EnergyJ += row.EnergyJ
+			a[i].Bytes += row.Bytes
+			if a[i].Name == "" {
+				a[i].Name = row.Name
+			}
+		} else {
+			byID[row.App] = len(a)
+			a = append(a, row)
+		}
+	}
+	return a
+}
+
+func mergeWindows(a, b []WindowRow) []WindowRow {
+	if len(b) == 0 {
+		return a
+	}
+	byStart := make(map[int64]int, len(a))
+	for i := range a {
+		byStart[a[i].StartUS] = i
+	}
+	for _, w := range b {
+		if i, ok := byStart[w.StartUS]; ok {
+			a[i].EnergyJ += w.EnergyJ
+			a[i].Bytes += w.Bytes
+			a[i].Apps = mergeAppRows(a[i].Apps, w.Apps)
+		} else {
+			byStart[w.StartUS] = len(a)
+			a = append(a, w)
+		}
+	}
+	return a
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark suite runner: executes the hot-path benchmarks (wire protocol,
 # shard apply, streaming analyzer, checkpoint store, obs primitives, e2e
-# ingest, durable-FIN session pair, handoff retry) and records the results
+# ingest, durable-FIN session pair, handoff retry, tsq query engine) and
+# records the results
 # as BENCH_<date>.json in the repo root — including the derived
 # durable_fin_overhead_pct (price of -durable-fin per session) and
 # handoff_retry_total (retries per shipped handoff under a flaky survivor).
@@ -14,10 +15,12 @@
 #
 # After writing the new JSON the script compares it against the most
 # recent previous BENCH_*.json and fails on a >15% regression in the apply
-# budget pair (ns_per_op), any decode throughput (decode_mbps) metric, or
-# the aggregator merge cycle (aggregate_merge_ms), so a slow decoder or a
-# merge that goes quadratic in devices can't land silently. -no-compare
-# skips that gate (first run on a new machine, or a deliberate trade-off).
+# budget pair (ns_per_op), any decode throughput (decode_mbps) metric,
+# the aggregator merge cycle (aggregate_merge_ms), or the tsq windowed
+# query latency (query_p50_ms), so a slow decoder, a merge that goes
+# quadratic in devices, or a query plan that stops pruning blocks can't
+# land silently. -no-compare skips that gate (first run on a new machine,
+# or a deliberate trade-off).
 #
 # Usage: scripts/bench.sh [-no-compare] [out.json]
 #   BENCHTIME=2s COUNT=5 scripts/bench.sh   # longer, steadier runs
@@ -124,6 +127,15 @@ echo "bench: aggregator merge cycle (benchtime=$MERGE_BENCHTIME count=$COUNT)" >
 go test -run '^$' -bench 'BenchmarkAggregateMerge' -benchmem \
   -benchtime="$MERGE_BENCHTIME" -count="$COUNT" ./internal/cluster/ | tee -a "$RAW" >&2
 
+# Time-series query engine: a whole-span hour-windowed top-N query over a
+# fixed on-disk segment fixture (reports query_p50_ms), plus the narrow
+# pushdown query that asserts blocks actually get pruned. Iteration-
+# counted: each op re-reads real files.
+TSQ_BENCHTIME=${TSQ_BENCHTIME:-5x}
+echo "bench: tsq query engine (benchtime=$TSQ_BENCHTIME count=$COUNT)" >&2
+go test -run '^$' -bench 'BenchmarkQuery' -benchmem \
+  -benchtime="$TSQ_BENCHTIME" -count="$COUNT" ./internal/tsq/ | tee -a "$RAW" >&2
+
 echo "bench: paper-artifact benchmarks (1 iteration each)" >&2
 go test -run '^$' -bench . -benchmem -benchtime=1x . | tee -a "$RAW" >&2
 
@@ -147,7 +159,7 @@ BEGIN { n = 0 }
   name = $1
   sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
   ns = ""; bop = ""; aop = ""; extra_k = ""; extra_v = ""; mbps = ""; merge_ms = ""
-  fin_ms = ""; retry = ""
+  fin_ms = ""; retry = ""; qp50 = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     else if ($(i+1) == "B/op") bop = $i
@@ -156,6 +168,7 @@ BEGIN { n = 0 }
     else if ($(i+1) == "aggregate_merge_ms") merge_ms = $i
     else if ($(i+1) == "fin_session_ms") fin_ms = $i
     else if ($(i+1) == "handoff_retry_total") retry = $i
+    else if ($(i+1) == "query_p50_ms") qp50 = $i
     else if ($(i+1) ~ /\//) { extra_k = $(i+1); extra_v = $i }
   }
   if (ns == "") next
@@ -169,6 +182,7 @@ BEGIN { n = 0 }
     if (merge_ms != "") line = line sprintf(", \"aggregate_merge_ms\": %s", merge_ms)
     if (fin_ms != "") line = line sprintf(", \"fin_session_ms\": %s", fin_ms)
     if (retry != "") line = line sprintf(", \"handoff_retry_total\": %s", retry)
+    if (qp50 != "") line = line sprintf(", \"query_p50_ms\": %s", qp50)
     if (extra_k != "") line = line sprintf(", \"%s\": %s", extra_k, extra_v)
     line = line "}"
     out[key] = line
@@ -239,10 +253,12 @@ if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
       old_ns[name] = metric($0, "ns_per_op")
       old_mbps[name] = metric($0, "decode_mbps")
       old_merge[name] = metric($0, "aggregate_merge_ms")
+      old_qp50[name] = metric($0, "query_p50_ms")
       next
     }
     ns = metric($0, "ns_per_op"); mbps = metric($0, "decode_mbps")
     merge = metric($0, "aggregate_merge_ms")
+    qp50 = metric($0, "query_p50_ms")
     if (name ~ /^BenchmarkApply(Instrumented|Bare)$/ && ns != "" && old_ns[name] != "" && old_ns[name] + 0 > 0) {
       pct = 100 * (ns - old_ns[name]) / old_ns[name]
       printf "bench: %s ns_per_op %s -> %s (%+.1f%%)\n", name, old_ns[name], ns, pct > "/dev/stderr"
@@ -257,6 +273,11 @@ if [ "$COMPARE" = 1 ] && [ -n "$PREV_NAME" ]; then
       pct = 100 * (merge - old_merge[name]) / old_merge[name]
       printf "bench: %s aggregate_merge_ms %s -> %s (%+.1f%%)\n", name, old_merge[name], merge, pct > "/dev/stderr"
       if (pct > 15) { printf "bench: FAIL %s merge cycle stretched %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
+    }
+    if (qp50 != "" && old_qp50[name] != "" && old_qp50[name] + 0 > 0) {
+      pct = 100 * (qp50 - old_qp50[name]) / old_qp50[name]
+      printf "bench: %s query_p50_ms %s -> %s (%+.1f%%)\n", name, old_qp50[name], qp50, pct > "/dev/stderr"
+      if (pct > 15) { printf "bench: FAIL %s query latency stretched %.1f%% (>15%%)\n", name, pct > "/dev/stderr"; bad = 1 }
     }
   }
   END { exit bad ? 1 : 0 }

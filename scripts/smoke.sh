@@ -9,6 +9,12 @@
 #   2. clean: stream a 200-device synthetic fleet into a local ingestd and
 #      require zero dropped records and a clean SIGTERM drain (the final
 #      headline is kept as the cluster phase's reference);
+#   2b. query: same fleet into an ingestd running -segment-dir; the admin
+#      /query over the whole span must report the same record count and
+#      attributed total energy as /headline (two independent paths: shard
+#      accumulators vs the tsq engine re-reading the METR-3 segments),
+#      the block seek index must be in play, and after the drain the tsq
+#      CLI over the sealed directory must agree with the live answer;
 #   3. chaos: same fleet against a FRESH server (the devices restart their
 #      streams from sequence 0) through the fault injector — drops and bit
 #      corruption on the wire — and require the sever/resume/dedup loop to
@@ -95,6 +101,75 @@ require_headline_match() { # fleet headline file
       exit 1
     fi
   done
+}
+
+# require_close compares two floats within 1e-6 relative.
+require_close() { # label a b
+  if ! awk -v a="$2" -v b="$3" 'BEGIN {
+    d = a - b; if (d < 0) d = -d
+    m = a; if (m < 0) m = -m
+    exit (d <= 1e-6 * (1 + m) ? 0 : 1)
+  }'; then
+    echo "smoke: $1 = $3, want $2 (>1e-6 relative)" >&2
+    exit 1
+  fi
+}
+
+run_query() {
+  local segdir="$WORK/seg"
+  mkdir -p "$segdir"
+  ./bin/ingestd -listen "$ADDR" -admin "$ADMIN" -segment-dir "$segdir" &
+  pid=$!
+  ./bin/fleetsim -addr "$ADDR" -admin "http://$ADMIN" \
+    -devices "$DEVICES" -days "$DAYS" -seed 7
+
+  # Live: /query over everything vs /headline — same totals, two
+  # independent computations. The query range must cover ALL records, not
+  # just [span_start, span_end]: the headline span tracks network
+  # activity, and devices emit app-name/proc-state records outside it, so
+  # the upper bound is pushed a day past the span end.
+  curl -fsS "http://$ADMIN/headline" > "$WORK/qhead.json"
+  local span_end to recs qrecs blocks skipped
+  span_end=$(jfield "$WORK/qhead.json" span_end_us)
+  to=$((span_end + 86400000000))
+  curl -fsS "http://$ADMIN/query?from=0&to=$to" > "$WORK/query.json"
+  recs=$(jfield "$WORK/qhead.json" records)
+  qrecs=$(jfield "$WORK/query.json" records)
+  if [ "$recs" != "$qrecs" ]; then
+    echo "smoke: /query saw $qrecs records, /headline $recs" >&2
+    exit 1
+  fi
+  require_close "live query total_energy_j" \
+    "$(jfield "$WORK/qhead.json" total_energy_j)" "$(jfield "$WORK/query.json" total_energy_j)"
+  blocks=$(jfield "$WORK/query.json" blocks_total)
+  if [ "${blocks:-0}" -le 0 ]; then
+    echo "smoke: /query scanned no indexed blocks (blocks_total=$blocks)" >&2
+    exit 1
+  fi
+  # A narrow window must actually prune blocks via the seek index.
+  skipped=$(curl -fsS "http://$ADMIN/query?from=$((span_end - 3600000000))&to=$to" | grep -o '"blocks_skipped":[[:space:]]*[0-9]*' | head -1 | tr -dc 0-9)
+  if [ "${skipped:-0}" -le 0 ]; then
+    echo "smoke: narrow /query skipped no blocks (blocks_skipped=$skipped)" >&2
+    exit 1
+  fi
+
+  kill -TERM "$pid"
+  if ! wait "$pid"; then
+    echo "smoke: ingestd did not drain cleanly (query phase)" >&2
+    exit 1
+  fi
+  pid=
+
+  # Offline: the tsq CLI over the sealed directory must agree with the
+  # live endpoint's answer.
+  ./bin/tsq -dir "$segdir" -from 0 -to "$to" -json > "$WORK/query-offline.json"
+  if [ "$(jfield "$WORK/query-offline.json" records)" != "$recs" ]; then
+    echo "smoke: offline tsq saw $(jfield "$WORK/query-offline.json" records) records, want $recs" >&2
+    exit 1
+  fi
+  require_close "offline tsq total_energy_j" \
+    "$(jfield "$WORK/query.json" total_energy_j)" "$(jfield "$WORK/query-offline.json" total_energy_j)"
+  echo "smoke: query phase ok ($recs records, $skipped blocks pruned on the narrow window)"
 }
 
 run_cluster() {
@@ -335,6 +410,7 @@ done
 echo "smoke: convert phase ok (metr2 -> metr3 -> flat round trip)"
 
 run_phase clean -headline-json "$WORK/ref.json"
+run_query
 run_phase chaos -chaos-drop 0.05 -chaos-corrupt 0.01 -chaos-seed 7 -deadline 5m
 run_cluster
 run_chaos_cluster
